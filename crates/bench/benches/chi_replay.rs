@@ -1,0 +1,71 @@
+//! §7.1–7.2 for Protocol χ: the cost of one validation round — replaying
+//! a congested queue's entries/exits and judging the losses — measured on
+//! a recorded 5-second round of the Fig 6.4 experiment.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fatih_core::chi::{ChiConfig, QueueModel, QueueValidator};
+use fatih_crypto::KeyStore;
+use fatih_sim::{Network, SimTime, TapEvent};
+use fatih_topology::{builtin, LinkParams};
+
+/// Records the tap-event stream of a 5-second congested round once.
+fn record_round() -> (fatih_topology::Topology, KeyStore, Vec<TapEvent>) {
+    let bottleneck = LinkParams {
+        bandwidth_bps: 8_000_000,
+        queue_limit_bytes: 16_000,
+        ..LinkParams::default()
+    };
+    let topo = builtin::fan_in(3, bottleneck);
+    let mut ks = KeyStore::with_seed(9);
+    for r in topo.routers() {
+        ks.register(r.into());
+    }
+    let rd = topo.router_by_name("rd").unwrap();
+    let mut net = Network::new(topo.clone(), 9);
+    for i in 0..3 {
+        let s = net.topology().router_by_name(&format!("s{i}")).unwrap();
+        net.add_cbr_flow(
+            s,
+            rd,
+            1000,
+            SimTime::from_us(1_100),
+            SimTime::ZERO,
+            Some(SimTime::from_secs(5)),
+        );
+    }
+    let mut events = Vec::new();
+    net.run_until(SimTime::from_secs(6), |ev| events.push(*ev));
+    (topo, ks, events)
+}
+
+fn bench_chi(c: &mut Criterion) {
+    let (topo, ks, events) = record_round();
+    let r = topo.router_by_name("r").unwrap();
+    let rd = topo.router_by_name("rd").unwrap();
+    let routes = topo.link_state_routes();
+
+    let mut g = c.benchmark_group("chi_round_5s_congested");
+    g.sample_size(20);
+    g.bench_function("observe_and_replay", |b| {
+        b.iter(|| {
+            let mut v = QueueValidator::new(
+                &topo,
+                &ks,
+                r,
+                rd,
+                QueueModel::DropTail,
+                ChiConfig::default(),
+            );
+            for ev in &events {
+                v.observe(ev, |p| {
+                    routes.path(p.src, p.dst).and_then(|path| path.next_after(r))
+                });
+            }
+            black_box(v.end_round(SimTime::from_secs(6)))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_chi);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! §7.1 "Computing fingerprints": the per-packet cost of the UHASH-style
+//! universal hash (what Fatih uses on the forwarding path) versus a full
+//! cryptographic hash (SHA-256) and HMAC-SHA256 — the reason the
+//! prototype chose UHASH.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use fatih_crypto::{hmac::hmac_sha256, Sha256, UhashKey};
+
+fn bench_fingerprints(c: &mut Criterion) {
+    let key = UhashKey::from_seed(7);
+    for size in [40usize, 512, 1500] {
+        let packet: Vec<u8> = (0..size).map(|i| i as u8).collect();
+        let mut g = c.benchmark_group(format!("fingerprint/{size}B"));
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function("uhash", |b| {
+            b.iter(|| black_box(key.fingerprint(black_box(&packet))))
+        });
+        g.bench_function("sha256", |b| {
+            b.iter(|| black_box(Sha256::digest(black_box(&packet))))
+        });
+        g.bench_function("hmac_sha256", |b| {
+            b.iter(|| black_box(hmac_sha256(b"key", black_box(&packet))))
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_fingerprints);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Protocol-side costs: monitored-segment enumeration (the setup cost of
+//! Chapter 5's detectors, §5.1.1/§5.2.1) and one Dolev–Strong broadcast
+//! (Π2's per-report dissemination).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fatih_core::consensus::dolev_strong;
+use fatih_crypto::KeyStore;
+use fatih_topology::{builtin, pi2_segment_counts, pik2_segment_counts};
+use std::collections::BTreeMap;
+
+fn bench_segments(c: &mut Criterion) {
+    let topo = builtin::ebone_like(1);
+    let routes = topo.link_state_routes();
+    let mut g = c.benchmark_group("segment_enumeration_ebone");
+    g.sample_size(10);
+    for k in [2usize, 4] {
+        g.bench_function(format!("pi2_k{k}"), |b| {
+            b.iter(|| black_box(pi2_segment_counts(&routes, k)))
+        });
+        g.bench_function(format!("pik2_k{k}"), |b| {
+            b.iter(|| black_box(pik2_segment_counts(&routes, k)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_consensus(c: &mut Criterion) {
+    let mut ks = KeyStore::with_seed(5);
+    for i in 0..8 {
+        ks.register(i);
+    }
+    let report = vec![0xabu8; 512];
+    let mut g = c.benchmark_group("dolev_strong_512B_report");
+    for (n, f) in [(3usize, 1usize), (5, 2), (8, 3)] {
+        let participants: Vec<u32> = (0..n as u32).collect();
+        g.bench_function(format!("n{n}_f{f}"), |b| {
+            b.iter(|| {
+                black_box(dolev_strong(
+                    &ks,
+                    &participants,
+                    0,
+                    &report,
+                    &BTreeMap::new(),
+                    f,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_segments, bench_consensus);
+criterion_main!(benches);

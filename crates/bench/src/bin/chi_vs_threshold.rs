@@ -1,0 +1,93 @@
+//! §6.4.3 — Protocol χ vs. the static threshold: "it is impossible to
+//! find a threshold that can detect subtle attacks" without false
+//! positives under congestion.
+//!
+//! We sweep the attack drop rate over an uncongested and a congested
+//! bottleneck, and run both χ and static-threshold detectors at several
+//! thresholds over the *same* observations. The table shows each
+//! threshold either false-positives on the congested/no-attack row or
+//! misses the subtle attacks; χ does neither.
+//!
+//! Run with `cargo run --release -p fatih-bench --bin chi_vs_threshold`.
+
+use fatih_bench::{
+    render_table, run_threshold_baseline, write_csv, ChiAttack, ChiExperiment, Workload,
+};
+use fatih_sim::SimTime;
+
+const THRESHOLDS: [f64; 4] = [0.01, 0.05, 0.10, 0.20];
+
+fn verdict_str(detected: bool, should_detect: bool) -> String {
+    match (detected, should_detect) {
+        (true, true) => "detect ✓".into(),
+        (false, false) => "quiet  ✓".into(),
+        (true, false) => "FALSE+ ✗".into(),
+        (false, true) => "miss   ✗".into(),
+    }
+}
+
+fn main() {
+    // (label, congested?, attack fraction)
+    let cases: Vec<(String, bool, f64)> = vec![
+        ("congested, no attack".into(), true, 0.0),
+        ("uncongested, 0.5% attack".into(), false, 0.005),
+        ("uncongested, 1% attack".into(), false, 0.01),
+        ("uncongested, 5% attack".into(), false, 0.05),
+        ("congested, 5% attack".into(), true, 0.05),
+        ("congested, 20% attack".into(), true, 0.20),
+    ];
+
+    let mut rows = Vec::new();
+    for (label, congested, fraction) in &cases {
+        let exp = ChiExperiment {
+            attack: if *fraction > 0.0 {
+                ChiAttack::DropFraction(*fraction)
+            } else {
+                ChiAttack::None
+            },
+            workload: Workload::Cbr {
+                interval_us: if *congested { 1_100 } else { 4_000 },
+            },
+            q_limit: 16_000,
+            rounds: 6,
+            round: SimTime::from_secs(5),
+            ..ChiExperiment::default()
+        };
+        let chi = exp.run();
+        let should = *fraction > 0.0 && chi.truth.malicious_drops > 0;
+        let mut cells = vec![
+            label.clone(),
+            chi.truth.malicious_drops.to_string(),
+            chi.truth.congestive_drops.to_string(),
+            verdict_str(chi.detected(), should),
+        ];
+        for th in THRESHOLDS {
+            let per_round = run_threshold_baseline(&exp, th);
+            let detected = per_round.iter().any(|&(_, d)| d);
+            cells.push(verdict_str(detected, should));
+        }
+        rows.push(cells);
+    }
+
+    let headers = [
+        "scenario",
+        "mal(GT)",
+        "cong(GT)",
+        "Protocol χ",
+        "th=1%",
+        "th=5%",
+        "th=10%",
+        "th=20%",
+    ];
+    println!("== §6.4.3: Protocol χ vs. static thresholds ==\n");
+    println!("{}", render_table(&headers, &rows));
+    if let Some(p) = write_csv("chi_vs_threshold", &headers, &rows) {
+        println!("(csv: {})", p.display());
+    }
+    println!(
+        "\nPaper shape to compare against: every column of the static\n\
+         detector contains at least one ✗ — small thresholds false-positive\n\
+         under congestion, large ones sleep through subtle attacks — while\n\
+         Protocol χ's column is all ✓ (dissertation §6.4.3)."
+    );
+}

@@ -1,0 +1,171 @@
+//! Figure 6.3: the NS-simulation study of Protocol χ — the distribution
+//! of the queue-prediction error `q_error = q_act − q_pred`.
+//!
+//! In our deterministic substrate the replay is *exact*, so with perfect
+//! clocks the error is identically zero. The dissertation's error came
+//! from real-world noise (NTP skew, scheduling); we reintroduce exactly
+//! that by giving each monitoring neighbour a clock skew of a few hundred
+//! microseconds, then show that the resulting error is small and
+//! approximately normal — the property §6.2.1 relies on when it models
+//! `X = q_act − q_pred ~ N(µ, σ)`.
+//!
+//! Run with `cargo run --release -p fatih-bench --bin fig6_3`.
+
+use fatih_bench::{render_table, write_csv};
+use fatih_core::chi::{ChiConfig, QueueModel, QueueValidator};
+use fatih_crypto::KeyStore;
+use fatih_sim::{Network, SimTime, TapEvent};
+use fatih_stats::Histogram;
+use fatih_topology::{builtin, LinkParams};
+
+fn main() {
+    let bottleneck = LinkParams {
+        bandwidth_bps: 8_000_000,
+        queue_limit_bytes: 32_000,
+        ..LinkParams::default()
+    };
+    let topo = builtin::fan_in(3, bottleneck);
+    let mut ks = KeyStore::with_seed(2);
+    for r in topo.routers() {
+        ks.register(r.into());
+    }
+    let r = topo.router_by_name("r").unwrap();
+    let rd = topo.router_by_name("rd").unwrap();
+    // A deployment with known clock noise calibrates the detector during
+    // the learning period (§6.2.1): σ absorbs the skew-induced prediction
+    // error, and the exact-replay mismatch test — which assumes calibrated
+    // clocks — is disabled.
+    let cfg = ChiConfig {
+        sigma: 2_000.0,
+        mismatch_floor: usize::MAX,
+        ..ChiConfig::default()
+    };
+    let mut validator = QueueValidator::new(&topo, &ks, r, rd, QueueModel::DropTail, cfg);
+    let mut net = Network::new(topo, 2);
+
+    // NTP-grade skews: a few hundred microseconds per monitor (§5.3.1
+    // says "clocks synchronized within a few milliseconds are sufficient").
+    let skews: Vec<i64> = vec![350_000, -250_000, 150_000]; // ns, per source
+    for (i, &sk) in skews.iter().enumerate() {
+        let s = net
+            .topology()
+            .router_by_name(&format!("s{i}"))
+            .unwrap();
+        net.set_clock_skew(s, sk);
+    }
+
+    for i in 0..3 {
+        let s = net.topology().router_by_name(&format!("s{i}")).unwrap();
+        net.add_cbr_flow(
+            s,
+            rd,
+            1000,
+            SimTime::from_us(1_100 + 13 * i as u64),
+            SimTime::from_us(137 * i as u64),
+            Some(SimTime::from_secs(30)),
+        );
+    }
+
+    // Run, feeding the validator *skewed* timestamps (what each monitor's
+    // own clock would have recorded) while sampling the true queue.
+    let routes = net.routes().clone();
+    let mut actual: Vec<(SimTime, f64)> = Vec::new();
+    let skew_of = |router: fatih_topology::RouterId| -> i64 {
+        let idx: u32 = router.into();
+        *skews.get(idx as usize).unwrap_or(&0)
+    };
+    let end = SimTime::from_secs(32);
+    net.run_until(end, |ev| {
+        let skewed = match *ev {
+            TapEvent::Transmitted {
+                router,
+                next_hop,
+                packet,
+                time,
+            } => TapEvent::Transmitted {
+                router,
+                next_hop,
+                packet,
+                time: time.with_skew(skew_of(router)),
+            },
+            other => other,
+        };
+        validator.observe(&skewed, |p| {
+            routes.path(p.src, p.dst).and_then(|path| path.next_after(r))
+        });
+        if let TapEvent::Enqueued {
+            router,
+            next_hop,
+            time,
+            queue_len_after,
+            ..
+        } = ev
+        {
+            if *router == r && *next_hop == rd {
+                actual.push((*time, *queue_len_after as f64));
+            }
+        }
+    });
+    let verdict = validator.end_round(end);
+
+    // Pair predicted and actual occupancy by walking both series.
+    let trace = validator.prediction_trace();
+    let mut hist = Histogram::new(-4_000.0, 4_000.0, 32);
+    let mut ai = 0usize;
+    for &(tp, qp) in trace {
+        // The actual sample at the same true enqueue instant (predictions
+        // are timestamped with the skewed clock; match by order).
+        if ai < actual.len() {
+            let (_, qa) = actual[ai];
+            hist.push(qa - qp);
+            ai += 1;
+        }
+        let _ = tp;
+    }
+
+    println!("== Figure 6.3: distribution of q_error = q_act − q_pred ==");
+    println!(
+        "samples: {}   mean: {:.1} B   std dev: {:.1} B   skewness: {:.3}   excess kurtosis: {:.3}",
+        hist.len(),
+        hist.mean(),
+        hist.std_dev(),
+        hist.skewness(),
+        hist.excess_kurtosis()
+    );
+    println!("Jarque–Bera statistic: {:.1}\n", hist.jarque_bera());
+
+    let mut rows = Vec::new();
+    let max = hist.counts().iter().copied().max().unwrap_or(1).max(1);
+    for i in 0..hist.counts().len() {
+        let (lo, hi) = hist.bin_edges(i);
+        let n = hist.count(i);
+        let bar = "#".repeat((n * 50 / max) as usize);
+        rows.push(vec![
+            format!("[{lo:>6.0}, {hi:>6.0})"),
+            n.to_string(),
+            bar,
+        ]);
+    }
+    println!("{}", render_table(&["q_error (B)", "count", ""], &rows));
+    let csv: Vec<Vec<String>> = (0..hist.counts().len())
+        .map(|i| {
+            let (lo, hi) = hist.bin_edges(i);
+            vec![lo.to_string(), hi.to_string(), hist.count(i).to_string()]
+        })
+        .collect();
+    if let Some(p) = write_csv("fig6_3", &["bin_lo", "bin_hi", "count"], &csv) {
+        println!("(csv: {})", p.display());
+    }
+    println!(
+        "\nno-attack verdict under skew (σ calibrated to clock noise): detected = {} \
+         (must be false), congestive drops judged = {}",
+        verdict.detected,
+        verdict.total_drops()
+    );
+    assert!(!verdict.detected, "false positive under calibrated skew");
+    println!(
+        "\nPaper shape to compare against: a roughly bell-shaped error\n\
+         centred near zero whose spread reflects clock noise — the basis\n\
+         for modelling q_error as N(µ, σ) (dissertation Fig 6.3)."
+    );
+}

@@ -1,0 +1,129 @@
+//! Figures 6.11–6.16: Protocol χ validating a RED queue (§6.5), per-round
+//! series under the dissertation's five attacks:
+//!
+//! * `none`     — no attack (Fig 6.11),
+//! * `avg45`    — drop selected flows when the average queue exceeds
+//!   45,000 bytes (Fig 6.12),
+//! * `avg54`    — threshold 54,000 bytes (Fig 6.13),
+//! * `avg45p10` — 10% of selected flows above 45,000 (Fig 6.14),
+//! * `avg45p05` — 5% above 45,000 (Fig 6.15),
+//! * `syn`      — drop a victim's SYNs (Fig 6.16).
+//!
+//! Run one scenario with
+//! `cargo run --release -p fatih-bench --bin fig6_red -- <scenario>`, or
+//! all with no argument.
+
+use fatih_bench::{render_table, write_csv, ChiAttack, ChiExperiment, RoundRow, Workload};
+use fatih_sim::{RedParams, SimTime};
+
+fn red_params() -> RedParams {
+    // Thresholds placed so the paper's 45,000 / 54,000-byte attack
+    // triggers sit inside the (min, max) band.
+    RedParams {
+        min_threshold: 30_000.0,
+        max_threshold: 70_000.0,
+        // Gentle max_p lets the TCP equilibrium average climb through the
+        // paper's 45,000/54,000-byte attack triggers.
+        max_p: 0.01,
+        weight: 0.002,
+        mean_packet_size: 1_000.0,
+    }
+}
+
+fn scenario(name: &str) -> Option<(ChiAttack, &'static str)> {
+    match name {
+        "none" => Some((ChiAttack::None, "Fig 6.11: RED, no attack")),
+        "avg45" => Some((
+            ChiAttack::AvgQueueConditional {
+                bytes: 45_000.0,
+                fraction: 1.0,
+            },
+            "Fig 6.12: drop selected flows when avg queue > 45,000 B",
+        )),
+        "avg54" => Some((
+            ChiAttack::AvgQueueConditional {
+                bytes: 54_000.0,
+                fraction: 1.0,
+            },
+            "Fig 6.13: drop selected flows when avg queue > 54,000 B",
+        )),
+        "avg45p10" => Some((
+            ChiAttack::AvgQueueConditional {
+                bytes: 45_000.0,
+                fraction: 0.10,
+            },
+            "Fig 6.14: drop 10% of selected flows when avg > 45,000 B",
+        )),
+        "avg45p05" => Some((
+            ChiAttack::AvgQueueConditional {
+                bytes: 45_000.0,
+                fraction: 0.05,
+            },
+            "Fig 6.15: drop 5% of selected flows when avg > 45,000 B",
+        )),
+        "syn" => Some((ChiAttack::SynDrop, "Fig 6.16: drop a victim host's SYNs")),
+        _ => None,
+    }
+}
+
+fn run_one(name: &str) {
+    let (attack, title) = scenario(name).unwrap_or_else(|| {
+        eprintln!("unknown scenario {name}; use none|avg45|avg54|avg45p10|avg45p05|syn");
+        std::process::exit(2);
+    });
+    // TCP background sets RED's operating point; the victim is a
+    // constant-rate application flow (it does not back off, so its drops
+    // keep accumulating evidence against the router).
+    let exp = ChiExperiment {
+        attack,
+        workload: Workload::Tcp,
+        q_limit: 90_000,
+        red: Some(red_params()),
+        rounds: 12,
+        round: SimTime::from_secs(5),
+        sources: 12,
+        victim_cbr_pps: Some(200),
+        ..ChiExperiment::default()
+    };
+    let out = exp.run();
+    println!("== {title} ==");
+    let rows: Vec<Vec<String>> = out.rows.iter().map(RoundRow::cells).collect();
+    println!("{}", render_table(&RoundRow::headers(), &rows));
+    if let Some(p) = write_csv(&format!("fig6_red_{name}"), &RoundRow::headers(), &rows) {
+        println!("(csv: {})", p.display());
+    }
+    println!(
+        "ground truth: {} malicious, {} congestive (RED) drops — detected in {}/{} rounds\n",
+        out.truth.malicious_drops,
+        out.truth.congestive_drops,
+        out.detected_rounds(),
+        out.rows.len()
+    );
+    match attack {
+        ChiAttack::None => assert!(!out.detected(), "FALSE POSITIVE in the RED no-attack run"),
+        _ => assert!(
+            out.truth.malicious_drops == 0 || out.detected(),
+            "attack escaped detection"
+        ),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        for name in ["none", "avg45", "avg54", "avg45p10", "avg45p05", "syn"] {
+            run_one(name);
+        }
+    } else {
+        for name in &args {
+            run_one(name);
+        }
+    }
+    println!(
+        "Paper shape to compare against: RED's probabilistic early drops\n\
+         never trigger the detector, while attacks keyed to the *average*\n\
+         queue — even at 5% — produce loss patterns inconsistent with the\n\
+         replayed RED probabilities and are flagged (dissertation\n\
+         Figs 6.11–6.16)."
+    );
+}

@@ -1,0 +1,76 @@
+//! Appendix A / §2.4.1 ablation: wire bytes exchanged per validation
+//! round under the three set-difference mechanisms, as the round size
+//! grows — the polynomial sketch's cost depends only on the *difference*
+//! bound, which is the whole point.
+//!
+//! Run with `cargo run --release -p fatih-bench --bin tab_reconcile`.
+
+use fatih_bench::{render_table, write_csv};
+use fatih_crypto::UhashKey;
+use fatih_validation::field::Fe;
+use fatih_validation::{reconcile, BloomFilter, SetSketch};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("== Appendix A: per-round summary-exchange cost (8 losses to find) ==\n");
+    let key = UhashKey::from_seed(1);
+    let capacity = 10;
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for n in [100usize, 1_000, 10_000, 100_000] {
+        let sent: Vec<Fe> = (0..n as u64)
+            .map(|i| key.fingerprint(&i.to_le_bytes()).into())
+            .collect();
+        let mut received = sent.clone();
+        for k in 0..8 {
+            received.remove((n / 10) * (8 - k) - 1);
+        }
+
+        // Mechanism 1: resend every fingerprint (8 B each).
+        let full_bytes = n * 8;
+
+        // Mechanism 2: Bloom filter sized for 1% fp rate.
+        let bloom = BloomFilter::with_rate(n, 0.01);
+        let bloom_bytes = bloom.bit_len() / 8;
+
+        // Mechanism 3: polynomial sketch (exact recovery, fixed size).
+        let sketch = SetSketch::from_elements(sent.iter().copied(), capacity);
+        let sketch_bytes = sketch.wire_bytes();
+        // Verify it actually recovers the losses at this size.
+        let other = SetSketch::from_elements(received.iter().copied(), capacity);
+        let delta = reconcile(&sketch, &other, &mut StdRng::seed_from_u64(0))
+            .expect("difference within capacity");
+        assert_eq!(delta.only_in_a.len(), 8);
+
+        rows.push(vec![
+            n.to_string(),
+            full_bytes.to_string(),
+            bloom_bytes.to_string(),
+            sketch_bytes.to_string(),
+        ]);
+        csv.push(vec![
+            n.to_string(),
+            full_bytes.to_string(),
+            bloom_bytes.to_string(),
+            sketch_bytes.to_string(),
+        ]);
+    }
+    let headers = [
+        "packets/round",
+        "full exchange (B)",
+        "bloom 1% (B)",
+        "poly sketch (B)",
+    ];
+    println!("{}", render_table(&headers, &rows));
+    if let Some(p) = write_csv("tab_reconcile", &headers, &csv) {
+        println!("(csv: {})", p.display());
+    }
+    println!(
+        "\nPaper shape to compare against: the naive exchange grows linearly\n\
+         with traffic, Bloom filters grow linearly too (cheaper constant,\n\
+         approximate answers), while the reconciliation sketch is constant —\n\
+         'optimal in bandwidth utilization' (§2.4.1, Appendix A) — and\n\
+         recovers the exact missing fingerprints."
+    );
+}

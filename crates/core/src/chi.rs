@@ -1,0 +1,794 @@
+//! Protocol χ (dissertation Chapter 6): detecting *malicious packet
+//! losses* by predicting congestion instead of thresholding it.
+//!
+//! The validator for an output queue Q on link `r → r_d` (Figure 6.1)
+//! receives, from each neighbour `r_s`, the timestamped fingerprints of
+//! packets sent into Q (`Tinfo(r_s, Q_in)` — entry time `t + d + ps/bw`),
+//! and from `r_d` the fingerprints leaving Q. It then *replays* Q:
+//! a deterministic simulation gives the predicted queue size `q_pred(t)`,
+//! and each missing packet is judged:
+//!
+//! * if `q_pred + ps > q_limit` the loss is congestion-consistent;
+//! * otherwise the single-loss confidence is
+//!   `c_single = P(X ≤ q_limit − q_pred − ps)` for the learned error model
+//!   `X = q_act − q_pred ~ N(µ, σ)` (Figure 6.2);
+//! * all of a round's losses are additionally tested together with the
+//!   Z-score `z1 = (q_limit − mean(q_pred) − mean(ps) − µ)/(σ/√n)`
+//!   (§6.2.1, combined packet losses test).
+//!
+//! For RED queues (§6.5) the validator replays RED's EWMA and per-packet
+//! drop probabilities from the same information (Figure 6.10) and judges
+//! the loss pattern statistically: a drop with probability 0 is malicious
+//! outright, and the round's drop count is compared to its expectation
+//! with a Z-test.
+//!
+//! Rounds are *windowed*: a packet is only judged once enough time has
+//! passed for its exit to have been observed (one maximum queue residence
+//! plus slack), and the replay state — occupancy, RED average — carries
+//! across rounds, so round boundaries cause no false judgements.
+
+use fatih_crypto::{Fingerprint, KeyStore, UhashKey};
+use fatih_sim::{Packet, RedParams, SimTime, TapEvent};
+use fatih_stats::normal;
+use fatih_topology::{LinkParams, RouterId, Topology};
+use std::collections::HashMap;
+
+/// Statistical thresholds and the learned error model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiConfig {
+    /// Learned mean of `q_act − q_pred` (µ). The simulator's replay is
+    /// exact, so 0 is correct here; a real deployment learns it (§6.2.1).
+    pub mu: f64,
+    /// Learned standard deviation (σ); a floor keeps the tests meaningful
+    /// when the replay is near-exact.
+    pub sigma: f64,
+    /// Confidence needed to flag a single loss as malicious
+    /// (`th_single`).
+    pub single_threshold: f64,
+    /// Confidence needed for the combined-losses test (`th_combined`).
+    pub combined_threshold: f64,
+    /// Outcome-mismatch tolerance for the exact-replay test: the validator
+    /// also replays what an *honest* drop-tail queue would have done with
+    /// the same arrivals ("dynamically infers the precise number of
+    /// congestive packet losses", Chapter 6 abstract); at least this many
+    /// per-packet outcome disagreements flag the router.
+    pub mismatch_floor: usize,
+}
+
+impl Default for ChiConfig {
+    fn default() -> Self {
+        Self {
+            mu: 0.0,
+            sigma: 1_500.0, // ≈ one MTU of slack
+            single_threshold: 0.95,
+            combined_threshold: 0.95,
+            mismatch_floor: 3,
+        }
+    }
+}
+
+/// The judgement for one missing packet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DropJudgement {
+    /// The packet's fingerprint.
+    pub fingerprint: Fingerprint,
+    /// Its size in bytes.
+    pub size: u32,
+    /// When it entered (or would have entered) Q.
+    pub entry_time: SimTime,
+    /// Predicted queue occupancy at that instant.
+    pub q_pred: f64,
+    /// Confidence that the drop was malicious (`c_single`, or `1 − p_i`
+    /// under the replayed RED model).
+    pub confidence: f64,
+}
+
+/// Result of one validation round for one queue.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChiVerdict {
+    /// Packets that entered and left Q within the judged window.
+    pub forwarded: usize,
+    /// Judgements for the missing packets.
+    pub drops: Vec<DropJudgement>,
+    /// Packets leaving Q that never entered it (fabricated at r).
+    pub fabricated: usize,
+    /// Confidence of the combined-losses test, when it ran.
+    pub combined_confidence: Option<f64>,
+    /// Whether the round flags router r as maliciously dropping.
+    pub detected: bool,
+    /// Losses individually consistent with congestion.
+    pub congestion_consistent: usize,
+    /// Per-packet disagreements between the honest-queue replay's
+    /// predicted outcome and the observed outcome (drop-tail mode).
+    pub outcome_mismatches: usize,
+}
+
+impl ChiVerdict {
+    /// Total missing packets this round.
+    pub fn total_drops(&self) -> usize {
+        self.drops.len()
+    }
+
+    /// Highest single-loss confidence this round (0 when lossless).
+    pub fn max_single_confidence(&self) -> f64 {
+        self.drops
+            .iter()
+            .map(|d| d.confidence)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Which queue model the validator replays.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueueModel {
+    /// Deterministic drop-tail FIFO (§6.2).
+    DropTail,
+    /// RED with the given parameters (§6.5.2).
+    Red(RedParams),
+}
+
+/// Exact replay of an honest drop-tail queue fed the same arrivals: the
+/// "what would a correct router have done" predictor. Mirrors the engine's
+/// queue semantics — bytes stay in the queue until transmission completes,
+/// the head starts transmitting as soon as the link frees.
+#[derive(Debug, Clone, Default)]
+struct HonestQueue {
+    q_bytes: u64,
+    fifo: std::collections::VecDeque<u32>,
+    next_complete: SimTime,
+}
+
+impl HonestQueue {
+    /// Advances transmissions to time `t`, then offers a packet; returns
+    /// whether the honest queue would have accepted it.
+    fn offer(&mut self, t: SimTime, size: u32, limit: u32, bandwidth_bps: u64) -> bool {
+        while let Some(&head) = self.fifo.front() {
+            if self.next_complete > t {
+                break;
+            }
+            self.fifo.pop_front();
+            self.q_bytes -= head as u64;
+            if let Some(&next) = self.fifo.front() {
+                self.next_complete = self.next_complete
+                    + SimTime::from_ns((next as u64 * 8).saturating_mul(1_000_000_000) / bandwidth_bps);
+            }
+        }
+        if self.q_bytes + size as u64 > limit as u64 {
+            return false;
+        }
+        if self.fifo.is_empty() {
+            self.next_complete = t
+                + SimTime::from_ns((size as u64 * 8).saturating_mul(1_000_000_000) / bandwidth_bps);
+        }
+        self.fifo.push_back(size);
+        self.q_bytes += size as u64;
+        true
+    }
+}
+
+/// Persistent replay state carried across rounds.
+#[derive(Debug, Clone, Copy)]
+struct ReplayState {
+    q_pred: f64,
+    avg: f64,
+    avg_seeded: bool,
+    count: i64,
+    idle_since: Option<SimTime>,
+}
+
+impl Default for ReplayState {
+    fn default() -> Self {
+        Self {
+            q_pred: 0.0,
+            avg: 0.0,
+            avg_seeded: false,
+            count: -1,
+            idle_since: Some(SimTime::ZERO),
+        }
+    }
+}
+
+/// The χ validator for one output interface Q of router `r` toward `r_d`,
+/// hosted at `r_d` and fed by the neighbour routers of `r` (Figure 6.1).
+#[derive(Debug)]
+pub struct QueueValidator {
+    router: RouterId,
+    egress: RouterId,
+    key: UhashKey,
+    cfg: ChiConfig,
+    model: QueueModel,
+    q_limit: u32,
+    bandwidth_bps: u64,
+    in_delay_ns: HashMap<RouterId, u64>,
+    out_delay_ns: u64,
+    max_residence: SimTime,
+    entries: Vec<(Fingerprint, u32, SimTime)>,
+    exits: Vec<(Fingerprint, u32, SimTime)>,
+    state: ReplayState,
+    honest: HonestQueue,
+    /// Packets accepted in a previous round whose exits are still owed to
+    /// the replay (exit observed after that round's cutoff).
+    pending_exits: std::collections::HashSet<Fingerprint>,
+    prediction_trace: Vec<(SimTime, f64)>,
+}
+
+impl QueueValidator {
+    /// Builds the validator for queue `router → egress`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology lacks the `router → egress` link.
+    pub fn new(
+        topo: &Topology,
+        keystore: &KeyStore,
+        router: RouterId,
+        egress: RouterId,
+        model: QueueModel,
+        cfg: ChiConfig,
+    ) -> Self {
+        let out: LinkParams = topo
+            .link(router, egress)
+            .unwrap_or_else(|| panic!("no link {router} -> {egress}"));
+        let mut in_delay_ns = HashMap::new();
+        for &(n, _) in topo.neighbors(router) {
+            if let Some(p) = topo.link(n, router) {
+                in_delay_ns.insert(n, p.delay_ns);
+            }
+        }
+        // Worst-case queue residence: a full buffer ahead at line rate,
+        // plus the egress propagation delay and generous slack.
+        let drain_ns = (out.queue_limit_bytes as u64 * 8)
+            .saturating_mul(1_000_000_000)
+            / out.bandwidth_bps;
+        let max_residence =
+            SimTime::from_ns(2 * drain_ns + out.delay_ns) + SimTime::from_ms(20);
+        let seg_id = (u64::from(u32::from(router)) << 32) | u64::from(u32::from(egress));
+        Self {
+            router,
+            egress,
+            key: keystore.segment_uhash_key(seg_id),
+            cfg,
+            model,
+            q_limit: out.queue_limit_bytes,
+            bandwidth_bps: out.bandwidth_bps,
+            in_delay_ns,
+            out_delay_ns: out.delay_ns,
+            max_residence,
+            entries: Vec::new(),
+            exits: Vec::new(),
+            state: ReplayState::default(),
+            honest: HonestQueue::default(),
+            pending_exits: std::collections::HashSet::new(),
+            prediction_trace: Vec::new(),
+        }
+    }
+
+    /// The validated router.
+    pub fn router(&self) -> RouterId {
+        self.router
+    }
+
+    /// The judging lag: observations newer than this are deferred to the
+    /// next round so their exits can still arrive.
+    pub fn judgement_lag(&self) -> SimTime {
+        self.max_residence
+    }
+
+    /// Feeds one simulator observation. The validator uses only what the
+    /// *neighbours* of `r` can see: their own transmissions toward `r`
+    /// (plus the packet's predictable next hop) and `r_d`'s arrivals.
+    pub fn observe(
+        &mut self,
+        ev: &TapEvent,
+        next_hop_of: impl Fn(&Packet) -> Option<RouterId>,
+    ) {
+        match ev {
+            TapEvent::Transmitted {
+                router: rs,
+                next_hop,
+                packet,
+                time,
+            } if *next_hop == self.router => {
+                if next_hop_of(packet) != Some(self.egress) {
+                    return;
+                }
+                let Some(&d) = self.in_delay_ns.get(rs) else {
+                    return;
+                };
+                let entry = *time + SimTime::from_ns(d);
+                self.entries
+                    .push((packet.fingerprint(&self.key), packet.size, entry));
+            }
+            TapEvent::Arrived {
+                router,
+                from: Some(from),
+                packet,
+                time,
+            } if *router == self.egress && *from == self.router => {
+                let exit = time.since(SimTime::from_ns(self.out_delay_ns));
+                self.exits
+                    .push((packet.fingerprint(&self.key), packet.size, exit));
+            }
+            _ => {}
+        }
+    }
+
+    /// `(time, q_pred)` samples after each accepted entry of the last
+    /// round — the Figure 6.3 material.
+    pub fn prediction_trace(&self) -> &[(SimTime, f64)] {
+        &self.prediction_trace
+    }
+
+    /// Ends a round at wall-clock `now`: judges every entry old enough
+    /// that its exit must have been observed (entry time ≤ `now` minus
+    /// [`judgement_lag`](Self::judgement_lag)), carrying newer
+    /// observations and the replay state into the next round.
+    pub fn end_round(&mut self, now: SimTime) -> ChiVerdict {
+        let cutoff = now.since(self.max_residence);
+        self.prediction_trace.clear();
+
+        // Classification uses the *full* observed exit stream: any entry
+        // at or before the cutoff has had time to exit by `now`, so its
+        // exit (if it was forwarded) is already recorded even when that
+        // exit is after the cutoff.
+        let all_exit_time: std::collections::HashMap<Fingerprint, SimTime> = self
+            .exits
+            .iter()
+            .map(|&(fp, _, t)| (fp, t))
+            .collect();
+
+        // Replay, however, is strictly chronological: only events at or
+        // before the cutoff change occupancy this round, so `q_pred`
+        // equals the real queue at every judged instant. Exits after the
+        // cutoff are deferred; their packets wait in `pending_exits`.
+        let entries = std::mem::take(&mut self.entries);
+        let exits = std::mem::take(&mut self.exits);
+        let (due_entries, later_entries): (Vec<_>, Vec<_>) =
+            entries.into_iter().partition(|&(_, _, t)| t <= cutoff);
+        self.entries = later_entries;
+        let (due_exits, later_exits): (Vec<_>, Vec<_>) =
+            exits.into_iter().partition(|&(_, _, t)| t <= cutoff);
+        self.exits = later_exits;
+
+        let due_fps: std::collections::HashSet<Fingerprint> =
+            due_entries.iter().map(|&(fp, _, _)| fp).collect();
+
+        let mut timeline: Vec<(SimTime, u8, RawEvent)> = Vec::new();
+        for &(fp, size, t) in &due_entries {
+            let has_exit = all_exit_time.contains_key(&fp);
+            if has_exit {
+                // Exit beyond the cutoff: the packet stays in the replayed
+                // queue across the round boundary.
+                if all_exit_time[&fp] > cutoff {
+                    self.pending_exits.insert(fp);
+                }
+            }
+            timeline.push((t, 1, RawEvent::Entry(fp, size, has_exit)));
+        }
+        let mut fabricated = 0;
+        for &(fp, size, t) in &due_exits {
+            if self.pending_exits.remove(&fp) || due_fps.contains(&fp) {
+                timeline.push((t, 0, RawEvent::Exit(size)));
+            } else {
+                // An exit with no matching entry, ever: fabricated at r.
+                fabricated += 1;
+            }
+        }
+        timeline.sort_by_key(|&(t, pri, _)| (t, pri));
+
+        let mut verdict = ChiVerdict {
+            fabricated,
+            ..ChiVerdict::default()
+        };
+        match self.model {
+            QueueModel::DropTail => self.replay_drop_tail(&timeline, &mut verdict),
+            QueueModel::Red(p) => self.replay_red(&timeline, p, &mut verdict),
+        }
+        verdict
+    }
+
+    fn replay_drop_tail(
+        &mut self,
+        timeline: &[(SimTime, u8, RawEvent)],
+        verdict: &mut ChiVerdict,
+    ) {
+        for &(t, _, ev) in timeline {
+            match ev {
+                RawEvent::Exit(size) => {
+                    self.state.q_pred = (self.state.q_pred - size as f64).max(0.0);
+                }
+                RawEvent::Entry(fp, size, has_exit) => {
+                    // What would an honest queue have done with this
+                    // arrival?
+                    let predicted_accept =
+                        self.honest
+                            .offer(t, size, self.q_limit, self.bandwidth_bps);
+                    if predicted_accept != has_exit {
+                        verdict.outcome_mismatches += 1;
+                    }
+                    if has_exit {
+                        self.state.q_pred += size as f64;
+                        verdict.forwarded += 1;
+                        self.prediction_trace.push((t, self.state.q_pred));
+                    } else {
+                        let headroom =
+                            self.q_limit as f64 - self.state.q_pred - size as f64;
+                        let c =
+                            normal::cdf((headroom - self.cfg.mu) / self.cfg.sigma);
+                        if headroom < 0.0 {
+                            verdict.congestion_consistent += 1;
+                        }
+                        verdict.drops.push(DropJudgement {
+                            fingerprint: fp,
+                            size,
+                            entry_time: t,
+                            q_pred: self.state.q_pred,
+                            confidence: c,
+                        });
+                    }
+                }
+            }
+        }
+
+        let single_hit = verdict
+            .drops
+            .iter()
+            .any(|d| d.confidence >= self.cfg.single_threshold);
+        let combined_hit = if verdict.drops.len() >= 2 {
+            let n = verdict.drops.len() as u64;
+            let mean_q: f64 =
+                verdict.drops.iter().map(|d| d.q_pred).sum::<f64>() / n as f64;
+            let mean_ps: f64 =
+                verdict.drops.iter().map(|d| d.size as f64).sum::<f64>() / n as f64;
+            let c = fatih_stats::ztest::combined_loss_confidence(
+                self.q_limit as f64,
+                mean_q,
+                mean_ps,
+                self.cfg.mu,
+                self.cfg.sigma,
+                n,
+            );
+            verdict.combined_confidence = Some(c);
+            c >= self.cfg.combined_threshold
+        } else {
+            false
+        };
+        verdict.detected = single_hit
+            || combined_hit
+            || verdict.outcome_mismatches >= self.cfg.mismatch_floor;
+    }
+
+    fn replay_red(
+        &mut self,
+        timeline: &[(SimTime, u8, RawEvent)],
+        p: RedParams,
+        verdict: &mut ChiVerdict,
+    ) {
+        let mut expected_drops = 0.0;
+        let mut variance = 0.0;
+        let mut observed_drops = 0usize;
+        let mut zero_prob_drop = false;
+
+        for &(t, _, ev) in timeline {
+            match ev {
+                RawEvent::Exit(size) => {
+                    self.state.q_pred = (self.state.q_pred - size as f64).max(0.0);
+                    if self.state.q_pred <= 0.0 {
+                        self.state.idle_since = Some(t);
+                    }
+                }
+                RawEvent::Entry(fp, size, has_exit) => {
+                    if let Some(start) = self.state.idle_since.take() {
+                        if self.state.avg_seeded {
+                            let idle_ns = t.since(start).as_ns();
+                            let drain = p.mean_packet_size * 8.0 * 1e9
+                                / self.bandwidth_bps as f64;
+                            let m =
+                                (idle_ns as f64 / drain).floor().min(1e6) as i32;
+                            self.state.avg *= (1.0 - p.weight).powi(m);
+                        }
+                    }
+                    if self.state.avg_seeded {
+                        self.state.avg += p.weight * (self.state.q_pred - self.state.avg);
+                    } else {
+                        self.state.avg = self.state.q_pred;
+                        self.state.avg_seeded = true;
+                    }
+                    let overflow =
+                        self.state.q_pred + size as f64 > self.q_limit as f64;
+                    let prob = if overflow {
+                        self.state.count = 0;
+                        1.0
+                    } else if self.state.avg < p.min_threshold {
+                        self.state.count = -1;
+                        0.0
+                    } else if self.state.avg >= p.max_threshold {
+                        self.state.count = 0;
+                        1.0
+                    } else {
+                        self.state.count += 1;
+                        let pb = p.max_p * (self.state.avg - p.min_threshold)
+                            / (p.max_threshold - p.min_threshold);
+                        let denom = 1.0 - self.state.count as f64 * pb;
+                        if denom <= 0.0 {
+                            1.0
+                        } else {
+                            (pb / denom).min(1.0)
+                        }
+                    };
+                    expected_drops += prob;
+                    variance += prob * (1.0 - prob);
+                    if has_exit {
+                        self.state.q_pred += size as f64;
+                        verdict.forwarded += 1;
+                        self.prediction_trace.push((t, self.state.q_pred));
+                    } else {
+                        observed_drops += 1;
+                        self.state.count = 0;
+                        if prob == 0.0 {
+                            zero_prob_drop = true;
+                        }
+                        if prob >= 1.0 {
+                            verdict.congestion_consistent += 1;
+                        }
+                        verdict.drops.push(DropJudgement {
+                            fingerprint: fp,
+                            size,
+                            entry_time: t,
+                            q_pred: self.state.q_pred,
+                            confidence: 1.0 - prob,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Drop-count test. RED's count-based spreading correlates
+        // successive outcomes, so Σp(1−p) only approximates the variance;
+        // the decision therefore demands a 4σ excess plus an absolute
+        // floor, which a benign queue essentially never produces while
+        // even a few-percent targeted attack clears it within a round.
+        let combined = if observed_drops > 0 && variance > 1e-9 {
+            let excess = observed_drops as f64 - expected_drops;
+            let z = excess / variance.sqrt();
+            verdict.combined_confidence = Some(normal::cdf(z));
+            excess >= 4.0 * (variance + 1.0).sqrt() && excess >= 5.0
+        } else {
+            false
+        };
+        verdict.detected = zero_prob_drop || combined;
+    }
+}
+
+/// One replayed queue event: an exit (bytes leaving) or an entry with a
+/// flag for whether a matching exit was observed.
+#[derive(Debug, Clone, Copy)]
+enum RawEvent {
+    Exit(u32),
+    Entry(Fingerprint, u32, bool),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fatih_sim::{Attack, AttackKind, Network, QueueDiscipline, VictimFilter};
+    use fatih_topology::{builtin, LinkParams};
+
+    /// Fig 6.4 fixture: `sources` CBR senders through r's bottleneck
+    /// toward rd. CBR flows stop 1 s before each test's horizon so every
+    /// judgement falls before the cutoff.
+    fn fan_net(
+        sources: usize,
+        q_limit: u32,
+        red: bool,
+        flow_secs: u64,
+    ) -> (Network, QueueValidator, Vec<fatih_sim::FlowId>) {
+        let bottleneck = LinkParams {
+            bandwidth_bps: 8_000_000, // 1 kB/ms
+            queue_limit_bytes: q_limit,
+            ..LinkParams::default()
+        };
+        let topo = builtin::fan_in(sources, bottleneck);
+        let mut ks = KeyStore::with_seed(9);
+        for r in topo.routers() {
+            ks.register(r.into());
+        }
+        let r = topo.router_by_name("r").unwrap();
+        let rd = topo.router_by_name("rd").unwrap();
+        let model = if red {
+            QueueModel::Red(RedParams {
+                min_threshold: q_limit as f64 * 0.3,
+                max_threshold: q_limit as f64 * 0.7,
+                ..RedParams::default()
+            })
+        } else {
+            QueueModel::DropTail
+        };
+        let validator =
+            QueueValidator::new(&topo, &ks, r, rd, model, ChiConfig::default());
+        let mut net = Network::new(topo, 5);
+        if red {
+            let QueueModel::Red(p) = model else { unreachable!() };
+            net.set_queue_discipline(r, rd, QueueDiscipline::Red(p));
+        }
+        let mut flows = Vec::new();
+        for i in 0..sources {
+            let s = net.topology().router_by_name(&format!("s{i}")).unwrap();
+            let f = net.add_cbr_flow(
+                s,
+                rd,
+                1000,
+                SimTime::from_us(1_100),
+                SimTime::from_us(137 * i as u64),
+                Some(SimTime::from_secs(flow_secs)),
+            );
+            flows.push(f);
+        }
+        (net, validator, flows)
+    }
+
+    fn run_round(net: &mut Network, v: &mut QueueValidator, until_secs: u64) -> ChiVerdict {
+        let routes = net.routes().clone();
+        let end = SimTime::from_secs(until_secs);
+        let at = v.router();
+        net.run_until(end, |ev| {
+            v.observe(ev, |p| {
+                routes.path(p.src, p.dst).and_then(|path| path.next_after(at))
+            })
+        });
+        v.end_round(end)
+    }
+
+    #[test]
+    fn congestion_only_is_not_flagged() {
+        let (mut net, mut v, _) = fan_net(3, 8_000, false, 5);
+        let verdict = run_round(&mut net, &mut v, 7);
+        let truth = net.ground_truth();
+        assert!(truth.congestive_drops > 0, "fixture must congest");
+        assert_eq!(truth.malicious_drops, 0);
+        assert!(!verdict.detected, "false positive: {verdict:?}");
+        assert_eq!(verdict.total_drops() as u64, truth.congestive_drops);
+        assert!(verdict.max_single_confidence() < 0.5);
+        assert_eq!(verdict.fabricated, 0);
+    }
+
+    #[test]
+    fn uncongested_round_is_clean() {
+        let (mut net, mut v, _) = fan_net(1, 64_000, false, 5);
+        let verdict = run_round(&mut net, &mut v, 7);
+        assert_eq!(verdict.total_drops(), 0);
+        assert!(!verdict.detected);
+        assert!(verdict.forwarded > 4000);
+    }
+
+    #[test]
+    fn malicious_drops_in_idle_queue_detected_with_high_confidence() {
+        let (mut net, mut v, flows) = fan_net(2, 64_000, false, 5);
+        let r = net.topology().router_by_name("r").unwrap();
+        net.set_attacks(r, vec![Attack::drop_flows([flows[0]], 0.05)]);
+        let verdict = run_round(&mut net, &mut v, 7);
+        assert!(net.ground_truth().malicious_drops > 0);
+        assert!(verdict.detected, "attack missed: {verdict:?}");
+        assert!(verdict.max_single_confidence() > 0.99);
+    }
+
+    #[test]
+    fn queue_conditional_attack_detected_among_congestion() {
+        // Attack 2/3 of §6.4.2: drop victims only when the queue is ≥ 90%
+        // full — individually each loss looks plausible, but the combined
+        // test sees too many losses for the predicted occupancy.
+        let (mut net, mut v, flows) = fan_net(3, 10_000, false, 10);
+        let r = net.topology().router_by_name("r").unwrap();
+        net.set_attacks(
+            r,
+            vec![Attack {
+                victims: VictimFilter::flows([flows[0]]),
+                kind: AttackKind::DropWhenQueueAbove {
+                    fill: 0.90,
+                    fraction: 1.0,
+                },
+            }],
+        );
+        let verdict = run_round(&mut net, &mut v, 12);
+        let truth = net.ground_truth();
+        assert!(truth.malicious_drops > 0, "attack never triggered");
+        assert!(truth.congestive_drops > 0, "fixture must congest too");
+        assert!(verdict.detected, "hidden attack missed: {verdict:?}");
+    }
+
+    #[test]
+    fn rounds_with_inflight_packets_cause_no_false_drops() {
+        // End a round mid-traffic: packets in flight must not be judged.
+        let (mut net, mut v, _) = fan_net(1, 64_000, false, 60);
+        let mut clean_rounds = 0;
+        for round in 1..=10u64 {
+            let verdict = run_round(&mut net, &mut v, round);
+            assert_eq!(verdict.total_drops(), 0, "round {round}: {verdict:?}");
+            assert!(!verdict.detected);
+            if verdict.forwarded > 0 {
+                clean_rounds += 1;
+            }
+        }
+        assert!(clean_rounds >= 8);
+    }
+
+    #[test]
+    fn prediction_trace_matches_actual_queue() {
+        // The Figure 6.3 property: q_pred tracks q_act exactly in the
+        // deterministic replay.
+        let (mut net, mut v, _) = fan_net(3, 10_000, false, 5);
+        let r = net.topology().router_by_name("r").unwrap();
+        let rd = net.topology().router_by_name("rd").unwrap();
+        let routes = net.routes().clone();
+        let mut actual: Vec<(SimTime, u32)> = Vec::new();
+        let end = SimTime::from_secs(7);
+        net.run_until(end, |ev| {
+            v.observe(ev, |p| {
+                routes.path(p.src, p.dst).and_then(|path| path.next_after(r))
+            });
+            if let TapEvent::Enqueued {
+                router,
+                next_hop,
+                time,
+                queue_len_after,
+                ..
+            } = ev
+            {
+                if *router == r && *next_hop == rd {
+                    actual.push((*time, *queue_len_after));
+                }
+            }
+        });
+        let verdict = v.end_round(end);
+        assert!(verdict.forwarded > 0);
+        let trace = v.prediction_trace();
+        assert_eq!(trace.len(), actual.len());
+        for ((tp, qp), (ta, qa)) in trace.iter().zip(actual.iter()) {
+            assert_eq!(tp, ta, "prediction and reality diverge in time");
+            assert!((*qp - *qa as f64).abs() < 1.0, "q_pred {qp} vs q_act {qa}");
+        }
+    }
+
+    #[test]
+    fn red_congestion_only_not_flagged() {
+        let (mut net, mut v, _) = fan_net(3, 60_000, true, 10);
+        let verdict = run_round(&mut net, &mut v, 12);
+        let truth = net.ground_truth();
+        assert!(truth.congestive_drops > 0, "fixture must RED-drop");
+        assert!(!verdict.detected, "false positive: {verdict:?}");
+    }
+
+    #[test]
+    fn red_avg_conditional_attack_detected() {
+        // §6.5.3 attack 1: drop victims whenever RED's average exceeds a
+        // mid-band trigger.
+        let (mut net, mut v, flows) = fan_net(3, 60_000, true, 10);
+        let r = net.topology().router_by_name("r").unwrap();
+        net.set_attacks(
+            r,
+            vec![Attack {
+                victims: VictimFilter::flows([flows[0]]),
+                kind: AttackKind::DropWhenAvgQueueAbove {
+                    avg_bytes: 60_000.0 * 0.35,
+                    fraction: 1.0,
+                },
+            }],
+        );
+        let verdict = run_round(&mut net, &mut v, 12);
+        assert!(net.ground_truth().malicious_drops > 0, "attack never fired");
+        assert!(verdict.detected, "RED-masked attack missed: {verdict:?}");
+    }
+
+    #[test]
+    fn red_syn_style_low_avg_drop_flagged_immediately() {
+        // A drop while the average is below min-threshold has RED
+        // probability zero — malicious outright (the Fig 6.16 case).
+        let (mut net, mut v, flows) = fan_net(1, 60_000, true, 5);
+        let r = net.topology().router_by_name("r").unwrap();
+        net.set_attacks(r, vec![Attack::drop_flows([flows[0]], 0.01)]);
+        let verdict = run_round(&mut net, &mut v, 7);
+        assert!(net.ground_truth().malicious_drops > 0);
+        assert!(verdict.detected);
+        assert!(verdict.max_single_confidence() >= 1.0 - 1e-12);
+    }
+}

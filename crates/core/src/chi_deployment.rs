@@ -1,0 +1,196 @@
+//! Network-wide Protocol χ: one queue validator per output interface.
+//!
+//! §6.2.2: "every outbound interface queue Q in the network is monitored
+//! by the neighbouring routers and validated by a router r_d such that Q
+//! is associated with the link ⟨r, r_d⟩". This module deploys a
+//! [`QueueValidator`] for every directed link and folds the per-queue
+//! verdicts into the Chapter 4 suspicion interface — a detected queue
+//! yields the 2-segment suspicion `⟨r, r_d⟩`, raised by the validating
+//! downstream router (precision 2, strong-complete via the usual alert
+//! flooding).
+
+use crate::chi::{ChiConfig, ChiVerdict, QueueModel, QueueValidator};
+use crate::spec::{Interval, Suspicion};
+use fatih_crypto::KeyStore;
+use fatih_sim::{SimTime, TapEvent};
+use fatih_topology::{PathSegment, RouterId, Routes, Topology};
+use std::collections::BTreeMap;
+
+/// A full-network χ deployment.
+#[derive(Debug)]
+pub struct ChiDeployment {
+    validators: Vec<QueueValidator>,
+    egress_of: Vec<(RouterId, RouterId)>,
+    routes: Routes,
+    round_start: SimTime,
+}
+
+impl ChiDeployment {
+    /// Deploys one validator per directed link, all drop-tail (use
+    /// [`with_models`](Self::with_models) for mixed disciplines).
+    pub fn new(topo: &Topology, keystore: &KeyStore, cfg: ChiConfig) -> Self {
+        Self::with_models(topo, keystore, cfg, |_, _| QueueModel::DropTail)
+    }
+
+    /// Deploys one validator per directed link with a per-link queue
+    /// model.
+    pub fn with_models(
+        topo: &Topology,
+        keystore: &KeyStore,
+        cfg: ChiConfig,
+        model_of: impl Fn(RouterId, RouterId) -> QueueModel,
+    ) -> Self {
+        let mut validators = Vec::new();
+        let mut egress_of = Vec::new();
+        for l in topo.links() {
+            validators.push(QueueValidator::new(
+                topo,
+                keystore,
+                l.from,
+                l.to,
+                model_of(l.from, l.to),
+                cfg,
+            ));
+            egress_of.push((l.from, l.to));
+        }
+        Self {
+            validators,
+            egress_of,
+            routes: topo.link_state_routes(),
+            round_start: SimTime::ZERO,
+        }
+    }
+
+    /// Number of monitored interfaces.
+    pub fn interface_count(&self) -> usize {
+        self.validators.len()
+    }
+
+    /// Feeds one simulator observation to every interested validator.
+    pub fn observe(&mut self, ev: &TapEvent) {
+        // Only Transmitted/Arrived events matter; route prediction is the
+        // same global link-state view for every validator.
+        match ev {
+            TapEvent::Transmitted { .. } | TapEvent::Arrived { .. } => {}
+            _ => return,
+        }
+        let routes = &self.routes;
+        for v in &mut self.validators {
+            let at = v.router();
+            v.observe(ev, |p| {
+                routes.path(p.src, p.dst).and_then(|path| path.next_after(at))
+            });
+        }
+    }
+
+    /// Ends the round on every interface: returns the per-queue verdicts
+    /// plus the suspicions of the detecting validators.
+    pub fn end_round(
+        &mut self,
+        now: SimTime,
+    ) -> (BTreeMap<(RouterId, RouterId), ChiVerdict>, Vec<Suspicion>) {
+        let interval = Interval::new(self.round_start, now);
+        self.round_start = now;
+        let mut verdicts = BTreeMap::new();
+        let mut suspicions = Vec::new();
+        for (v, &(r, rd)) in self.validators.iter_mut().zip(&self.egress_of) {
+            let verdict = v.end_round(now);
+            if verdict.detected {
+                suspicions.push(Suspicion {
+                    segment: PathSegment::new(vec![r, rd]),
+                    interval,
+                    raised_by: rd,
+                });
+            }
+            verdicts.insert((r, rd), verdict);
+        }
+        (verdicts, suspicions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SpecCheck;
+    use fatih_sim::{Attack, Network};
+    use fatih_topology::builtin;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn whole_network_deployment_localizes_the_attacker() {
+        // A grid with several flows and real congestion; one interior
+        // router drops a victim flow. Only its interfaces are suspected.
+        let topo = builtin::grid(3, 3);
+        let mut ks = KeyStore::with_seed(6);
+        for r in topo.routers() {
+            ks.register(r.into());
+        }
+        let mut net = Network::new(topo, 6);
+        let ids: Vec<RouterId> = net.topology().routers().collect();
+        let routes = net.routes().clone();
+        let corner_a = net.topology().router_by_name("g0_0").unwrap();
+        let corner_b = net.topology().router_by_name("g2_2").unwrap();
+        let path = routes.path(corner_a, corner_b).unwrap();
+        let evil = path.routers()[path.len() / 2];
+
+        let mut deployment =
+            ChiDeployment::new(net.topology(), &ks, ChiConfig::default());
+        assert_eq!(deployment.interface_count(), net.topology().link_count());
+
+        let victim = net.add_cbr_flow(
+            corner_a,
+            corner_b,
+            1000,
+            SimTime::from_ms(2),
+            SimTime::ZERO,
+            None,
+        );
+        // Cross traffic.
+        net.add_cbr_flow(ids[1], ids[7], 900, SimTime::from_ms(3), SimTime::ZERO, None);
+        net.add_cbr_flow(ids[6], ids[2], 900, SimTime::from_ms(3), SimTime::ZERO, None);
+        net.set_attacks(evil, vec![Attack::drop_flows([victim], 0.3)]);
+
+        let end = SimTime::from_secs(5);
+        net.run_until(end, |ev| deployment.observe(ev));
+        let (verdicts, suspicions) = deployment.end_round(end);
+
+        assert!(!suspicions.is_empty(), "attack escaped the deployment");
+        let faulty: BTreeSet<RouterId> = [evil].into_iter().collect();
+        let check = SpecCheck::evaluate(&suspicions, &faulty);
+        assert!(check.is_complete());
+        assert!(check.is_accurate(2), "{:?}", check.false_positives);
+        // Every detecting interface belongs to the attacker.
+        for ((r, _), v) in &verdicts {
+            if v.detected {
+                assert_eq!(*r, evil, "innocent interface {r} flagged");
+            }
+        }
+    }
+
+    #[test]
+    fn clean_network_raises_nothing_anywhere() {
+        let topo = builtin::ring(6);
+        let mut ks = KeyStore::with_seed(9);
+        for r in topo.routers() {
+            ks.register(r.into());
+        }
+        let mut net = Network::new(topo, 9);
+        let ids: Vec<RouterId> = net.topology().routers().collect();
+        let mut deployment =
+            ChiDeployment::new(net.topology(), &ks, ChiConfig::default());
+        for i in 0..4 {
+            net.add_cbr_flow(
+                ids[i],
+                ids[(i + 3) % 6],
+                800,
+                SimTime::from_ms(2 + i as u64),
+                SimTime::ZERO,
+                None,
+            );
+        }
+        let end = SimTime::from_secs(5);
+        net.run_until(end, |ev| deployment.observe(ev));
+        let (_, suspicions) = deployment.end_round(end);
+        assert!(suspicions.is_empty(), "{suspicions:?}");
+    }
+}

@@ -1,0 +1,288 @@
+//! The Fatih system (dissertation §5.3): Protocol Πk+2 integrated with
+//! link-state routing and automatic response.
+//!
+//! The prototype's architecture (Figure 5.5) couples a coordinator that
+//! schedules τ-second validation rounds, per-segment traffic validators,
+//! and a routing daemon that — on an alert — recomputes routes excluding
+//! the suspected path segments after the OSPF delay/hold timers. This
+//! module reproduces that control loop over the simulator, producing the
+//! Figure 5.7 timeline: detection ≈ τ after the attack, new routing table
+//! ≈ OSPF-delay + hold later, traffic rerouted around the compromised
+//! router.
+
+use crate::pik2::{Pik2Config, Pik2Detector};
+use crate::spec::Suspicion;
+use fatih_crypto::KeyStore;
+use fatih_sim::{Network, SimTime};
+use fatih_topology::{AvoidingRoutes, Path, PathSegment, RouterId};
+use std::collections::BTreeSet;
+
+/// Fatih deployment parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FatihConfig {
+    /// Validation round length τ (the prototype used 5 s).
+    pub tau: SimTime,
+    /// OSPF SPF delay: time between a triggering alert and the routing
+    /// table computation (Zebra default 5 s, §5.3.2).
+    pub ospf_delay: SimTime,
+    /// OSPF SPF hold time between consecutive computations (default 10 s).
+    pub ospf_hold: SimTime,
+    /// The Πk+2 detector configuration.
+    pub detector: Pik2Config,
+}
+
+impl Default for FatihConfig {
+    fn default() -> Self {
+        Self {
+            tau: SimTime::from_secs(5),
+            ospf_delay: SimTime::from_secs(5),
+            ospf_hold: SimTime::from_secs(10),
+            detector: Pik2Config::default(),
+        }
+    }
+}
+
+/// One entry of the observable system timeline (what Figure 5.7 plots).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FatihEvent {
+    /// A validator flagged a path segment.
+    Detection {
+        /// When the suspicion was raised.
+        at: SimTime,
+        /// The raised suspicion.
+        suspicion: Suspicion,
+    },
+    /// The routing daemon installed a new table excluding the suspected
+    /// segments.
+    RouteUpdate {
+        /// Installation time.
+        at: SimTime,
+        /// Number of excluded segments at this point.
+        excluded: usize,
+    },
+}
+
+/// The Fatih control loop over a simulated network.
+#[derive(Debug)]
+pub struct FatihSystem {
+    cfg: FatihConfig,
+    keystore: KeyStore,
+    detector: Pik2Detector,
+    excluded: BTreeSet<PathSegment>,
+    pending_update: Option<SimTime>,
+    last_update: Option<SimTime>,
+    timeline: Vec<FatihEvent>,
+    next_round_end: SimTime,
+}
+
+impl FatihSystem {
+    /// Deploys Fatih over the network's stable routes.
+    pub fn new(net: &Network, keystore: KeyStore, cfg: FatihConfig) -> Self {
+        let detector = Pik2Detector::new(net.routes(), keystore.clone(), cfg.detector);
+        Self {
+            cfg,
+            keystore,
+            detector,
+            excluded: BTreeSet::new(),
+            pending_update: None,
+            last_update: None,
+            timeline: Vec::new(),
+            next_round_end: net.now() + cfg.tau,
+        }
+    }
+
+    /// The suspicions-driven exclusion set installed so far.
+    pub fn excluded_segments(&self) -> &BTreeSet<PathSegment> {
+        &self.excluded
+    }
+
+    /// The observable event timeline.
+    pub fn timeline(&self) -> &[FatihEvent] {
+        &self.timeline
+    }
+
+    /// Runs the system (simulation + validation rounds + response) until
+    /// `until`.
+    pub fn run(&mut self, net: &mut Network, until: SimTime) {
+        while net.now() < until {
+            let horizon = self.next_round_end.min(until).max(net.now());
+            // Apply a due routing update before resuming, at its due time.
+            if let Some(due) = self.pending_update {
+                if due <= horizon {
+                    let det = &mut self.detector;
+                    net.run_until(due, |ev| det.observe(ev));
+                    let segs: Vec<PathSegment> = self.excluded.iter().cloned().collect();
+                    net.apply_avoidance(&segs);
+                    // Re-deploy monitoring over the *new* routing fabric
+                    // (the coordinator "is kept abreast of routing changes
+                    // so that it always knows which path segments should
+                    // be monitored", §5.3.1).
+                    let av = AvoidingRoutes::new(net.topology(), segs.clone());
+                    let ids: Vec<RouterId> = net.topology().routers().collect();
+                    let mut paths: Vec<Path> = Vec::new();
+                    for &a in &ids {
+                        for &b in &ids {
+                            if a != b {
+                                if let Some(p) = av.path(a, b) {
+                                    paths.push(p);
+                                }
+                            }
+                        }
+                    }
+                    self.detector = Pik2Detector::with_paths(
+                        &paths,
+                        net.topology().router_count(),
+                        self.keystore.clone(),
+                        self.cfg.detector,
+                    );
+                    self.last_update = Some(due);
+                    self.pending_update = None;
+                    self.timeline.push(FatihEvent::RouteUpdate {
+                        at: due,
+                        excluded: segs.len(),
+                    });
+                    continue;
+                }
+            }
+            let det = &mut self.detector;
+            net.run_until(horizon, |ev| det.observe(ev));
+            if horizon == self.next_round_end {
+                let now = net.now();
+                let suspicions = self.detector.end_round(now);
+                let mut newly = false;
+                for s in suspicions {
+                    if self.excluded.insert(s.segment.clone()) {
+                        newly = true;
+                        self.timeline.push(FatihEvent::Detection {
+                            at: now,
+                            suspicion: s,
+                        });
+                    }
+                }
+                if newly && self.pending_update.is_none() {
+                    // SPF delay, respecting the hold timer.
+                    let mut due = now + self.cfg.ospf_delay;
+                    if let Some(last) = self.last_update {
+                        due = due.max(last + self.cfg.ospf_hold);
+                    }
+                    self.pending_update = Some(due);
+                }
+                self.next_round_end = now + self.cfg.tau;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fatih_sim::{Attack, TapEvent, VictimFilter};
+    use fatih_topology::builtin;
+
+    /// The Figure 5.7 scenario, compressed: traffic across Abilene, the
+    /// Kansas City router compromised mid-run, Fatih detects and reroutes.
+    #[test]
+    fn abilene_attack_detected_and_rerouted() {
+        let topo = builtin::abilene();
+        let mut ks = KeyStore::with_seed(1);
+        for r in topo.routers() {
+            ks.register(r.into());
+        }
+        let sun = topo.router_by_name("Sunnyvale").unwrap();
+        let ny = topo.router_by_name("NewYork").unwrap();
+        let kc = topo.router_by_name("KansasCity").unwrap();
+
+        let mut net = Network::new(topo, 7);
+        // Steady coast-to-coast traffic (through Kansas City).
+        net.add_cbr_flow(sun, ny, 1000, SimTime::from_ms(5), SimTime::ZERO, None);
+        net.add_cbr_flow(ny, sun, 1000, SimTime::from_ms(7), SimTime::ZERO, None);
+
+        let mut system = FatihSystem::new(&net, ks, FatihConfig::default());
+
+        // Clean period: no detections.
+        system.run(&mut net, SimTime::from_secs(20));
+        assert!(system.timeline().is_empty(), "{:?}", system.timeline());
+
+        // Compromise Kansas City: drop 20% of transit traffic.
+        net.set_attacks(
+            kc,
+            vec![Attack {
+                victims: VictimFilter::all(),
+                kind: fatih_sim::AttackKind::Drop { fraction: 0.2 },
+            }],
+        );
+        system.run(&mut net, SimTime::from_secs(60));
+
+        // Detections exist, and a route update followed.
+        let detections: Vec<&FatihEvent> = system
+            .timeline()
+            .iter()
+            .filter(|e| matches!(e, FatihEvent::Detection { .. }))
+            .collect();
+        assert!(!detections.is_empty(), "attack never detected");
+        // Every excluded segment contains Kansas City (accuracy).
+        for seg in system.excluded_segments() {
+            assert!(
+                seg.contains(kc),
+                "excluded segment {seg} does not contain the faulty router"
+            );
+        }
+        let update_at = system.timeline().iter().find_map(|e| match e {
+            FatihEvent::RouteUpdate { at, .. } => Some(*at),
+            _ => None,
+        });
+        let update_at = update_at.expect("route update installed");
+        // Detection at the end of the round containing the attack; update
+        // one SPF delay later.
+        let first_detection = match detections[0] {
+            FatihEvent::Detection { at, .. } => *at,
+            _ => unreachable!(),
+        };
+        assert!(first_detection >= SimTime::from_secs(20));
+        assert!(update_at.since(first_detection) >= SimTime::from_ms(4_999));
+
+        // After the update, traffic no longer transits Kansas City.
+        let mut via_kc_after = 0;
+        net.run_until(net.now() + SimTime::from_secs(10), |ev| {
+            if let TapEvent::Arrived { router, .. } = ev {
+                if *router == kc {
+                    via_kc_after += 1;
+                }
+            }
+        });
+        assert_eq!(via_kc_after, 0, "traffic still transits the compromised router");
+    }
+
+    #[test]
+    fn hold_timer_batches_updates() {
+        let topo = builtin::line(5);
+        let ids: Vec<_> = (0..5)
+            .map(|i| topo.router_by_name(&format!("n{i}")).unwrap())
+            .collect();
+        let mut ks = KeyStore::with_seed(2);
+        for r in topo.routers() {
+            ks.register(r.into());
+        }
+        let mut net = Network::new(topo, 3);
+        let flow =
+            net.add_cbr_flow(ids[0], ids[4], 1000, SimTime::from_ms(2), SimTime::ZERO, None);
+        net.set_attacks(ids[2], vec![Attack::drop_flows([flow], 0.3)]);
+        let mut system = FatihSystem::new(&net, ks, FatihConfig::default());
+        system.run(&mut net, SimTime::from_secs(40));
+        let updates: Vec<SimTime> = system
+            .timeline()
+            .iter()
+            .filter_map(|e| match e {
+                FatihEvent::RouteUpdate { at, .. } => Some(*at),
+                _ => None,
+            })
+            .collect();
+        assert!(!updates.is_empty());
+        for w in updates.windows(2) {
+            assert!(
+                w[1].since(w[0]) >= SimTime::from_secs(10),
+                "updates violate the hold timer: {updates:?}"
+            );
+        }
+    }
+}

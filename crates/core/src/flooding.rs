@@ -1,0 +1,241 @@
+//! Robust flooding (dissertation §3.7 / Perlman): delivering a signed
+//! update to every correctly-operating router despite Byzantine nodes.
+//!
+//! Perlman's thesis introduced robust flooding as the substrate for
+//! distributing link-state packets and public keys; the dissertation's
+//! detection protocols inherit it as the "reliable broadcast … done as
+//! part of the LSA distribution of the link state protocol" (§5.1.1,
+//! §5.2.1) that carries fault announcements. The guarantee rests on the
+//! *good path* assumption (§2.1.3): any two correct routers are connected
+//! by a path of correct routers, so a flood from a correct origin reaches
+//! every correct router no matter what the faulty ones do — they can
+//! drop, or tamper (tampering is caught by the origin's signature), but
+//! they cannot stand between all correct paths.
+
+use fatih_crypto::{KeyStore, Signature};
+use fatih_topology::{RouterId, Topology};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Behaviour of a router during a flood.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FloodBehavior {
+    /// Verify, accept, relay to all neighbours.
+    Correct,
+    /// Accept nothing, relay nothing (black hole).
+    Drop,
+    /// Relay a *modified* payload (the signature check at receivers
+    /// rejects it, so this degenerates to Drop plus noise).
+    Tamper,
+}
+
+/// Result of one flood.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FloodOutcome {
+    /// Correct routers that accepted the (verified) update.
+    pub accepted: BTreeSet<RouterId>,
+    /// Count of forged/tampered copies rejected by signature checks.
+    pub rejected_forgeries: u64,
+}
+
+/// Floods `payload` from `origin` over the topology. `behaviors` assigns
+/// faulty behaviour (missing routers are correct). Returns who accepted.
+///
+/// # Panics
+///
+/// Panics if `origin` carries a faulty behaviour (a faulty origin is a
+/// different problem — its updates are its own; see §2.4.2 on faulty
+/// raisers) or is not registered with the key store.
+pub fn robust_flood(
+    topo: &Topology,
+    keystore: &KeyStore,
+    origin: RouterId,
+    payload: &[u8],
+    behaviors: &BTreeMap<RouterId, FloodBehavior>,
+) -> FloodOutcome {
+    assert!(
+        !matches!(
+            behaviors.get(&origin),
+            Some(FloodBehavior::Drop | FloodBehavior::Tamper)
+        ),
+        "origin must be correct for this flood's guarantee"
+    );
+    let behavior = |r: RouterId| {
+        behaviors
+            .get(&r)
+            .copied()
+            .unwrap_or(FloodBehavior::Correct)
+    };
+
+    // Message = (origin, payload, signature). Tampered copies carry a
+    // payload the signature doesn't cover.
+    let genuine: Signature = keystore.sign(origin.into(), payload);
+
+    let mut accepted: BTreeSet<RouterId> = BTreeSet::new();
+    let mut rejected = 0u64;
+    let mut queue: VecDeque<(RouterId, Vec<u8>, Signature)> = VecDeque::new();
+    accepted.insert(origin);
+    for &(n, _) in topo.neighbors(origin) {
+        queue.push_back((n, payload.to_vec(), genuine));
+    }
+
+    let mut seen_valid: BTreeSet<RouterId> = [origin].into_iter().collect();
+    while let Some((at, body, sig)) = queue.pop_front() {
+        let valid = keystore.verify(origin.into(), &body, &sig);
+        if !valid {
+            rejected += 1;
+            continue;
+        }
+        match behavior(at) {
+            FloodBehavior::Correct => {
+                if !seen_valid.insert(at) {
+                    continue; // already processed a valid copy
+                }
+                accepted.insert(at);
+                for &(n, _) in topo.neighbors(at) {
+                    queue.push_back((n, body.clone(), sig));
+                }
+            }
+            FloodBehavior::Drop => {}
+            FloodBehavior::Tamper => {
+                if !seen_valid.insert(at) {
+                    continue;
+                }
+                // Forward a corrupted copy to everyone.
+                let mut forged = body.clone();
+                forged.push(0xEE);
+                for &(n, _) in topo.neighbors(at) {
+                    queue.push_back((n, forged.clone(), sig));
+                }
+            }
+        }
+    }
+    FloodOutcome {
+        accepted,
+        rejected_forgeries: rejected,
+    }
+}
+
+/// Reference oracle: the correct routers reachable from `origin` through
+/// correct routers only — what the good-path condition promises the flood
+/// will cover.
+pub fn correct_reachable(
+    topo: &Topology,
+    origin: RouterId,
+    behaviors: &BTreeMap<RouterId, FloodBehavior>,
+) -> BTreeSet<RouterId> {
+    let faulty = |r: RouterId| {
+        matches!(
+            behaviors.get(&r),
+            Some(FloodBehavior::Drop | FloodBehavior::Tamper)
+        )
+    };
+    let mut seen: BTreeSet<RouterId> = [origin].into_iter().collect();
+    let mut queue = VecDeque::from([origin]);
+    while let Some(at) = queue.pop_front() {
+        for &(n, _) in topo.neighbors(at) {
+            if !faulty(n) && seen.insert(n) {
+                queue.push_back(n);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fatih_topology::builtin;
+
+    fn keystore(topo: &Topology) -> KeyStore {
+        let mut ks = KeyStore::with_seed(8);
+        for r in topo.routers() {
+            ks.register(r.into());
+        }
+        ks
+    }
+
+    #[test]
+    fn clean_flood_reaches_everyone() {
+        let topo = builtin::grid(3, 3);
+        let ks = keystore(&topo);
+        let origin = topo.router_by_name("g0_0").unwrap();
+        let out = robust_flood(&topo, &ks, origin, b"lsa", &BTreeMap::new());
+        assert_eq!(out.accepted.len(), topo.router_count());
+        assert_eq!(out.rejected_forgeries, 0);
+    }
+
+    #[test]
+    fn droppers_cannot_partition_with_path_diversity() {
+        // A ring: one dropper leaves the other direction intact.
+        let topo = builtin::ring(8);
+        let ks = keystore(&topo);
+        let ids: Vec<RouterId> = topo.routers().collect();
+        let behaviors = BTreeMap::from([(ids[3], FloodBehavior::Drop)]);
+        let out = robust_flood(&topo, &ks, ids[0], b"lsa", &behaviors);
+        // Every correct router accepted.
+        for &r in &ids {
+            if r != ids[3] {
+                assert!(out.accepted.contains(&r), "{r} missed the flood");
+            }
+        }
+        assert!(!out.accepted.contains(&ids[3]));
+    }
+
+    #[test]
+    fn flood_coverage_equals_correct_reachability() {
+        // On a line a dropper *does* partition (no path diversity): the
+        // flood matches the oracle exactly, which is all the good-path
+        // assumption lets anyone promise.
+        let topo = builtin::line(6);
+        let ks = keystore(&topo);
+        let ids: Vec<RouterId> = topo.routers().collect();
+        let behaviors = BTreeMap::from([(ids[2], FloodBehavior::Drop)]);
+        let out = robust_flood(&topo, &ks, ids[0], b"lsa", &behaviors);
+        let oracle = correct_reachable(&topo, ids[0], &behaviors);
+        assert_eq!(out.accepted, oracle);
+        assert!(!out.accepted.contains(&ids[4]), "partitioned side reached?!");
+    }
+
+    #[test]
+    fn tampered_copies_are_rejected_everywhere() {
+        let topo = builtin::ring(6);
+        let ks = keystore(&topo);
+        let ids: Vec<RouterId> = topo.routers().collect();
+        let behaviors = BTreeMap::from([(ids[1], FloodBehavior::Tamper)]);
+        let out = robust_flood(&topo, &ks, ids[0], b"lsa", &behaviors);
+        // All correct routers still accept (the other ring direction), and
+        // at least one forgery was seen and rejected.
+        assert_eq!(out.accepted.len(), topo.router_count() - 1);
+        assert!(out.rejected_forgeries > 0);
+    }
+
+    #[test]
+    fn random_graphs_match_the_oracle() {
+        for seed in 0..10u64 {
+            let topo = builtin::random_connected(12, 6, seed);
+            let ks = keystore(&topo);
+            let ids: Vec<RouterId> = topo.routers().collect();
+            let behaviors = BTreeMap::from([
+                (ids[3], FloodBehavior::Drop),
+                (ids[7], FloodBehavior::Tamper),
+            ]);
+            let origin = ids[0];
+            if behaviors.contains_key(&origin) {
+                continue;
+            }
+            let out = robust_flood(&topo, &ks, origin, b"x", &behaviors);
+            let oracle = correct_reachable(&topo, origin, &behaviors);
+            assert_eq!(out.accepted, oracle, "seed {seed}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "origin must be correct")]
+    fn faulty_origin_rejected() {
+        let topo = builtin::line(3);
+        let ks = keystore(&topo);
+        let ids: Vec<RouterId> = topo.routers().collect();
+        let behaviors = BTreeMap::from([(ids[0], FloodBehavior::Drop)]);
+        let _ = robust_flood(&topo, &ks, ids[0], b"x", &behaviors);
+    }
+}

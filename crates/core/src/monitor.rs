@@ -1,0 +1,540 @@
+//! Per-segment traffic monitoring: building `info(r, π, τ)` from what each
+//! router locally observes.
+//!
+//! Each router r monitors the set `P_r` of path segments (§5.1/§5.2). For a
+//! segment π, a router that is not π's sink records the packets it
+//! *forwards* to its successor in π; the sink records the packets it
+//! *receives* from its predecessor. A packet belongs to π's traffic when
+//! its (predictable, §4.1) route contains π as a contiguous subsequence.
+//!
+//! The same machinery serves Protocol Π2 (every member records) and
+//! Protocol Πk+2 (only the two ends record, optionally subsampling with a
+//! secret trajectory-sampling pattern, §5.2.1).
+
+use fatih_crypto::{Fingerprint, KeyStore, UhashKey};
+use fatih_sim::{Packet, SimTime, TapEvent};
+use fatih_topology::{Path, PathSegment, RouterId, Routes};
+use fatih_validation::sampling::SamplingPattern;
+use fatih_validation::summary::{ContentSummary, FlowCounter, OrderedSummary};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// One recorded packet observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReportEntry {
+    /// Keyed packet fingerprint.
+    pub fingerprint: Fingerprint,
+    /// Packet size in bytes.
+    pub size: u32,
+    /// Local observation time.
+    pub time: SimTime,
+}
+
+/// One router's traffic record for one segment, in forwarding order: the
+/// concrete `info(r, π, τ)`.
+///
+/// Entries carry their observation time so validation can restrict itself
+/// to *mature* packets — ones old enough that every downstream recorder
+/// must have seen them if they were forwarded — which is how the protocols
+/// avoid judging packets still in flight at a round boundary (the skew
+/// tolerance of §5.3.1).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Report {
+    /// Observations, in order.
+    pub entries: Vec<ReportEntry>,
+}
+
+impl Report {
+    /// Number of packets recorded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries observed at or before `cutoff`.
+    pub fn mature(&self, cutoff: SimTime) -> Report {
+        Report {
+            entries: self
+                .entries
+                .iter()
+                .copied()
+                .filter(|e| e.time <= cutoff)
+                .collect(),
+        }
+    }
+
+    /// Removes entries whose fingerprint is in `fps` (round compaction).
+    pub fn compact(&mut self, fps: &BTreeSet<Fingerprint>) {
+        self.entries.retain(|e| !fps.contains(&e.fingerprint));
+    }
+
+    /// Conservation-of-flow view.
+    pub fn to_flow(&self) -> FlowCounter {
+        let mut c = FlowCounter::default();
+        for e in &self.entries {
+            c.observe(e.size as u64);
+        }
+        c
+    }
+
+    /// Conservation-of-content view.
+    pub fn to_content(&self) -> ContentSummary {
+        let mut s = ContentSummary::default();
+        for e in &self.entries {
+            s.observe(e.fingerprint, e.size as u64);
+        }
+        s
+    }
+
+    /// Conservation-of-order view.
+    pub fn to_ordered(&self) -> OrderedSummary {
+        let mut s = OrderedSummary::default();
+        for e in &self.entries {
+            s.observe(e.fingerprint, e.size as u64);
+        }
+        s
+    }
+
+    /// Canonical bytes for signing/MACing.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.entries.len() * 20);
+        out.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
+        for e in &self.entries {
+            out.extend_from_slice(&e.fingerprint.value().to_le_bytes());
+            out.extend_from_slice(&e.size.to_le_bytes());
+            out.extend_from_slice(&e.time.as_ns().to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes [`encode`](Self::encode)'s output; `None` on malformed
+    /// input (a garbled report from a protocol-faulty router).
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 8 {
+            return None;
+        }
+        let n = u64::from_le_bytes(bytes[..8].try_into().ok()?) as usize;
+        if bytes.len() != 8 + n * 20 {
+            return None;
+        }
+        let mut entries = Vec::with_capacity(n);
+        for i in 0..n {
+            let off = 8 + i * 20;
+            let fp = u64::from_le_bytes(bytes[off..off + 8].try_into().ok()?);
+            let size = u32::from_le_bytes(bytes[off + 8..off + 12].try_into().ok()?);
+            let time = u64::from_le_bytes(bytes[off + 12..off + 20].try_into().ok()?);
+            entries.push(ReportEntry {
+                fingerprint: Fingerprint::new(fp),
+                size,
+                time: SimTime::from_ns(time),
+            });
+        }
+        Some(Self { entries })
+    }
+}
+
+/// A precomputed (source, destination) → path oracle: the global routing
+/// view every router holds under a link-state protocol (§4.1).
+#[derive(Debug, Clone, Default)]
+pub struct PathOracle {
+    paths: HashMap<(RouterId, RouterId), Path>,
+}
+
+impl PathOracle {
+    /// Builds the oracle from stable link-state routes.
+    pub fn from_routes(routes: &Routes) -> Self {
+        Self::from_paths(routes.all_paths())
+    }
+
+    /// Builds the oracle from an explicit path set (e.g. the avoidance
+    /// routes installed by the response).
+    pub fn from_paths<I: IntoIterator<Item = Path>>(paths: I) -> Self {
+        let mut map = HashMap::new();
+        for p in paths {
+            map.insert((p.source(), p.sink()), p);
+        }
+        Self { paths: map }
+    }
+
+    /// Overrides one pair's path (mirrors the engine's policy-routing
+    /// overrides after a response).
+    pub fn set(&mut self, path: Path) {
+        self.paths.insert((path.source(), path.sink()), path);
+    }
+
+    /// The routed path of a (source, destination) pair.
+    pub fn path(&self, src: RouterId, dst: RouterId) -> Option<&Path> {
+        self.paths.get(&(src, dst))
+    }
+
+    fn packet_traverses(&self, packet: &Packet, seg: &PathSegment) -> bool {
+        self.path(packet.src, packet.dst)
+            .map(|p| p.contains_segment(seg.routers()))
+            .unwrap_or(false)
+    }
+}
+
+/// Which members of each segment record traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonitorMode {
+    /// Every member records (Protocol Π2).
+    AllMembers,
+    /// Only the two end routers record (Protocol Πk+2).
+    EndsOnly,
+}
+
+/// Key for one (router, segment) record.
+type Slot = (RouterId, usize);
+
+/// Monitors a set of path segments, accumulating [`Report`]s per
+/// (router, segment) per round.
+#[derive(Debug)]
+pub struct SegmentMonitorSet {
+    segments: Vec<PathSegment>,
+    oracle: PathOracle,
+    keys: Vec<UhashKey>,
+    sampling: Option<Vec<SamplingPattern>>,
+    /// (router, its successor in segment) → segments where the router
+    /// records on forward.
+    forward_index: HashMap<(RouterId, RouterId), Vec<usize>>,
+    /// (sink, its predecessor) → segments where the sink records on
+    /// arrival.
+    arrival_index: HashMap<(RouterId, RouterId), Vec<usize>>,
+    data: BTreeMap<Slot, Report>,
+}
+
+impl SegmentMonitorSet {
+    /// Builds monitors for `segments`. Fingerprint keys are derived per
+    /// segment from the key store (shared by exactly the recording
+    /// routers); when `sampling_rate` is set, each segment's recorders
+    /// subsample with a secret pattern under that segment's key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sampling rate outside `(0, 1]` is given.
+    pub fn new(
+        segments: Vec<PathSegment>,
+        oracle: PathOracle,
+        keystore: &KeyStore,
+        mode: MonitorMode,
+        sampling_rate: Option<f64>,
+    ) -> Self {
+        let keys: Vec<UhashKey> = segments
+            .iter()
+            .map(|s| keystore.segment_uhash_key(s.stable_id()))
+            .collect();
+        let sampling = sampling_rate.map(|rate| {
+            keys.iter()
+                .map(|k| SamplingPattern::new(*k, rate))
+                .collect()
+        });
+        let mut forward_index: HashMap<(RouterId, RouterId), Vec<usize>> = HashMap::new();
+        let mut arrival_index: HashMap<(RouterId, RouterId), Vec<usize>> = HashMap::new();
+        for (i, seg) in segments.iter().enumerate() {
+            let routers = seg.routers();
+            match mode {
+                MonitorMode::AllMembers => {
+                    for w in routers.windows(2) {
+                        forward_index.entry((w[0], w[1])).or_default().push(i);
+                    }
+                }
+                MonitorMode::EndsOnly => {
+                    forward_index
+                        .entry((routers[0], routers[1]))
+                        .or_default()
+                        .push(i);
+                }
+            }
+            let n = routers.len();
+            arrival_index
+                .entry((routers[n - 1], routers[n - 2]))
+                .or_default()
+                .push(i);
+        }
+        Self {
+            segments,
+            oracle,
+            keys,
+            sampling,
+            forward_index,
+            arrival_index,
+            data: BTreeMap::new(),
+        }
+    }
+
+    /// The monitored segments.
+    pub fn segments(&self) -> &[PathSegment] {
+        &self.segments
+    }
+
+    /// Feeds one simulator observation.
+    pub fn observe(&mut self, ev: &TapEvent) {
+        match ev {
+            TapEvent::Enqueued {
+                router,
+                next_hop,
+                packet,
+                time,
+                ..
+            } => {
+                self.record((*router, *next_hop), packet, *time, true);
+            }
+            TapEvent::Arrived {
+                router,
+                from: Some(from),
+                packet,
+                time,
+            } => {
+                self.record((*router, *from), packet, *time, false);
+            }
+            _ => {}
+        }
+    }
+
+    fn record(&mut self, edge: (RouterId, RouterId), packet: &Packet, time: SimTime, forward: bool) {
+        let index = if forward {
+            &self.forward_index
+        } else {
+            &self.arrival_index
+        };
+        let Some(seg_ids) = index.get(&edge) else {
+            return;
+        };
+        for &i in seg_ids {
+            let seg = &self.segments[i];
+            if !self.oracle.packet_traverses(packet, seg) {
+                continue;
+            }
+            let fp = packet.fingerprint(&self.keys[i]);
+            if let Some(patterns) = &self.sampling {
+                if !patterns[i].samples_fingerprint(fp) {
+                    continue;
+                }
+            }
+            self.data
+                .entry((edge.0, i))
+                .or_default()
+                .entries
+                .push(ReportEntry {
+                    fingerprint: fp,
+                    size: packet.size,
+                    time,
+                });
+        }
+    }
+
+    /// The cumulative report of `router` for segment index `i` (empty if
+    /// it saw nothing since the last compaction).
+    pub fn report(&self, router: RouterId, i: usize) -> Report {
+        self.data
+            .get(&(router, i))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Whether any record exists (for tests).
+    pub fn is_idle(&self) -> bool {
+        self.data.values().all(Report::is_empty)
+    }
+
+    /// Removes the given fingerprints from **every** member record of
+    /// segment `i`: called once a packet is mature end-to-end (seen or
+    /// judged by all recorders), so it is never re-validated.
+    pub fn compact_segment(&mut self, i: usize, fps: &BTreeSet<Fingerprint>) {
+        if fps.is_empty() {
+            return;
+        }
+        for ((_, seg), report) in self.data.iter_mut() {
+            if *seg == i {
+                report.compact(fps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fatih_sim::{Network, SimTime};
+    use fatih_topology::builtin;
+
+    fn setup_line4() -> (Network, Vec<RouterId>) {
+        let topo = builtin::line(4);
+        let ids: Vec<RouterId> = (0..4)
+            .map(|i| topo.router_by_name(&format!("n{i}")).unwrap())
+            .collect();
+        (Network::new(topo, 1), ids)
+    }
+
+    fn keystore(n: u32) -> KeyStore {
+        let mut ks = KeyStore::with_seed(5);
+        for i in 0..n {
+            ks.register(i);
+        }
+        ks
+    }
+
+    #[test]
+    fn report_encode_decode_round_trip() {
+        let r = Report {
+            entries: vec![
+                ReportEntry {
+                    fingerprint: Fingerprint::new(1),
+                    size: 100,
+                    time: SimTime::from_ms(1),
+                },
+                ReportEntry {
+                    fingerprint: Fingerprint::new(9),
+                    size: 40,
+                    time: SimTime::from_ms(2),
+                },
+            ],
+        };
+        assert_eq!(Report::decode(&r.encode()), Some(r.clone()));
+        assert_eq!(Report::decode(b"junk"), None);
+        let mut garbled = r.encode();
+        garbled.pop();
+        assert_eq!(Report::decode(&garbled), None);
+    }
+
+    #[test]
+    fn members_record_consistently_on_clean_path() {
+        let (mut net, ids) = setup_line4();
+        let seg = PathSegment::new(vec![ids[0], ids[1], ids[2], ids[3]]);
+        let oracle = PathOracle::from_routes(net.routes());
+        let ks = keystore(4);
+        let mut mon = SegmentMonitorSet::new(
+            vec![seg],
+            oracle,
+            &ks,
+            MonitorMode::AllMembers,
+            None,
+        );
+        net.add_cbr_flow(
+            ids[0],
+            ids[3],
+            1000,
+            SimTime::from_ms(1),
+            SimTime::ZERO,
+            Some(SimTime::from_ms(20)),
+        );
+        net.run_until(SimTime::from_secs(1), |ev| mon.observe(ev));
+        // Forwarders 0,1,2 and sink 3 all saw the same 20 packets.
+        for &r in &ids {
+            let rep = mon.report(r, 0);
+            assert_eq!(rep.len(), 20, "router {r}");
+        }
+        // And with identical fingerprints.
+        let a = mon.report(ids[0], 0);
+        let d = mon.report(ids[3], 0);
+        assert_eq!(a.to_content(), d.to_content());
+    }
+
+    #[test]
+    fn ends_only_mode_records_at_ends() {
+        let (mut net, ids) = setup_line4();
+        let seg = PathSegment::new(vec![ids[0], ids[1], ids[2]]);
+        let oracle = PathOracle::from_routes(net.routes());
+        let ks = keystore(4);
+        let mut mon =
+            SegmentMonitorSet::new(vec![seg], oracle, &ks, MonitorMode::EndsOnly, None);
+        net.add_cbr_flow(
+            ids[0],
+            ids[3],
+            500,
+            SimTime::from_ms(1),
+            SimTime::ZERO,
+            Some(SimTime::from_ms(10)),
+        );
+        net.run_until(SimTime::from_secs(1), |ev| mon.observe(ev));
+        assert_eq!(mon.report(ids[0], 0).len(), 10);
+        assert_eq!(mon.report(ids[2], 0).len(), 10);
+        assert_eq!(mon.report(ids[1], 0).len(), 0, "interior must not record");
+    }
+
+    #[test]
+    fn off_segment_traffic_ignored() {
+        let (mut net, ids) = setup_line4();
+        // Monitor ⟨n1, n2, n3⟩ but send traffic only n0 → n1 (never enters).
+        let seg = PathSegment::new(vec![ids[1], ids[2], ids[3]]);
+        let oracle = PathOracle::from_routes(net.routes());
+        let ks = keystore(4);
+        let mut mon =
+            SegmentMonitorSet::new(vec![seg], oracle, &ks, MonitorMode::AllMembers, None);
+        net.add_cbr_flow(
+            ids[0],
+            ids[1],
+            500,
+            SimTime::from_ms(1),
+            SimTime::ZERO,
+            Some(SimTime::from_ms(10)),
+        );
+        net.run_until(SimTime::from_secs(1), |ev| mon.observe(ev));
+        assert!(mon.is_idle());
+    }
+
+    #[test]
+    fn dropped_packets_visible_as_report_difference() {
+        let (mut net, ids) = setup_line4();
+        let seg = PathSegment::new(vec![ids[0], ids[1], ids[2], ids[3]]);
+        let oracle = PathOracle::from_routes(net.routes());
+        let ks = keystore(4);
+        let mut mon = SegmentMonitorSet::new(
+            vec![seg],
+            oracle,
+            &ks,
+            MonitorMode::AllMembers,
+            None,
+        );
+        let flow = net.add_cbr_flow(
+            ids[0],
+            ids[3],
+            1000,
+            SimTime::from_ms(1),
+            SimTime::ZERO,
+            Some(SimTime::from_ms(100)),
+        );
+        // n2 drops half the victim flow.
+        net.set_attacks(ids[2], vec![fatih_sim::Attack::drop_flows([flow], 0.5)]);
+        net.run_until(SimTime::from_secs(1), |ev| mon.observe(ev));
+        let up = mon.report(ids[1], 0); // what n1 forwarded to n2
+        let down = mon.report(ids[2], 0); // what n2 forwarded to n3
+        assert_eq!(up.len(), 100);
+        assert!(down.len() < 80, "expected heavy loss, got {}", down.len());
+        let verdict =
+            fatih_validation::tv_content(&up.to_content(), &down.to_content());
+        assert_eq!(verdict.lost.len(), 100 - down.len());
+        assert!(verdict.fabricated.is_empty());
+    }
+
+    #[test]
+    fn sampling_records_subset_consistently_at_both_ends() {
+        let (mut net, ids) = setup_line4();
+        let seg = PathSegment::new(vec![ids[0], ids[1], ids[2], ids[3]]);
+        let oracle = PathOracle::from_routes(net.routes());
+        let ks = keystore(4);
+        let mut mon = SegmentMonitorSet::new(
+            vec![seg],
+            oracle,
+            &ks,
+            MonitorMode::EndsOnly,
+            Some(0.5),
+        );
+        net.add_cbr_flow(
+            ids[0],
+            ids[3],
+            1000,
+            SimTime::from_ms(1),
+            SimTime::ZERO,
+            Some(SimTime::from_ms(200)),
+        );
+        net.run_until(SimTime::from_secs(1), |ev| mon.observe(ev));
+        let a = mon.report(ids[0], 0);
+        let d = mon.report(ids[3], 0);
+        assert_eq!(a.to_content(), d.to_content(), "sampled sets must agree");
+        assert!(a.len() > 50 && a.len() < 150, "≈50% of 200, got {}", a.len());
+    }
+}

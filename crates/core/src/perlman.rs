@@ -1,0 +1,172 @@
+//! Perlman's Byzantine-robust data routing (dissertation §3.7):
+//! robustness *without* detection, by forwarding every packet over
+//! `f + 1` vertex-disjoint paths under `TotalFault(f)`.
+//!
+//! If at most `f` routers are faulty and the copies travel internally
+//! disjoint paths, some copy meets no faulty router at all — delivery is
+//! guaranteed, at the price of (f+1)-fold traffic. The dissertation uses
+//! this as the robustness yardstick its detection protocols avoid paying
+//! ("Byzantine robustness does not imply Byzantine detection", §3.7
+//! footnote): nothing here tells anyone *which* router misbehaved.
+
+use fatih_topology::disjoint::vertex_disjoint_paths;
+use fatih_topology::{Path, RouterId, Topology};
+use std::collections::BTreeSet;
+
+/// Why robust forwarding could not be set up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsufficientDiversity {
+    /// Paths required (`f + 1`).
+    pub required: usize,
+    /// Internally-disjoint paths actually available.
+    pub available: usize,
+}
+
+impl std::fmt::Display for InsufficientDiversity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "needed {} vertex-disjoint paths but the topology offers {}",
+            self.required, self.available
+        )
+    }
+}
+
+impl std::error::Error for InsufficientDiversity {}
+
+/// A `TotalFault(f)`-robust forwarding plan: `f + 1` internally
+/// vertex-disjoint paths between a source and destination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RobustForwarding {
+    f: usize,
+    paths: Vec<Path>,
+}
+
+impl RobustForwarding {
+    /// Plans robust forwarding from `src` to `dst` tolerating `f` faulty
+    /// routers anywhere in the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InsufficientDiversity`] when fewer than `f + 1` disjoint
+    /// paths exist — the necessary-diversity condition of §2.1.3.
+    pub fn plan(
+        topo: &Topology,
+        src: RouterId,
+        dst: RouterId,
+        f: usize,
+    ) -> Result<Self, InsufficientDiversity> {
+        let paths = vertex_disjoint_paths(topo, src, dst, f + 1);
+        if paths.len() < f + 1 {
+            return Err(InsufficientDiversity {
+                required: f + 1,
+                available: paths.len(),
+            });
+        }
+        Ok(Self { f, paths })
+    }
+
+    /// The planned paths (exactly `f + 1`).
+    pub fn paths(&self) -> &[Path] {
+        &self.paths
+    }
+
+    /// The tolerated fault count.
+    pub fn tolerance(&self) -> usize {
+        self.f
+    }
+
+    /// Whether at least one copy survives the given faulty set — i.e. some
+    /// path's *interior* avoids every faulty router. Guaranteed true
+    /// whenever `faulty.len() ≤ f` and terminals are correct (§2.1.4).
+    pub fn survives(&self, faulty: &BTreeSet<RouterId>) -> bool {
+        self.paths.iter().any(|p| {
+            let r = p.routers();
+            r[1..r.len() - 1].iter().all(|x| !faulty.contains(x))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fatih_topology::builtin;
+
+    #[test]
+    fn ring_tolerates_one_fault() {
+        let topo = builtin::ring(8);
+        let ids: Vec<RouterId> = topo.routers().collect();
+        let plan = RobustForwarding::plan(&topo, ids[0], ids[4], 1).unwrap();
+        assert_eq!(plan.paths().len(), 2);
+        // Any single interior fault leaves a survivor.
+        for &evil in &ids {
+            if evil == ids[0] || evil == ids[4] {
+                continue;
+            }
+            assert!(plan.survives(&[evil].into_iter().collect()), "{evil}");
+        }
+    }
+
+    #[test]
+    fn line_cannot_tolerate_any_fault() {
+        let topo = builtin::line(5);
+        let ids: Vec<RouterId> = topo.routers().collect();
+        let err = RobustForwarding::plan(&topo, ids[0], ids[4], 1).unwrap_err();
+        assert_eq!(err.required, 2);
+        assert_eq!(err.available, 1);
+    }
+
+    #[test]
+    fn exhaustive_single_and_double_faults_on_a_grid() {
+        let topo = builtin::grid(3, 3);
+        let a = topo.router_by_name("g0_0").unwrap();
+        let b = topo.router_by_name("g2_2").unwrap();
+        // Corner-to-corner connectivity is 2: tolerate f = 1.
+        let plan = RobustForwarding::plan(&topo, a, b, 1).unwrap();
+        let ids: Vec<RouterId> = topo.routers().collect();
+        for &evil in &ids {
+            if evil == a || evil == b {
+                continue;
+            }
+            assert!(plan.survives(&[evil].into_iter().collect()), "{evil}");
+        }
+        // And f = 2 must be refused (vertex connectivity is 2).
+        assert!(RobustForwarding::plan(&topo, a, b, 2).is_err());
+    }
+
+    #[test]
+    fn robustness_holds_on_random_graphs_up_to_connectivity() {
+        for seed in 0..6u64 {
+            let topo = builtin::random_connected(9, 8, seed);
+            let ids: Vec<RouterId> = topo.routers().collect();
+            let (s, d) = (ids[0], ids[8]);
+            let k = fatih_topology::disjoint::vertex_connectivity(&topo, s, d);
+            if k < 2 {
+                continue;
+            }
+            let f = k - 1;
+            let plan = RobustForwarding::plan(&topo, s, d, f).unwrap();
+            // Every faulty set of size f drawn from interiors leaves a
+            // survivor (check all pairs when f ≥ 2; singletons otherwise).
+            let interiors: Vec<RouterId> = ids
+                .iter()
+                .copied()
+                .filter(|&r| r != s && r != d)
+                .collect();
+            if f == 1 {
+                for &x in &interiors {
+                    assert!(plan.survives(&[x].into_iter().collect()));
+                }
+            } else {
+                for (i, &x) in interiors.iter().enumerate() {
+                    for &y in &interiors[i + 1..] {
+                        let faulty: BTreeSet<RouterId> = [x, y].into_iter().collect();
+                        if faulty.len() <= f {
+                            assert!(plan.survives(&faulty), "seed {seed} {x},{y}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

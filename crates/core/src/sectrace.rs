@@ -1,0 +1,195 @@
+//! The SecTrace baseline (dissertation §3.6): Secure Traceroute — a
+//! source validates traffic hop by hop toward the destination, one
+//! intermediate router per round.
+//!
+//! §3.6's key criticism is reproduced here: the original attribution rule
+//! ("the previous round validated through the upstream neighbour, so
+//! blame the newest link") is **not accurate** — a faulty router that
+//! *waits* until the scan has validated past it can frame two correct
+//! downstream routers (Figure 3.7). The accuracy-preserving rule suspects
+//! the whole validated prefix, paying precision for soundness — exactly
+//! the trade-off the dissertation's own protocols formalize.
+
+/// How a failed validation round is attributed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Attribution {
+    /// Blame the link between the two most recent validation targets —
+    /// the original SecTrace rule, vulnerable to framing.
+    LastLink,
+    /// Suspect the entire validated prefix — accurate, precision = the
+    /// monitored path-segment length (the §2.4.2 "per path-segment ends"
+    /// semantics).
+    WholePrefix,
+}
+
+/// A traffic-faulty router with a timing strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanAttacker {
+    /// Its position on the path (interior: `1..n-1`).
+    pub position: usize,
+    /// The first scan round in which it corrupts traffic. A patient
+    /// attacker sets this past its own validation round (Figure 3.7's
+    /// "carefully choosing a time to start its attack").
+    pub start_round: usize,
+}
+
+/// Result of one full hop-by-hop scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanOutcome {
+    /// Round at which validation first failed (1-based; round i validates
+    /// the prefix `0..=i`), if any.
+    pub failed_round: Option<usize>,
+    /// Suspected window `(lo, hi)` of processor positions.
+    pub suspected: Option<(usize, usize)>,
+}
+
+impl ScanOutcome {
+    /// Whether the suspicion contains the attacker — the accuracy check.
+    pub fn accurate_for(&self, attacker: Option<ScanAttacker>) -> bool {
+        match (self.suspected, attacker) {
+            (None, _) => true, // no claim, no inaccuracy
+            (Some(_), None) => false,
+            (Some((lo, hi)), Some(a)) => lo <= a.position && a.position <= hi,
+        }
+    }
+}
+
+/// Runs the hop-by-hop scan over a path of `n` routers (source 0,
+/// destination n−1): round i (i = 1..n−1) validates the traffic between
+/// the source and router i. An active attacker strictly inside the
+/// validated prefix makes the round fail.
+///
+/// # Panics
+///
+/// Panics if `n < 3` or the attacker is not an interior router.
+pub fn scan(n: usize, attacker: Option<ScanAttacker>, attribution: Attribution) -> ScanOutcome {
+    assert!(n >= 3, "a scan needs at least one intermediate router");
+    if let Some(a) = attacker {
+        assert!(
+            a.position > 0 && a.position < n - 1,
+            "attacker must be an interior router"
+        );
+    }
+    for round in 1..n {
+        let failed = attacker.is_some_and(|a| round >= a.start_round && a.position < round);
+        if failed {
+            let suspected = match attribution {
+                Attribution::LastLink => Some((round - 1, round)),
+                Attribution::WholePrefix => Some((0, round)),
+            };
+            return ScanOutcome {
+                failed_round: Some(round),
+                suspected,
+            };
+        }
+    }
+    ScanOutcome {
+        failed_round: None,
+        suspected: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: usize = 6; // a — b — c — d — e — f
+
+    #[test]
+    fn honest_path_completes_silently() {
+        let out = scan(N, None, Attribution::LastLink);
+        assert_eq!(out.failed_round, None);
+        assert_eq!(out.suspected, None);
+        assert!(out.accurate_for(None));
+    }
+
+    #[test]
+    fn immediate_attacker_is_caught_by_both_rules() {
+        // Attacking from the start: the first failing round is the one
+        // just past the attacker, so even LastLink is accurate.
+        for pos in 1..N - 1 {
+            let a = ScanAttacker {
+                position: pos,
+                start_round: 0,
+            };
+            for attr in [Attribution::LastLink, Attribution::WholePrefix] {
+                let out = scan(N, Some(a), attr);
+                assert_eq!(out.failed_round, Some(pos + 1), "{attr:?}");
+                assert!(out.accurate_for(Some(a)), "{attr:?} at {pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn patient_attacker_frames_correct_routers_under_last_link() {
+        // Figure 3.7: b (position 1) stays clean until the source has
+        // validated through c, then corrupts — LastLink blames ⟨c, d⟩,
+        // both correct.
+        let b = ScanAttacker {
+            position: 1,
+            start_round: 3,
+        };
+        let out = scan(N, Some(b), Attribution::LastLink);
+        assert_eq!(out.failed_round, Some(3));
+        assert_eq!(out.suspected, Some((2, 3)));
+        assert!(
+            !out.accurate_for(Some(b)),
+            "the framing attack must defeat last-link attribution"
+        );
+    }
+
+    #[test]
+    fn whole_prefix_attribution_stays_accurate_against_patience() {
+        for pos in 1..N - 1 {
+            for start in 0..N + 2 {
+                let a = ScanAttacker {
+                    position: pos,
+                    start_round: start,
+                };
+                let out = scan(N, Some(a), Attribution::WholePrefix);
+                assert!(
+                    out.accurate_for(Some(a)),
+                    "pos {pos} start {start}: {out:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn attacker_that_never_activates_is_never_suspected() {
+        // start_round beyond the scan: nothing fails; also a demonstration
+        // of §3.6's "confine attacks to periods with no SecTrace activity".
+        let a = ScanAttacker {
+            position: 2,
+            start_round: N + 10,
+        };
+        let out = scan(N, Some(a), Attribution::WholePrefix);
+        assert_eq!(out.failed_round, None);
+    }
+
+    #[test]
+    fn precision_cost_of_the_sound_rule() {
+        let a = ScanAttacker {
+            position: 1,
+            start_round: 4,
+        };
+        let out = scan(N, Some(a), Attribution::WholePrefix);
+        let (lo, hi) = out.suspected.unwrap();
+        // Sound but imprecise: the suspicion spans the whole prefix.
+        assert_eq!((lo, hi), (0, 4));
+        assert!(out.accurate_for(Some(a)));
+    }
+
+    #[test]
+    #[should_panic(expected = "interior")]
+    fn terminal_attacker_rejected() {
+        let _ = scan(
+            4,
+            Some(ScanAttacker {
+                position: 0,
+                start_round: 0,
+            }),
+            Attribution::LastLink,
+        );
+    }
+}

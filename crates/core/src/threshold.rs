@@ -1,0 +1,259 @@
+//! The static-threshold baseline (dissertation §6.1.1).
+//!
+//! "Most traffic validation protocols … analyze aggregate traffic over some
+//! period of time … all of these systems employ a pre-defined threshold:
+//! too many dropped packets implies some router is compromised. However,
+//! this heuristic is fundamentally flawed: how does one choose the
+//! threshold?" — this detector exists to lose fairly against Protocol χ in
+//! the §6.4.3 comparison: it watches the same queue with the same
+//! observations and flags a round whenever the loss fraction exceeds a
+//! user-chosen constant.
+
+use fatih_crypto::{Fingerprint, KeyStore, UhashKey};
+use fatih_sim::{Packet, SimTime, TapEvent};
+use fatih_topology::{RouterId, Topology};
+use std::collections::{HashMap, HashSet};
+
+/// A static-threshold loss detector for one output interface, consuming
+/// the same neighbour observations as Protocol χ's validator.
+#[derive(Debug)]
+pub struct ThresholdDetector {
+    router: RouterId,
+    egress: RouterId,
+    key: UhashKey,
+    loss_fraction_threshold: f64,
+    in_delay_ns: HashMap<RouterId, u64>,
+    max_residence: SimTime,
+    entries: Vec<(Fingerprint, SimTime)>,
+    exits: HashSet<Fingerprint>,
+}
+
+/// One round's outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdVerdict {
+    /// Packets that should have crossed the interface.
+    pub offered: usize,
+    /// Packets observed downstream.
+    pub forwarded: usize,
+    /// Observed loss fraction.
+    pub loss_fraction: f64,
+    /// Whether the threshold fired.
+    pub detected: bool,
+}
+
+impl ThresholdDetector {
+    /// Builds the detector for queue `router → egress` with the given
+    /// loss-fraction threshold in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link does not exist or the threshold is out of range.
+    pub fn new(
+        topo: &Topology,
+        keystore: &KeyStore,
+        router: RouterId,
+        egress: RouterId,
+        loss_fraction_threshold: f64,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&loss_fraction_threshold),
+            "threshold must be a fraction"
+        );
+        let out = topo
+            .link(router, egress)
+            .unwrap_or_else(|| panic!("no link {router} -> {egress}"));
+        let mut in_delay_ns = HashMap::new();
+        for &(n, _) in topo.neighbors(router) {
+            if let Some(p) = topo.link(n, router) {
+                in_delay_ns.insert(n, p.delay_ns);
+            }
+        }
+        let drain_ns =
+            (out.queue_limit_bytes as u64 * 8).saturating_mul(1_000_000_000) / out.bandwidth_bps;
+        let seg_id = (u64::from(u32::from(router)) << 32) | u64::from(u32::from(egress));
+        Self {
+            router,
+            egress,
+            key: keystore.segment_uhash_key(seg_id),
+            loss_fraction_threshold,
+            in_delay_ns,
+            max_residence: SimTime::from_ns(2 * drain_ns + out.delay_ns)
+                + SimTime::from_ms(20),
+            entries: Vec::new(),
+            exits: HashSet::new(),
+        }
+    }
+
+    /// Feeds one simulator observation (same information set as
+    /// [`crate::chi::QueueValidator::observe`]).
+    pub fn observe(
+        &mut self,
+        ev: &TapEvent,
+        next_hop_of: impl Fn(&Packet) -> Option<RouterId>,
+    ) {
+        match ev {
+            TapEvent::Transmitted {
+                router: rs,
+                next_hop,
+                packet,
+                time,
+            } if *next_hop == self.router => {
+                if next_hop_of(packet) != Some(self.egress) {
+                    return;
+                }
+                let Some(&d) = self.in_delay_ns.get(rs) else {
+                    return;
+                };
+                self.entries
+                    .push((packet.fingerprint(&self.key), *time + SimTime::from_ns(d)));
+            }
+            TapEvent::Arrived {
+                router,
+                from: Some(from),
+                packet,
+                ..
+            } if *router == self.egress && *from == self.router => {
+                self.exits.insert(packet.fingerprint(&self.key));
+            }
+            _ => {}
+        }
+    }
+
+    /// Ends the round at `now`, judging only entries old enough that their
+    /// exits must have been seen.
+    pub fn end_round(&mut self, now: SimTime) -> ThresholdVerdict {
+        let cutoff = now.since(self.max_residence);
+        let entries = std::mem::take(&mut self.entries);
+        let (due, later): (Vec<_>, Vec<_>) =
+            entries.into_iter().partition(|&(_, t)| t <= cutoff);
+        self.entries = later;
+        let offered = due.len();
+        let mut forwarded = 0;
+        for (fp, _) in due {
+            if self.exits.remove(&fp) {
+                forwarded += 1;
+            }
+        }
+        let loss_fraction = if offered == 0 {
+            0.0
+        } else {
+            (offered - forwarded) as f64 / offered as f64
+        };
+        ThresholdVerdict {
+            offered,
+            forwarded,
+            loss_fraction,
+            detected: offered > 0 && loss_fraction > self.loss_fraction_threshold,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fatih_sim::{Attack, Network};
+    use fatih_topology::{builtin, LinkParams};
+
+    fn fixture(q_limit: u32) -> (Network, KeyStore, RouterId, RouterId) {
+        let topo = builtin::fan_in(
+            3,
+            LinkParams {
+                bandwidth_bps: 8_000_000,
+                queue_limit_bytes: q_limit,
+                ..LinkParams::default()
+            },
+        );
+        let mut ks = KeyStore::with_seed(4);
+        for r in topo.routers() {
+            ks.register(r.into());
+        }
+        let r = topo.router_by_name("r").unwrap();
+        let rd = topo.router_by_name("rd").unwrap();
+        (Network::new(topo, 3), ks, r, rd)
+    }
+
+    fn drive(net: &mut Network, det: &mut ThresholdDetector, until_secs: u64) -> ThresholdVerdict {
+        let routes = net.routes().clone();
+        let at = det.router;
+        let end = SimTime::from_secs(until_secs);
+        net.run_until(end, |ev| {
+            det.observe(ev, |p| {
+                routes.path(p.src, p.dst).and_then(|path| path.next_after(at))
+            })
+        });
+        det.end_round(end)
+    }
+
+    #[test]
+    fn congestion_trips_a_tight_threshold() {
+        // The unsoundness: a 1% threshold false-positives under plain
+        // congestion.
+        let (mut net, ks, r, rd) = fixture(8_000);
+        let mut det = ThresholdDetector::new(net.topology(), &ks, r, rd, 0.01);
+        for i in 0..3 {
+            let s = net.topology().router_by_name(&format!("s{i}")).unwrap();
+            net.add_cbr_flow(s, rd, 1000, SimTime::from_us(1100), SimTime::ZERO,
+                             Some(SimTime::from_secs(5)));
+        }
+        let v = drive(&mut net, &mut det, 7);
+        assert!(net.ground_truth().congestive_drops > 0);
+        assert!(v.detected, "no false positive at 1%: {v:?}");
+    }
+
+    #[test]
+    fn loose_threshold_misses_a_subtle_attack() {
+        // …while a threshold loose enough to absorb congestion (20%)
+        // misses a 5% targeted attack on an uncongested queue.
+        let (mut net, ks, r, rd) = fixture(64_000);
+        let mut det = ThresholdDetector::new(net.topology(), &ks, r, rd, 0.20);
+        let s0 = net.topology().router_by_name("s0").unwrap();
+        let flow = net.add_cbr_flow(
+            s0,
+            rd,
+            1000,
+            SimTime::from_ms(2),
+            SimTime::ZERO,
+            Some(SimTime::from_secs(5)),
+        );
+        net.set_attacks(r, vec![Attack::drop_flows([flow], 0.05)]);
+        let v = drive(&mut net, &mut det, 7);
+        assert!(net.ground_truth().malicious_drops > 0);
+        assert!(!v.detected, "20% threshold should sleep through 5%: {v:?}");
+        assert!(v.loss_fraction > 0.0);
+    }
+
+    #[test]
+    fn blatant_attack_is_caught() {
+        let (mut net, ks, r, rd) = fixture(64_000);
+        let mut det = ThresholdDetector::new(net.topology(), &ks, r, rd, 0.20);
+        let s0 = net.topology().router_by_name("s0").unwrap();
+        let flow = net.add_cbr_flow(
+            s0,
+            rd,
+            1000,
+            SimTime::from_ms(2),
+            SimTime::ZERO,
+            Some(SimTime::from_secs(5)),
+        );
+        net.set_attacks(r, vec![Attack::drop_flows([flow], 0.5)]);
+        let v = drive(&mut net, &mut det, 7);
+        assert!(v.detected);
+        assert!(v.loss_fraction > 0.3);
+    }
+
+    #[test]
+    fn idle_round_is_clean() {
+        let (mut net, ks, r, rd) = fixture(64_000);
+        let mut det = ThresholdDetector::new(net.topology(), &ks, r, rd, 0.0);
+        let v = drive(&mut net, &mut det, 1);
+        assert_eq!(v.offered, 0);
+        assert!(!v.detected);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn rejects_out_of_range_threshold() {
+        let (net, ks, r, rd) = fixture(64_000);
+        let _ = ThresholdDetector::new(net.topology(), &ks, r, rd, 1.5);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for the Dolev–Strong broadcast: agreement and validity
+//! under randomized faulty subsets and behaviours.
+
+use fatih_core::consensus::{dolev_strong, FaultyBehavior};
+use fatih_crypto::KeyStore;
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+fn keystore(n: u32) -> KeyStore {
+    let mut ks = KeyStore::with_seed(17);
+    for i in 0..n {
+        ks.register(i);
+    }
+    ks
+}
+
+fn behavior_strategy(n: u32) -> impl Strategy<Value = FaultyBehavior> {
+    prop_oneof![
+        Just(FaultyBehavior::Silent),
+        prop::collection::btree_set(0..n, 0..n as usize)
+            .prop_map(FaultyBehavior::SelectiveRelay),
+        (prop::collection::btree_set(0..n, 0..n as usize), any::<u8>()).prop_map(
+            |(to, alt)| FaultyBehavior::Equivocate {
+                alternate: vec![alt],
+                to,
+            }
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Agreement: with f ≥ |faulty| and f + 1 rounds, every correct
+    /// participant decides the same value — whatever the faulty subset
+    /// does, sender included.
+    #[test]
+    fn agreement_under_arbitrary_faults(
+        n in 3u32..8,
+        sender in 0u32..8,
+        faulty_ids in prop::collection::btree_set(0u32..8, 0..3),
+        behaviors in prop::collection::vec(behavior_strategy(8), 3),
+        value in prop::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let sender = sender % n;
+        let faulty_ids: BTreeSet<u32> =
+            faulty_ids.into_iter().filter(|&i| i < n).collect();
+        prop_assume!(faulty_ids.len() < n as usize); // at least one correct
+        let faulty: BTreeMap<u32, FaultyBehavior> = faulty_ids
+            .iter()
+            .zip(behaviors)
+            .map(|(&id, b)| (id, b))
+            .collect();
+        let f = faulty.len().max(1);
+        let participants: Vec<u32> = (0..n).collect();
+        let ks = keystore(n);
+        let decisions = dolev_strong(&ks, &participants, sender, &value, &faulty, f);
+
+        // All correct participants present and agreeing.
+        prop_assert_eq!(decisions.len(), n as usize - faulty.len());
+        let mut values: Vec<&Option<Vec<u8>>> = decisions.values().collect();
+        values.dedup();
+        prop_assert_eq!(values.len(), 1, "disagreement: {:?}", decisions);
+
+        // Validity: a correct sender's value is decided by everyone.
+        if !faulty.contains_key(&sender) {
+            for v in decisions.values() {
+                prop_assert_eq!(v.as_deref(), Some(&value[..]));
+            }
+        }
+    }
+
+    /// Forgery resistance: a relay cannot convince anyone of a value the
+    /// sender never signed — modeled by the sender being Silent: everyone
+    /// decides ⊥ regardless of the other faulty behaviours.
+    #[test]
+    fn silent_sender_never_yields_a_value(
+        n in 3u32..8,
+        extra_faulty in prop::collection::btree_set(1u32..8, 0..2),
+        behaviors in prop::collection::vec(behavior_strategy(8), 2),
+    ) {
+        let mut faulty: BTreeMap<u32, FaultyBehavior> =
+            BTreeMap::from([(0u32, FaultyBehavior::Silent)]);
+        for (&id, b) in extra_faulty.iter().zip(behaviors) {
+            if id < n {
+                faulty.insert(id, b);
+            }
+        }
+        prop_assume!(faulty.len() < n as usize);
+        let f = faulty.len();
+        let participants: Vec<u32> = (0..n).collect();
+        let ks = keystore(n);
+        let decisions = dolev_strong(&ks, &participants, 0, b"real", &faulty, f);
+        for (id, v) in &decisions {
+            prop_assert_eq!(v, &None, "participant {} decided a value", id);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! RFC 2104 HMAC over SHA-256.
+//!
+//! Message authentication codes are the workhorse of the detection
+//! protocols' key infrastructure (dissertation §2.1.5): with pairwise secret
+//! keys they authenticate traffic-summary exchanges (Protocol Πk+2), and
+//! with per-router broadcast keys they stand in for the digital signatures
+//! Protocol Π2's consensus requires (see `DESIGN.md`, substitution 3).
+
+use crate::sha256::{Digest, Sha256};
+
+const BLOCK_LEN: usize = 64;
+
+/// Computes `HMAC-SHA256(key, message)`.
+///
+/// Keys longer than the 64-byte block are first hashed, per RFC 2104.
+///
+/// # Examples
+///
+/// ```
+/// use fatih_crypto::hmac::hmac_sha256;
+/// // RFC 4231 test case 2:
+/// let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+/// assert_eq!(tag.to_hex(),
+///     "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+/// ```
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> Digest {
+    let mut key_block = [0u8; BLOCK_LEN];
+    if key.len() > BLOCK_LEN {
+        let hashed = Sha256::digest(key);
+        key_block[..32].copy_from_slice(hashed.as_ref());
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+
+    let mut ipad = [0x36u8; BLOCK_LEN];
+    let mut opad = [0x5cu8; BLOCK_LEN];
+    for i in 0..BLOCK_LEN {
+        ipad[i] ^= key_block[i];
+        opad[i] ^= key_block[i];
+    }
+
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(inner_digest.as_ref());
+    outer.finalize()
+}
+
+/// Constant-time-ish comparison of two MACs.
+///
+/// The simulator is single-process so timing side channels are moot, but the
+/// comparison is still written without early exit so the API is safe to lift
+/// into a real deployment.
+///
+/// # Examples
+///
+/// ```
+/// use fatih_crypto::hmac::{hmac_sha256, verify};
+/// let tag = hmac_sha256(b"k", b"m");
+/// assert!(verify(&tag, &hmac_sha256(b"k", b"m")));
+/// assert!(!verify(&tag, &hmac_sha256(b"k", b"m'")));
+/// ```
+pub fn verify(expected: &Digest, actual: &Digest) -> bool {
+    let mut diff = 0u8;
+    for (a, b) in expected.0.iter().zip(actual.0.iter()) {
+        diff |= a ^ b;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 4231 test vectors for HMAC-SHA256.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            tag.to_hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            tag.to_hex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        let tag = hmac_sha256(&key, &data);
+        assert_eq!(
+            tag.to_hex(),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = [0xaau8; 131];
+        let tag = hmac_sha256(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
+        assert_eq!(
+            tag.to_hex(),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_7_long_key_and_data() {
+        let key = [0xaau8; 131];
+        let tag = hmac_sha256(
+            &key,
+            b"This is a test using a larger than block-size key and a larger than block-size data. The key needs to be hashed before being used by the HMAC algorithm.",
+        );
+        assert_eq!(
+            tag.to_hex(),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+        );
+    }
+
+    #[test]
+    fn different_keys_give_different_tags() {
+        let t1 = hmac_sha256(b"key-one", b"msg");
+        let t2 = hmac_sha256(b"key-two", b"msg");
+        assert_ne!(t1, t2);
+        assert!(!verify(&t1, &t2));
+    }
+}

@@ -1,0 +1,265 @@
+//! Simulated key infrastructure.
+//!
+//! Dissertation §2.1.5 assumes "the administrative ability to assign and
+//! distribute shared keys ... or a public key infrastructure". The protocols
+//! need two abstractions from it:
+//!
+//! 1. **Attributable authentication** (`[x]_i` — "x digitally signed by i",
+//!    Figure 5.1): any router can verify that router *i* produced a message.
+//!    We realize this as HMAC-SHA256 under a per-router broadcast key held
+//!    by the key authority and all verifiers. In-process this provides
+//!    exactly the unforgeability-to-third-parties the protocols rely on
+//!    (a compromised router cannot forge another router's tag because the
+//!    simulator never hands it other routers' keys).
+//! 2. **Pairwise secrets** for the summary exchange of Protocol Πk+2 and
+//!    for per-segment UHASH fingerprint keys.
+//!
+//! See `DESIGN.md`, substitution 3, for the argument that this preserves the
+//! paper's behaviour.
+
+use std::collections::HashMap;
+
+use crate::hmac::{hmac_sha256, verify};
+use crate::sha256::{Digest, Sha256};
+use crate::uhash::UhashKey;
+
+/// An authentication tag standing in for a digital signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature(pub Digest);
+
+/// The key authority: generates and stores per-router signing keys and
+/// pairwise session keys, and performs sign/verify on routers' behalf.
+///
+/// Router identities are plain `u32`s so this crate stays independent of the
+/// topology crate; `fatih-topology`'s `RouterId` converts losslessly.
+///
+/// # Examples
+///
+/// ```
+/// use fatih_crypto::KeyStore;
+/// let mut ks = KeyStore::with_seed(0xfa714);
+/// ks.register(1);
+/// ks.register(2);
+/// let sig = ks.sign(1, b"traffic summary");
+/// assert!(ks.verify(1, b"traffic summary", &sig));
+/// assert!(!ks.verify(2, b"traffic summary", &sig));
+/// assert!(!ks.verify(1, b"tampered summary", &sig));
+/// ```
+#[derive(Debug, Clone)]
+pub struct KeyStore {
+    master: [u8; 32],
+    signing: HashMap<u32, [u8; 32]>,
+}
+
+impl KeyStore {
+    /// Creates a key store whose keys are derived deterministically from a
+    /// master seed (so simulations are reproducible).
+    pub fn with_seed(seed: u64) -> Self {
+        let mut h = Sha256::new();
+        h.update(b"fatih-keystore-master");
+        h.update(&seed.to_le_bytes());
+        Self {
+            master: h.finalize().0,
+            signing: HashMap::new(),
+        }
+    }
+
+    /// Registers a router, deriving its signing key. Idempotent.
+    pub fn register(&mut self, router: u32) {
+        let master = self.master;
+        self.signing
+            .entry(router)
+            .or_insert_with(|| Self::derive(&master, b"sign", router as u64, 0));
+    }
+
+    /// Whether a router has been registered.
+    pub fn contains(&self, router: u32) -> bool {
+        self.signing.contains_key(&router)
+    }
+
+    /// Number of registered routers.
+    pub fn len(&self) -> usize {
+        self.signing.len()
+    }
+
+    /// Whether no routers are registered.
+    pub fn is_empty(&self) -> bool {
+        self.signing.is_empty()
+    }
+
+    /// Signs `message` on behalf of `router`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the router was never [`register`](Self::register)ed — an
+    /// unregistered signer is a harness bug, not a runtime condition.
+    pub fn sign(&self, router: u32, message: &[u8]) -> Signature {
+        let key = self
+            .signing
+            .get(&router)
+            .unwrap_or_else(|| panic!("router {router} not registered with the key store"));
+        Signature(hmac_sha256(key, message))
+    }
+
+    /// Verifies that `signature` is `router`'s tag over `message`.
+    ///
+    /// Returns `false` (rather than panicking) for unregistered routers:
+    /// a faulty router may claim any identity in a message.
+    pub fn verify(&self, router: u32, message: &[u8], signature: &Signature) -> bool {
+        match self.signing.get(&router) {
+            Some(key) => verify(&hmac_sha256(key, message), &signature.0),
+            None => false,
+        }
+    }
+
+    /// The symmetric pairwise key shared by routers `a` and `b`
+    /// (order-insensitive). Derived lazily; both routers must be registered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either router is unregistered.
+    pub fn pairwise_key(&self, a: u32, b: u32) -> [u8; 32] {
+        assert!(self.contains(a), "router {a} not registered");
+        assert!(self.contains(b), "router {b} not registered");
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        Self::derive(&self.master, b"pair", lo as u64, hi as u64)
+    }
+
+    /// MAC over `message` under the pairwise key of `a` and `b`.
+    pub fn pairwise_mac(&self, a: u32, b: u32, message: &[u8]) -> Signature {
+        Signature(hmac_sha256(&self.pairwise_key(a, b), message))
+    }
+
+    /// Verifies a pairwise MAC.
+    pub fn pairwise_verify(&self, a: u32, b: u32, message: &[u8], sig: &Signature) -> bool {
+        verify(&hmac_sha256(&self.pairwise_key(a, b), message), &sig.0)
+    }
+
+    /// A UHASH fingerprint key shared by the (ordered) set of routers that
+    /// monitor one path segment, identified by a caller-chosen segment id.
+    ///
+    /// Routers outside the monitoring set never learn this key, which is
+    /// what prevents a compromised router from forging packets that collide
+    /// under the segment's fingerprint function (§5.2.1's sampling
+    /// discussion makes the same assumption).
+    pub fn segment_uhash_key(&self, segment_id: u64) -> UhashKey {
+        let d = Self::derive(&self.master, b"uhash", segment_id, 0);
+        let point = u64::from_le_bytes(d[..8].try_into().expect("8 bytes"));
+        let offset = u64::from_le_bytes(d[8..16].try_into().expect("8 bytes"));
+        let p = crate::uhash::FINGERPRINT_PRIME;
+        UhashKey::from_parts(2 + point % (p - 2), offset % p)
+    }
+
+    fn derive(master: &[u8; 32], role: &[u8], x: u64, y: u64) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(master);
+        h.update(role);
+        h.update(&x.to_le_bytes());
+        h.update(&y.to_le_bytes());
+        h.finalize().0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> KeyStore {
+        let mut ks = KeyStore::with_seed(7);
+        for r in 0..5 {
+            ks.register(r);
+        }
+        ks
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let ks = store();
+        let sig = ks.sign(3, b"info(r, pi, tau)");
+        assert!(ks.verify(3, b"info(r, pi, tau)", &sig));
+    }
+
+    #[test]
+    fn signature_is_attributable() {
+        let ks = store();
+        let sig = ks.sign(3, b"m");
+        for other in [0u32, 1, 2, 4] {
+            assert!(!ks.verify(other, b"m", &sig), "router {other} accepted");
+        }
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let ks = store();
+        let sig = ks.sign(1, b"100 packets forwarded");
+        assert!(!ks.verify(1, b"20 packets forwarded", &sig));
+    }
+
+    #[test]
+    fn unknown_signer_verifies_false() {
+        let ks = store();
+        let sig = ks.sign(1, b"m");
+        assert!(!ks.verify(999, b"m", &sig));
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn signing_for_unknown_router_panics() {
+        let ks = store();
+        let _ = ks.sign(999, b"m");
+    }
+
+    #[test]
+    fn pairwise_key_is_symmetric_and_unique() {
+        let ks = store();
+        assert_eq!(ks.pairwise_key(1, 2), ks.pairwise_key(2, 1));
+        assert_ne!(ks.pairwise_key(1, 2), ks.pairwise_key(1, 3));
+        assert_ne!(ks.pairwise_key(1, 2), ks.pairwise_key(3, 4));
+    }
+
+    #[test]
+    fn pairwise_mac_round_trip() {
+        let ks = store();
+        let sig = ks.pairwise_mac(0, 4, b"summary");
+        assert!(ks.pairwise_verify(4, 0, b"summary", &sig));
+        assert!(!ks.pairwise_verify(4, 1, b"summary", &sig));
+    }
+
+    #[test]
+    fn deterministic_across_instances_with_same_seed() {
+        let a = store();
+        let b = store();
+        assert_eq!(a.sign(2, b"x"), b.sign(2, b"x"));
+        assert_eq!(
+            a.segment_uhash_key(9).fingerprint(b"pkt"),
+            b.segment_uhash_key(9).fingerprint(b"pkt")
+        );
+    }
+
+    #[test]
+    fn different_seeds_disagree() {
+        let mut a = KeyStore::with_seed(1);
+        let mut b = KeyStore::with_seed(2);
+        a.register(0);
+        b.register(0);
+        assert_ne!(a.sign(0, b"x"), b.sign(0, b"x"));
+    }
+
+    #[test]
+    fn segment_keys_differ_by_segment() {
+        let ks = store();
+        assert_ne!(
+            ks.segment_uhash_key(1).fingerprint(b"p"),
+            ks.segment_uhash_key(2).fingerprint(b"p")
+        );
+    }
+
+    #[test]
+    fn register_is_idempotent() {
+        let mut ks = store();
+        let sig = ks.sign(0, b"m");
+        ks.register(0);
+        assert_eq!(ks.sign(0, b"m"), sig);
+        assert_eq!(ks.len(), 5);
+    }
+}

@@ -1,0 +1,46 @@
+//! From-scratch cryptographic primitives for malicious-router detection.
+//!
+//! Dissertation §2.1.5 requires three things of the cryptographic layer:
+//! **authenticity** and **integrity** of protocol messages (digital
+//! signatures or MACs under a distributed key infrastructure), and cheap
+//! per-packet **fingerprints** for traffic summaries (§7.1 — the Fatih
+//! prototype uses the UHASH universal hash family because computing a full
+//! cryptographic hash per forwarded packet is too expensive).
+//!
+//! This crate implements all of it with no external dependencies:
+//!
+//! * [`sha256`] — FIPS 180-4 SHA-256;
+//! * [`hmac`] — RFC 2104 HMAC-SHA256;
+//! * [`uhash`] — a UHASH-style keyed polynomial universal hash over the
+//!   Mersenne prime 2⁶¹ − 1, producing 64-bit packet [`Fingerprint`]s;
+//! * [`keys`] — a simulated key infrastructure ([`KeyStore`]): per-router
+//!   broadcast authentication keys standing in for DSA signatures, and
+//!   pairwise keys standing in for IKE/Diffie–Hellman session keys
+//!   (substitution documented in `DESIGN.md`).
+//!
+//! # Examples
+//!
+//! ```
+//! use fatih_crypto::{sha256::Sha256, uhash::UhashKey, Fingerprint};
+//!
+//! let digest = Sha256::digest(b"abc");
+//! assert_eq!(digest.to_hex(),
+//!     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+//!
+//! let key = UhashKey::from_seed(7);
+//! let fp: Fingerprint = key.fingerprint(b"a transit packet");
+//! assert_eq!(fp, key.fingerprint(b"a transit packet"));
+//! assert_ne!(fp, key.fingerprint(b"a modified packet"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hmac;
+pub mod keys;
+pub mod sha256;
+pub mod uhash;
+
+pub use keys::{KeyStore, Signature};
+pub use sha256::{Digest, Sha256};
+pub use uhash::{Fingerprint, UhashKey};

@@ -1,0 +1,252 @@
+//! UHASH-style keyed universal hashing for packet fingerprints.
+//!
+//! The Fatih prototype computes a fingerprint for every forwarded packet
+//! (dissertation §5.3.1) and explicitly uses the UHASH universal hash family
+//! because a full cryptographic hash per packet is too expensive on the
+//! forwarding path (§7.1). We implement the same idea: a keyed polynomial
+//! hash over the Mersenne prime `p = 2⁶¹ − 1`. For two distinct messages of
+//! at most `n` 8-byte words, the collision probability over a random key is
+//! at most `(n + 1)/p` — cryptographically small for any realistic MTU.
+//!
+//! The key is secret and shared only by the routers monitoring a given path
+//! segment, so a compromised router on the segment cannot craft a
+//! substitute packet with a colliding fingerprint (it does not know the
+//! polynomial evaluation point).
+//!
+//! Fingerprints are also exactly the field elements consumed by the
+//! set-reconciliation algorithm of Appendix A (`fatih-validation`), which
+//! works over the same prime field.
+
+/// The Mersenne prime 2⁶¹ − 1 used as the fingerprint field modulus.
+pub const FINGERPRINT_PRIME: u64 = (1u64 << 61) - 1;
+
+/// A 61-bit packet fingerprint: an element of GF(2⁶¹ − 1).
+///
+/// # Examples
+///
+/// ```
+/// use fatih_crypto::{Fingerprint, UhashKey};
+/// let key = UhashKey::from_seed(1);
+/// let fp = key.fingerprint(b"payload");
+/// assert!(fp.value() < fatih_crypto::uhash::FINGERPRINT_PRIME);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Fingerprint(u64);
+
+impl Fingerprint {
+    /// Wraps a raw value, reducing it into the field.
+    pub fn new(value: u64) -> Self {
+        Self(value % FINGERPRINT_PRIME)
+    }
+
+    /// The underlying field element.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl From<Fingerprint> for u64 {
+    fn from(fp: Fingerprint) -> u64 {
+        fp.0
+    }
+}
+
+/// Multiplication in GF(2⁶¹ − 1) using the Mersenne folding trick.
+#[inline]
+pub fn mul_mod(a: u64, b: u64) -> u64 {
+    let wide = a as u128 * b as u128;
+    let lo = (wide & FINGERPRINT_PRIME as u128) as u64;
+    let hi = (wide >> 61) as u64;
+    let mut s = lo + hi;
+    if s >= FINGERPRINT_PRIME {
+        s -= FINGERPRINT_PRIME;
+    }
+    s
+}
+
+/// Addition in GF(2⁶¹ − 1).
+#[inline]
+pub fn add_mod(a: u64, b: u64) -> u64 {
+    let mut s = a + b; // both < 2^61, no overflow in u64
+    if s >= FINGERPRINT_PRIME {
+        s -= FINGERPRINT_PRIME;
+    }
+    s
+}
+
+/// A secret universal-hash key: the evaluation point of the polynomial hash.
+///
+/// Routers monitoring the same path segment must share the same key so their
+/// fingerprints for the same packet agree.
+///
+/// # Examples
+///
+/// ```
+/// use fatih_crypto::UhashKey;
+/// let upstream = UhashKey::from_seed(99);
+/// let downstream = UhashKey::from_seed(99);
+/// // Shared key => identical fingerprints at both ends of the segment.
+/// assert_eq!(upstream.fingerprint(b"pkt"), downstream.fingerprint(b"pkt"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UhashKey {
+    point: u64,
+    offset: u64,
+}
+
+impl UhashKey {
+    /// Derives a key deterministically from a 64-bit seed (for tests and the
+    /// simulated key infrastructure; real deployments would draw the key
+    /// from the pairwise key exchange of §2.1.5).
+    pub fn from_seed(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into two field elements.
+        let mut s = seed.wrapping_add(0x9E3779B97F4A7C15);
+        let mut next = move || {
+            s = s.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        // Avoid the degenerate evaluation points 0 and 1.
+        let mut point = next() % FINGERPRINT_PRIME;
+        while point < 2 {
+            point = next() % FINGERPRINT_PRIME;
+        }
+        let offset = next() % FINGERPRINT_PRIME;
+        Self { point, offset }
+    }
+
+    /// Builds a key from raw field elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point < 2` (degenerate hash) or either value is outside
+    /// the field.
+    pub fn from_parts(point: u64, offset: u64) -> Self {
+        assert!(
+            (2..FINGERPRINT_PRIME).contains(&point),
+            "evaluation point must be in [2, p)"
+        );
+        assert!(offset < FINGERPRINT_PRIME, "offset must be in [0, p)");
+        Self { point, offset }
+    }
+
+    /// Hashes a message to a fingerprint.
+    ///
+    /// The message is consumed as little-endian 8-byte words (final partial
+    /// word zero-padded) and the bit length is mixed in as a final word, so
+    /// messages differing only by trailing zeros hash differently.
+    pub fn fingerprint(&self, message: &[u8]) -> Fingerprint {
+        let mut acc = self.offset;
+        let mut chunks = message.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+            acc = add_mod(mul_mod(acc, self.point), word % FINGERPRINT_PRIME);
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            let word = u64::from_le_bytes(buf);
+            acc = add_mod(mul_mod(acc, self.point), word % FINGERPRINT_PRIME);
+        }
+        let len_word = (message.len() as u64) % FINGERPRINT_PRIME;
+        acc = add_mod(mul_mod(acc, self.point), len_word);
+        Fingerprint(acc)
+    }
+
+    /// The secret evaluation point (exposed for tests and key accounting).
+    pub fn point(&self) -> u64 {
+        self.point
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_key() {
+        let k = UhashKey::from_seed(42);
+        assert_eq!(k.fingerprint(b"hello"), k.fingerprint(b"hello"));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = UhashKey::from_seed(1).fingerprint(b"hello");
+        let b = UhashKey::from_seed(2).fingerprint(b"hello");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sensitive_to_every_byte() {
+        let k = UhashKey::from_seed(7);
+        let base = k.fingerprint(&[0u8; 64]);
+        for i in 0..64 {
+            let mut m = [0u8; 64];
+            m[i] = 1;
+            assert_ne!(k.fingerprint(&m), base, "byte {i} not mixed in");
+        }
+    }
+
+    #[test]
+    fn length_extension_distinguished() {
+        let k = UhashKey::from_seed(7);
+        assert_ne!(k.fingerprint(b""), k.fingerprint(&[0u8]));
+        assert_ne!(k.fingerprint(&[0u8; 8]), k.fingerprint(&[0u8; 16]));
+        assert_ne!(k.fingerprint(&[0u8; 7]), k.fingerprint(&[0u8; 8]));
+    }
+
+    #[test]
+    fn collision_rate_is_tiny_over_random_inputs() {
+        use std::collections::HashSet;
+        let k = UhashKey::from_seed(3);
+        let mut seen = HashSet::new();
+        let mut x = 88172645463325252u64;
+        for _ in 0..20_000 {
+            // xorshift64 message generator
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let msg = x.to_le_bytes();
+            seen.insert(k.fingerprint(&msg));
+        }
+        assert_eq!(seen.len(), 20_000, "unexpected fingerprint collision");
+    }
+
+    #[test]
+    fn mul_mod_agrees_with_u128_reference() {
+        let pairs = [
+            (0u64, 0u64),
+            (1, FINGERPRINT_PRIME - 1),
+            (FINGERPRINT_PRIME - 1, FINGERPRINT_PRIME - 1),
+            (123456789012345678 % FINGERPRINT_PRIME, 987654321098765432 % FINGERPRINT_PRIME),
+        ];
+        for (a, b) in pairs {
+            let want = ((a as u128 * b as u128) % FINGERPRINT_PRIME as u128) as u64;
+            assert_eq!(mul_mod(a, b), want, "{a} * {b}");
+        }
+    }
+
+    #[test]
+    fn fingerprints_stay_in_field() {
+        let k = UhashKey::from_seed(11);
+        for i in 0u64..500 {
+            let fp = k.fingerprint(&i.to_le_bytes());
+            assert!(fp.value() < FINGERPRINT_PRIME);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "evaluation point")]
+    fn rejects_degenerate_point() {
+        let _ = UhashKey::from_parts(1, 0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Attack injection: the adversarial capabilities of dissertation §2.2.1.
+//!
+//! A *traffic-faulty* router "can drop or modify selected (or all) packets,
+//! or divert them to other routers", and the Chapter 6 evaluation exercises
+//! very particular flavours: dropping a fraction of selected flows
+//! (Attack 1, Fig 6.6), dropping only when the output queue is nearly full
+//! so losses hide inside congestion (Attacks 2–3, Figs 6.7–6.8), dropping
+//! only when RED's *average* queue is high (Figs 6.12–6.15), and targeting a
+//! single host's TCP SYNs (Attack 4, Fig 6.9 / Fig 6.16).
+//!
+//! Protocol-faulty behaviour (lying in reports, §2.2.1) is modeled in
+//! `fatih-core`, where the reports live.
+
+use crate::packet::{FlowId, Packet};
+use crate::time::SimTime;
+use fatih_topology::RouterId;
+use std::collections::BTreeSet;
+
+/// Selects the victim packets an attack applies to.
+///
+/// # Examples
+///
+/// ```
+/// use fatih_sim::attack::VictimFilter;
+/// use fatih_sim::packet::FlowId;
+/// let filter = VictimFilter::flows([FlowId(1), FlowId(2)]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VictimFilter {
+    /// If set, only these flows are attacked.
+    pub flows: Option<BTreeSet<FlowId>>,
+    /// If set, only packets to this destination are attacked.
+    pub dst: Option<RouterId>,
+    /// If true, only TCP SYN packets are attacked.
+    pub syn_only: bool,
+}
+
+impl VictimFilter {
+    /// Matches every transit packet.
+    pub fn all() -> Self {
+        Self::default()
+    }
+
+    /// Matches the given flows.
+    pub fn flows<I: IntoIterator<Item = FlowId>>(flows: I) -> Self {
+        Self {
+            flows: Some(flows.into_iter().collect()),
+            ..Self::default()
+        }
+    }
+
+    /// Matches packets destined to one host — the victim of the SYN attack.
+    pub fn to_destination(dst: RouterId) -> Self {
+        Self {
+            dst: Some(dst),
+            ..Self::default()
+        }
+    }
+
+    /// Restricts this filter to SYN packets.
+    pub fn syn_only(mut self) -> Self {
+        self.syn_only = true;
+        self
+    }
+
+    /// Whether the packet is a victim.
+    pub fn matches(&self, p: &Packet) -> bool {
+        if let Some(flows) = &self.flows {
+            if !flows.contains(&p.flow) {
+                return false;
+            }
+        }
+        if let Some(dst) = self.dst {
+            if p.dst != dst {
+                return false;
+            }
+        }
+        if self.syn_only && !p.is_syn() {
+            return false;
+        }
+        true
+    }
+}
+
+/// What a compromised router does to a victim packet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AttackKind {
+    /// Drop a fraction of victims unconditionally (Attack 1, §6.4.2).
+    Drop {
+        /// Probability of dropping each victim packet.
+        fraction: f64,
+    },
+    /// Drop victims only while the egress queue's instantaneous occupancy
+    /// is at or above `fill` of the limit (Attacks 2–3, §6.4.2 — losses
+    /// that try to hide inside plausible congestion).
+    DropWhenQueueAbove {
+        /// Occupancy fraction threshold in `[0, 1]`.
+        fill: f64,
+        /// Probability of dropping a victim once triggered.
+        fraction: f64,
+    },
+    /// Drop victims only while RED's average queue size is at or above
+    /// `avg_bytes` (Attacks 1–4 of §6.5.3).
+    DropWhenAvgQueueAbove {
+        /// Average-queue trigger in bytes.
+        avg_bytes: f64,
+        /// Probability of dropping a victim once triggered.
+        fraction: f64,
+    },
+    /// Rewrite the payload of a fraction of victims (conservation of
+    /// content catches this).
+    Modify {
+        /// Probability of modifying each victim packet.
+        fraction: f64,
+    },
+    /// Hold a fraction of victims for `extra` before forwarding
+    /// (conservation of timeliness catches this).
+    Delay {
+        /// Added latency.
+        extra: SimTime,
+        /// Probability of delaying each victim packet.
+        fraction: f64,
+    },
+    /// Forward a fraction of victims to the wrong neighbour (misrouting —
+    /// an instance of loss + fabrication, §2.2.1).
+    Misroute {
+        /// Probability of misrouting each victim packet.
+        fraction: f64,
+    },
+}
+
+/// A configured attack at one compromised router.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attack {
+    /// Which packets are victims.
+    pub victims: VictimFilter,
+    /// What happens to them.
+    pub kind: AttackKind,
+}
+
+impl Attack {
+    /// Convenience: drop `fraction` of the given flows (Attack 1).
+    pub fn drop_flows<I: IntoIterator<Item = FlowId>>(flows: I, fraction: f64) -> Self {
+        Self {
+            victims: VictimFilter::flows(flows),
+            kind: AttackKind::Drop { fraction },
+        }
+    }
+
+    /// Convenience: the SYN-targeting attack of Fig 6.9 / Fig 6.16.
+    pub fn drop_syns_to(dst: RouterId) -> Self {
+        Self {
+            victims: VictimFilter::to_destination(dst).syn_only(),
+            kind: AttackKind::Drop { fraction: 1.0 },
+        }
+    }
+}
+
+/// The engine-side decision for one packet after attack evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum AttackAction {
+    Forward,
+    Drop,
+    Modify,
+    Delay(SimTime),
+    Misroute,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{PacketId, PacketKind};
+
+    fn pkt(flow: u32, dst: u32, kind: PacketKind) -> Packet {
+        Packet {
+            id: PacketId(1),
+            src: RouterId::from(0),
+            dst: RouterId::from(dst),
+            flow: FlowId(flow),
+            kind,
+            size: 1000,
+            seq: 0,
+            payload_tag: 0,
+            ttl: 64,
+            created_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn all_matches_everything() {
+        let f = VictimFilter::all();
+        assert!(f.matches(&pkt(1, 2, PacketKind::Data)));
+        assert!(f.matches(&pkt(9, 9, PacketKind::TcpSyn)));
+    }
+
+    #[test]
+    fn flow_filter() {
+        let f = VictimFilter::flows([FlowId(1), FlowId(3)]);
+        assert!(f.matches(&pkt(1, 2, PacketKind::Data)));
+        assert!(!f.matches(&pkt(2, 2, PacketKind::Data)));
+    }
+
+    #[test]
+    fn destination_and_syn_filter() {
+        let f = VictimFilter::to_destination(RouterId::from(5)).syn_only();
+        assert!(f.matches(&pkt(1, 5, PacketKind::TcpSyn)));
+        assert!(!f.matches(&pkt(1, 5, PacketKind::TcpData)));
+        assert!(!f.matches(&pkt(1, 4, PacketKind::TcpSyn)));
+    }
+
+    #[test]
+    fn combined_flow_and_dst() {
+        let f = VictimFilter {
+            flows: Some([FlowId(1)].into_iter().collect()),
+            dst: Some(RouterId::from(5)),
+            syn_only: false,
+        };
+        assert!(f.matches(&pkt(1, 5, PacketKind::Data)));
+        assert!(!f.matches(&pkt(1, 4, PacketKind::Data)));
+        assert!(!f.matches(&pkt(2, 5, PacketKind::Data)));
+    }
+
+    #[test]
+    fn constructors() {
+        let a = Attack::drop_flows([FlowId(1)], 0.2);
+        assert_eq!(a.kind, AttackKind::Drop { fraction: 0.2 });
+        let s = Attack::drop_syns_to(RouterId::from(3));
+        assert!(s.victims.syn_only);
+    }
+}

@@ -1,0 +1,907 @@
+//! The discrete-event network engine.
+//!
+//! Models the data plane of §4.1: hop-by-hop forwarding over directional
+//! links with output-buffered interfaces, under link-state routes with
+//! deterministic tie-breaks. Compromised routers alter their *own
+//! forwarding behaviour* per the configured [`Attack`]s (§2.2.1); the
+//! response mechanism is modeled with per-pair route overrides (the policy
+//! routing of §5.3.1).
+//!
+//! All simulation is deterministic for a given seed: events are ordered by
+//! `(time, sequence-number)` and randomness comes from one seeded RNG.
+
+use crate::agent::AgentState;
+use crate::attack::{Attack, AttackAction, AttackKind};
+use crate::packet::{FlowId, Packet, PacketId, PacketKind};
+use crate::queue::{OutputQueueState, QueueDiscipline, Verdict};
+use crate::tap::{DropReason, GroundTruth, TapEvent};
+use crate::time::SimTime;
+use fatih_topology::{Path, PathSegment, RouterId, Routes, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+/// Internal event kinds.
+#[derive(Debug, Clone)]
+pub(crate) enum EventKind {
+    /// Packet arrives at a router after link propagation.
+    Arrive {
+        at: RouterId,
+        from: Option<RouterId>,
+        packet: Packet,
+    },
+    /// A transmission on `from → to` completes.
+    TxComplete { from: RouterId, to: RouterId },
+    /// An agent timer fires.
+    AgentTimer { agent: usize, token: u64 },
+    /// A maliciously delayed packet resumes forwarding.
+    DelayedForward {
+        at: RouterId,
+        next: RouterId,
+        packet: Packet,
+    },
+}
+
+#[derive(Debug)]
+struct EventEntry {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for EventEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for EventEntry {}
+impl PartialOrd for EventEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EventEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Runtime state of one directional link.
+#[derive(Debug)]
+struct LinkRt {
+    params: fatih_topology::LinkParams,
+    queue: OutputQueueState,
+    fifo: VecDeque<Packet>,
+    busy: bool,
+}
+
+/// The simulated network.
+///
+/// # Examples
+///
+/// ```
+/// use fatih_sim::{Network, SimTime};
+/// use fatih_topology::builtin;
+///
+/// let mut net = Network::new(builtin::line(3), 42);
+/// let a = net.topology().router_by_name("n0").unwrap();
+/// let c = net.topology().router_by_name("n2").unwrap();
+/// let flow = net.add_cbr_flow(a, c, 1000, SimTime::from_ms(1),
+///                             SimTime::ZERO, Some(SimTime::from_ms(100)));
+/// net.run_until(SimTime::from_secs(1), |_ev| {});
+/// assert!(net.delivered_on_flow(flow) > 90);
+/// ```
+#[derive(Debug)]
+pub struct Network {
+    topo: Topology,
+    routes: Routes,
+    overrides: BTreeMap<(RouterId, RouterId), Path>,
+    now: SimTime,
+    next_seq: u64,
+    events: BinaryHeap<Reverse<EventEntry>>,
+    links: BTreeMap<(RouterId, RouterId), LinkRt>,
+    attacks: BTreeMap<RouterId, Vec<Attack>>,
+    pub(crate) rng: StdRng,
+    skews: Vec<i64>,
+    truth: GroundTruth,
+    pub(crate) agents: Vec<AgentState>,
+    flow_agent: BTreeMap<FlowId, usize>,
+    delivered_per_flow: BTreeMap<FlowId, u64>,
+    next_packet_id: u64,
+    next_flow_id: u32,
+    pending_taps: Vec<TapEvent>,
+}
+
+impl Network {
+    /// Builds a network over `topo` with drop-tail queues sized from each
+    /// link's `queue_limit_bytes`, and a deterministic RNG seed.
+    pub fn new(topo: Topology, seed: u64) -> Self {
+        let routes = topo.link_state_routes();
+        let mut links = BTreeMap::new();
+        for l in topo.links() {
+            links.insert(
+                (l.from, l.to),
+                LinkRt {
+                    params: l.params,
+                    queue: OutputQueueState::new(
+                        QueueDiscipline::DropTail,
+                        l.params.queue_limit_bytes,
+                        l.params.bandwidth_bps,
+                    ),
+                    fifo: VecDeque::new(),
+                    busy: false,
+                },
+            );
+        }
+        let n = topo.router_count();
+        Self {
+            topo,
+            routes,
+            overrides: BTreeMap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            events: BinaryHeap::new(),
+            links,
+            attacks: BTreeMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            skews: vec![0; n],
+            truth: GroundTruth::default(),
+            agents: Vec::new(),
+            flow_agent: BTreeMap::new(),
+            delivered_per_flow: BTreeMap::new(),
+            next_packet_id: 0,
+            next_flow_id: 0,
+            pending_taps: Vec::new(),
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The stable link-state routes (before any overrides).
+    pub fn routes(&self) -> &Routes {
+        &self.routes
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Ground-truth counters.
+    pub fn ground_truth(&self) -> GroundTruth {
+        self.truth
+    }
+
+    /// Packets delivered on one flow.
+    pub fn delivered_on_flow(&self, flow: FlowId) -> u64 {
+        self.delivered_per_flow.get(&flow).copied().unwrap_or(0)
+    }
+
+    /// Replaces the queue discipline of the `from → to` interface
+    /// (occupancy must be zero, i.e. configure before running).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link does not exist or traffic already flowed.
+    pub fn set_queue_discipline(
+        &mut self,
+        from: RouterId,
+        to: RouterId,
+        discipline: QueueDiscipline,
+    ) {
+        let link = self
+            .links
+            .get_mut(&(from, to))
+            .unwrap_or_else(|| panic!("no link {from} -> {to}"));
+        assert_eq!(link.queue.len_bytes(), 0, "queue already in use");
+        link.queue = OutputQueueState::new(
+            discipline,
+            link.params.queue_limit_bytes,
+            link.params.bandwidth_bps,
+        );
+    }
+
+    /// Overrides the queue byte limit of one interface (before running).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link does not exist or traffic already flowed.
+    pub fn set_queue_limit(&mut self, from: RouterId, to: RouterId, limit_bytes: u32) {
+        let link = self
+            .links
+            .get_mut(&(from, to))
+            .unwrap_or_else(|| panic!("no link {from} -> {to}"));
+        assert_eq!(link.queue.len_bytes(), 0, "queue already in use");
+        let disc = link.queue.discipline();
+        link.params.queue_limit_bytes = limit_bytes;
+        link.queue = OutputQueueState::new(disc, limit_bytes, link.params.bandwidth_bps);
+    }
+
+    /// Installs the attack set of a compromised router (replacing any
+    /// previous set). An empty vector restores correct behaviour.
+    pub fn set_attacks(&mut self, router: RouterId, attacks: Vec<Attack>) {
+        if attacks.is_empty() {
+            self.attacks.remove(&router);
+        } else {
+            self.attacks.insert(router, attacks);
+        }
+    }
+
+    /// Installs a policy-routing override for one (source, destination)
+    /// pair: packets of that pair follow `path` instead of the link-state
+    /// route (§5.3.1's response mechanism).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path's ends don't match the pair.
+    pub fn set_route_override(&mut self, src: RouterId, dst: RouterId, path: Path) {
+        assert_eq!(path.source(), src, "override path source mismatch");
+        assert_eq!(path.sink(), dst, "override path sink mismatch");
+        self.overrides.insert((src, dst), path);
+    }
+
+    /// Recomputes the routes of **all** pairs to avoid the given suspected
+    /// segments, installing overrides where the route changes. Pairs left
+    /// with no compliant route keep no override and will drop with
+    /// [`DropReason::NoRoute`] at the point the route vanishes.
+    pub fn apply_avoidance(&mut self, excluded: &[PathSegment]) {
+        let av = fatih_topology::AvoidingRoutes::new(&self.topo, excluded.to_vec());
+        let ids: Vec<RouterId> = self.topo.routers().collect();
+        for &s in &ids {
+            for &d in &ids {
+                if s == d {
+                    continue;
+                }
+                match av.path(s, d) {
+                    Some(p) => {
+                        if Some(&p) != self.routes.path(s, d).as_ref() {
+                            self.overrides.insert((s, d), p);
+                        } else {
+                            self.overrides.remove(&(s, d));
+                        }
+                    }
+                    None => {
+                        self.overrides.remove(&(s, d));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sets a router's clock skew in nanoseconds (positive = fast clock).
+    pub fn set_clock_skew(&mut self, router: RouterId, skew_ns: i64) {
+        self.skews[router.index()] = skew_ns;
+    }
+
+    /// The router-local reading of the current time.
+    pub fn local_time(&self, router: RouterId) -> SimTime {
+        self.now.with_skew(self.skews[router.index()])
+    }
+
+    /// Current occupancy of the `from → to` output queue, in bytes.
+    pub fn queue_len(&self, from: RouterId, to: RouterId) -> u32 {
+        self.links
+            .get(&(from, to))
+            .map(|l| l.queue.len_bytes())
+            .unwrap_or(0)
+    }
+
+    /// RED average of the `from → to` queue, if that queue is RED.
+    pub fn red_avg(&self, from: RouterId, to: RouterId) -> Option<f64> {
+        self.links.get(&(from, to)).and_then(|l| l.queue.red_avg())
+    }
+
+    // ------------------------------------------------------------------
+    // Event loop
+    // ------------------------------------------------------------------
+
+    pub(crate) fn schedule(&mut self, at: SimTime, kind: EventKind) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push(Reverse(EventEntry {
+            time: at,
+            seq,
+            kind,
+        }));
+    }
+
+    /// Runs the simulation until `t_end`, feeding every observation to
+    /// `tap`. May be called repeatedly with increasing horizons — the
+    /// Chapter 5/6 protocols interleave validation rounds this way.
+    pub fn run_until<F: FnMut(&TapEvent)>(&mut self, t_end: SimTime, mut tap: F) {
+        loop {
+            let Some(Reverse(top)) = self.events.peek() else {
+                break;
+            };
+            if top.time > t_end {
+                break;
+            }
+            let Reverse(entry) = self.events.pop().expect("peeked");
+            self.now = entry.time;
+            self.dispatch(entry.kind);
+            for ev in std::mem::take(&mut self.pending_taps) {
+                tap(&ev);
+            }
+        }
+        if self.now < t_end {
+            self.now = t_end;
+        }
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Arrive { at, from, packet } => self.handle_arrival(at, from, packet),
+            EventKind::TxComplete { from, to } => self.handle_tx_complete(from, to),
+            EventKind::AgentTimer { agent, token } => self.handle_agent_timer(agent, token),
+            EventKind::DelayedForward { at, next, packet } => self.enqueue(at, next, packet),
+        }
+    }
+
+    pub(crate) fn emit(&mut self, ev: TapEvent) {
+        match &ev {
+            TapEvent::Injected { .. } => self.truth.injected += 1,
+            TapEvent::Delivered { packet, .. } => {
+                self.truth.delivered += 1;
+                *self.delivered_per_flow.entry(packet.flow).or_insert(0) += 1;
+            }
+            TapEvent::Dropped { reason, .. } => match reason {
+                DropReason::Congestion { .. } => self.truth.congestive_drops += 1,
+                DropReason::Malicious => self.truth.malicious_drops += 1,
+                DropReason::TtlExpired => self.truth.ttl_drops += 1,
+                DropReason::NoRoute => self.truth.no_route_drops += 1,
+            },
+            _ => {}
+        }
+        self.pending_taps.push(ev);
+    }
+
+    // ------------------------------------------------------------------
+    // Forwarding
+    // ------------------------------------------------------------------
+
+    fn handle_arrival(&mut self, at: RouterId, from: Option<RouterId>, packet: Packet) {
+        self.emit(TapEvent::Arrived {
+            router: at,
+            from,
+            packet,
+            time: self.now,
+        });
+        if at == packet.dst {
+            self.emit(TapEvent::Delivered {
+                router: at,
+                packet,
+                time: self.now,
+            });
+            self.deliver_to_agent(packet);
+            return;
+        }
+        self.forward(at, packet, from.is_none());
+    }
+
+    /// Injects a freshly built packet at its source.
+    pub(crate) fn inject(
+        &mut self,
+        src: RouterId,
+        dst: RouterId,
+        flow: FlowId,
+        kind: PacketKind,
+        size: u32,
+        seq: u64,
+    ) -> PacketId {
+        let id = PacketId(self.next_packet_id);
+        self.next_packet_id += 1;
+        let packet = Packet {
+            id,
+            src,
+            dst,
+            flow,
+            kind,
+            size,
+            seq,
+            payload_tag: id.0.wrapping_mul(0x9E3779B97F4A7C15),
+            ttl: Packet::DEFAULT_TTL,
+            created_at: self.now,
+        };
+        self.emit(TapEvent::Injected {
+            router: src,
+            packet,
+            time: self.now,
+        });
+        if src == dst {
+            self.emit(TapEvent::Delivered {
+                router: dst,
+                packet,
+                time: self.now,
+            });
+            self.deliver_to_agent(packet);
+        } else {
+            self.forward(src, packet, true);
+        }
+        id
+    }
+
+    fn next_hop_for(&self, at: RouterId, packet: &Packet) -> Option<RouterId> {
+        if let Some(p) = self.overrides.get(&(packet.src, packet.dst)) {
+            if let Some(next) = p.next_after(at) {
+                return Some(next);
+            }
+            // Router not on the override path (e.g. packet was in flight
+            // through the old route when the override landed): fall back to
+            // the link-state route from here.
+        }
+        self.routes.next_hop(at, packet.dst)
+    }
+
+    fn forward(&mut self, at: RouterId, mut packet: Packet, is_source: bool) {
+        if !is_source {
+            if packet.ttl == 0 {
+                self.emit(TapEvent::Dropped {
+                    router: at,
+                    next_hop: None,
+                    packet,
+                    reason: DropReason::TtlExpired,
+                    time: self.now,
+                    queue_len: 0,
+                });
+                return;
+            }
+            packet.ttl -= 1;
+        }
+        let Some(mut next) = self.next_hop_for(at, &packet) else {
+            self.emit(TapEvent::Dropped {
+                router: at,
+                next_hop: None,
+                packet,
+                reason: DropReason::NoRoute,
+                time: self.now,
+                queue_len: 0,
+            });
+            return;
+        };
+
+        // A compromised router attacks only transit traffic: terminal
+        // routers are assumed correct for traffic they originate (§2.1.4).
+        if !is_source {
+            match self.evaluate_attacks(at, next, &packet) {
+                AttackAction::Forward => {}
+                AttackAction::Drop => {
+                    let qlen = self.queue_len(at, next);
+                    self.emit(TapEvent::Dropped {
+                        router: at,
+                        next_hop: Some(next),
+                        packet,
+                        reason: DropReason::Malicious,
+                        time: self.now,
+                        queue_len: qlen,
+                    });
+                    return;
+                }
+                AttackAction::Modify => {
+                    packet.payload_tag ^= 0x6D61_6C69_6369_6F75;
+                    self.truth.modified += 1;
+                }
+                AttackAction::Delay(extra) => {
+                    let when = self.now + extra;
+                    self.schedule(
+                        when,
+                        EventKind::DelayedForward {
+                            at,
+                            next,
+                            packet,
+                        },
+                    );
+                    return;
+                }
+                AttackAction::Misroute => {
+                    let alt = self
+                        .topo
+                        .neighbors(at)
+                        .iter()
+                        .map(|(n, _)| *n)
+                        .find(|&n| n != next);
+                    match alt {
+                        Some(a) => {
+                            self.truth.misrouted += 1;
+                            next = a;
+                        }
+                        None => {
+                            // Nowhere to divert: the attack degenerates to
+                            // a drop.
+                            let qlen = self.queue_len(at, next);
+                            self.emit(TapEvent::Dropped {
+                                router: at,
+                                next_hop: Some(next),
+                                packet,
+                                reason: DropReason::Malicious,
+                                time: self.now,
+                                queue_len: qlen,
+                            });
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+        self.enqueue(at, next, packet);
+    }
+
+    fn evaluate_attacks(&mut self, at: RouterId, next: RouterId, packet: &Packet) -> AttackAction {
+        let Some(attacks) = self.attacks.get(&at) else {
+            return AttackAction::Forward;
+        };
+        // Clone the small attack list so `self.rng` and queue state can be
+        // consulted without aliasing `self.attacks`.
+        let attacks = attacks.clone();
+        for a in &attacks {
+            if !a.victims.matches(packet) {
+                continue;
+            }
+            let action = match a.kind {
+                AttackKind::Drop { fraction } => {
+                    if self.rng.gen_bool(fraction.clamp(0.0, 1.0)) {
+                        Some(AttackAction::Drop)
+                    } else {
+                        None
+                    }
+                }
+                AttackKind::DropWhenQueueAbove { fill, fraction } => {
+                    let link = self.links.get(&(at, next));
+                    let filled = link
+                        .map(|l| l.queue.fill_fraction() >= fill)
+                        .unwrap_or(false);
+                    if filled && self.rng.gen_bool(fraction.clamp(0.0, 1.0)) {
+                        Some(AttackAction::Drop)
+                    } else {
+                        None
+                    }
+                }
+                AttackKind::DropWhenAvgQueueAbove { avg_bytes, fraction } => {
+                    let link = self.links.get(&(at, next));
+                    let triggered = link
+                        .and_then(|l| l.queue.red_avg())
+                        .map(|avg| avg >= avg_bytes)
+                        .unwrap_or(false);
+                    if triggered && self.rng.gen_bool(fraction.clamp(0.0, 1.0)) {
+                        Some(AttackAction::Drop)
+                    } else {
+                        None
+                    }
+                }
+                AttackKind::Modify { fraction } => {
+                    if self.rng.gen_bool(fraction.clamp(0.0, 1.0)) {
+                        Some(AttackAction::Modify)
+                    } else {
+                        None
+                    }
+                }
+                AttackKind::Delay { extra, fraction } => {
+                    if self.rng.gen_bool(fraction.clamp(0.0, 1.0)) {
+                        Some(AttackAction::Delay(extra))
+                    } else {
+                        None
+                    }
+                }
+                AttackKind::Misroute { fraction } => {
+                    if self.rng.gen_bool(fraction.clamp(0.0, 1.0)) {
+                        Some(AttackAction::Misroute)
+                    } else {
+                        None
+                    }
+                }
+            };
+            if let Some(act) = action {
+                return act;
+            }
+        }
+        AttackAction::Forward
+    }
+
+    fn enqueue(&mut self, from: RouterId, to: RouterId, packet: Packet) {
+        let now = self.now;
+        let link = self
+            .links
+            .get_mut(&(from, to))
+            .unwrap_or_else(|| panic!("no link {from} -> {to}"));
+        match link.queue.offer(packet.size, now, &mut self.rng) {
+            Verdict::Accept => {
+                link.queue.commit_enqueue(packet.size);
+                link.fifo.push_back(packet);
+                let qlen = link.queue.len_bytes();
+                self.emit(TapEvent::Enqueued {
+                    router: from,
+                    next_hop: to,
+                    packet,
+                    time: now,
+                    queue_len_after: qlen,
+                });
+                self.try_start_tx(from, to);
+            }
+            Verdict::CongestionDrop {
+                red_avg,
+                drop_probability,
+            } => {
+                let qlen = link.queue.len_bytes();
+                self.emit(TapEvent::Dropped {
+                    router: from,
+                    next_hop: Some(to),
+                    packet,
+                    reason: DropReason::Congestion {
+                        red_avg,
+                        drop_probability,
+                    },
+                    time: now,
+                    queue_len: qlen,
+                });
+            }
+        }
+    }
+
+    fn try_start_tx(&mut self, from: RouterId, to: RouterId) {
+        let link = self.links.get_mut(&(from, to)).expect("link exists");
+        if link.busy {
+            return;
+        }
+        let Some(head) = link.fifo.front() else {
+            return;
+        };
+        link.busy = true;
+        let tx = SimTime::from_ns(link.params.tx_time_ns(head.size));
+        let when = self.now + tx;
+        self.schedule(when, EventKind::TxComplete { from, to });
+    }
+
+    fn handle_tx_complete(&mut self, from: RouterId, to: RouterId) {
+        let link = self.links.get_mut(&(from, to)).expect("link exists");
+        let packet = link.fifo.pop_front().expect("tx of empty queue");
+        link.queue.commit_dequeue(packet.size, self.now);
+        link.busy = false;
+        let delay = SimTime::from_ns(link.params.delay_ns);
+        self.emit(TapEvent::Transmitted {
+            router: from,
+            next_hop: to,
+            packet,
+            time: self.now,
+        });
+        let when = self.now + delay;
+        self.schedule(
+            when,
+            EventKind::Arrive {
+                at: to,
+                from: Some(from),
+                packet,
+            },
+        );
+        self.try_start_tx(from, to);
+    }
+
+    /// Allocates a fresh flow id and binds it to an agent slot.
+    pub(crate) fn register_flow(&mut self, agent: usize) -> FlowId {
+        let flow = FlowId(self.next_flow_id);
+        self.next_flow_id += 1;
+        self.flow_agent.insert(flow, agent);
+        flow
+    }
+
+    pub(crate) fn agent_for_flow(&self, flow: FlowId) -> Option<usize> {
+        self.flow_agent.get(&flow).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fatih_topology::builtin;
+
+    #[test]
+    fn cbr_traffic_is_delivered_end_to_end() {
+        let mut net = Network::new(builtin::line(4), 1);
+        let a = net.topo.router_by_name("n0").unwrap();
+        let d = net.topo.router_by_name("n3").unwrap();
+        let flow = net.add_cbr_flow(
+            a,
+            d,
+            1000,
+            SimTime::from_ms(1),
+            SimTime::ZERO,
+            Some(SimTime::from_ms(50)),
+        );
+        net.run_until(SimTime::from_secs(1), |_| {});
+        let t = net.ground_truth();
+        assert_eq!(t.injected, 50);
+        assert_eq!(t.delivered, 50);
+        assert_eq!(net.delivered_on_flow(flow), 50);
+        assert_eq!(t.congestive_drops + t.malicious_drops, 0);
+    }
+
+    #[test]
+    fn taps_observe_the_full_packet_lifecycle() {
+        let mut net = Network::new(builtin::line(3), 1);
+        let a = net.topo.router_by_name("n0").unwrap();
+        let c = net.topo.router_by_name("n2").unwrap();
+        net.add_cbr_flow(a, c, 500, SimTime::from_ms(1), SimTime::ZERO, Some(SimTime::from_ms(1)));
+        let mut kinds = Vec::new();
+        net.run_until(SimTime::from_secs(1), |ev| {
+            kinds.push(std::mem::discriminant(ev));
+        });
+        // One packet: Injected, Enqueued(x2), Transmitted(x2),
+        // Arrived(x2: at n1 and n2), Delivered.
+        assert_eq!(kinds.len(), 8);
+    }
+
+    #[test]
+    fn bottleneck_queue_drops_by_congestion() {
+        // Source link 10x faster than bottleneck; blast packets.
+        let topo = builtin::fan_in(2, fatih_topology::LinkParams {
+            bandwidth_bps: 8_000_000, // 1 kB/ms
+            queue_limit_bytes: 5_000,
+            ..fatih_topology::LinkParams::default()
+        });
+        let mut net = Network::new(topo, 1);
+        let r = net.topo.router_by_name("r").unwrap();
+        let rd = net.topo.router_by_name("rd").unwrap();
+        for i in 0..2 {
+            let s = net.topo.router_by_name(&format!("s{i}")).unwrap();
+            net.add_cbr_flow(s, rd, 1000, SimTime::from_us(300), SimTime::ZERO, Some(SimTime::from_ms(200)));
+        }
+        net.run_until(SimTime::from_secs(2), |_| {});
+        let t = net.ground_truth();
+        assert!(t.congestive_drops > 0, "expected overflow at the bottleneck");
+        assert_eq!(t.malicious_drops, 0);
+        assert_eq!(net.queue_len(r, rd), 0, "queue drains by the end");
+        assert_eq!(t.injected, t.delivered + t.congestive_drops);
+    }
+
+    #[test]
+    fn malicious_drop_fraction_counted_as_ground_truth() {
+        let mut net = Network::new(builtin::line(4), 3);
+        let a = net.topo.router_by_name("n0").unwrap();
+        let b = net.topo.router_by_name("n1").unwrap();
+        let d = net.topo.router_by_name("n3").unwrap();
+        let flow = net.add_cbr_flow(a, d, 1000, SimTime::from_ms(1), SimTime::ZERO, Some(SimTime::from_ms(1000)));
+        net.set_attacks(b, vec![Attack::drop_flows([flow], 0.2)]);
+        net.run_until(SimTime::from_secs(3), |_| {});
+        let t = net.ground_truth();
+        assert_eq!(t.injected, 1000);
+        assert!(t.malicious_drops > 120 && t.malicious_drops < 280,
+                "~20% of 1000 expected, got {}", t.malicious_drops);
+        assert_eq!(t.delivered + t.malicious_drops, 1000);
+    }
+
+    #[test]
+    fn route_override_diverts_traffic() {
+        let topo = builtin::abilene();
+        let mut net = Network::new(topo, 1);
+        let sun = net.topo.router_by_name("Sunnyvale").unwrap();
+        let ny = net.topo.router_by_name("NewYork").unwrap();
+        let kc = net.topo.router_by_name("KansasCity").unwrap();
+        let la = net.topo.router_by_name("LosAngeles").unwrap();
+
+        // Default route goes through Kansas City.
+        let mut via_kc = 0;
+        net.add_cbr_flow(sun, ny, 500, SimTime::from_ms(10), SimTime::ZERO, Some(SimTime::from_ms(100)));
+        net.run_until(SimTime::from_ms(500), |ev| {
+            if let TapEvent::Arrived { router, .. } = ev {
+                if *router == kc {
+                    via_kc += 1;
+                }
+            }
+        });
+        assert!(via_kc > 0);
+
+        // Override to the southern route.
+        let av = fatih_topology::AvoidingRoutes::new(
+            net.topology(),
+            vec![PathSegment::new(vec![
+                net.topology().router_by_name("Denver").unwrap(),
+                kc,
+                net.topology().router_by_name("Indianapolis").unwrap(),
+            ])],
+        );
+        let detour = av.path(sun, ny).unwrap();
+        net.set_route_override(sun, ny, detour);
+        net.add_cbr_flow(sun, ny, 500, SimTime::from_ms(10), net.now(), Some(net.now() + SimTime::from_ms(100)));
+        let mut via_kc2 = 0;
+        let mut via_la = 0;
+        net.run_until(net.now() + SimTime::from_ms(500), |ev| {
+            if let TapEvent::Arrived { router, .. } = ev {
+                if *router == kc {
+                    via_kc2 += 1;
+                }
+                if *router == la {
+                    via_la += 1;
+                }
+            }
+        });
+        assert_eq!(via_kc2, 0, "overridden traffic must avoid Kansas City");
+        assert!(via_la > 0);
+    }
+
+    #[test]
+    fn modification_attack_changes_payload() {
+        let mut net = Network::new(builtin::line(3), 5);
+        let a = net.topo.router_by_name("n0").unwrap();
+        let b = net.topo.router_by_name("n1").unwrap();
+        let c = net.topo.router_by_name("n2").unwrap();
+        let flow = net.add_cbr_flow(a, c, 500, SimTime::from_ms(1), SimTime::ZERO, Some(SimTime::from_ms(10)));
+        net.set_attacks(
+            b,
+            vec![Attack {
+                victims: crate::attack::VictimFilter::flows([flow]),
+                kind: AttackKind::Modify { fraction: 1.0 },
+            }],
+        );
+        let mut injected_tags = std::collections::HashMap::new();
+        let mut delivered_modified = 0;
+        net.run_until(SimTime::from_secs(1), |ev| match ev {
+            TapEvent::Injected { packet, .. } => {
+                injected_tags.insert(packet.id, packet.payload_tag);
+            }
+            TapEvent::Delivered { packet, .. } => {
+                if injected_tags[&packet.id] != packet.payload_tag {
+                    delivered_modified += 1;
+                }
+            }
+            _ => {}
+        });
+        assert_eq!(delivered_modified, 10);
+        assert_eq!(net.ground_truth().modified, 10);
+    }
+
+    #[test]
+    fn delay_attack_adds_latency_without_loss() {
+        let mut net = Network::new(builtin::line(3), 5);
+        let a = net.topo.router_by_name("n0").unwrap();
+        let b = net.topo.router_by_name("n1").unwrap();
+        let c = net.topo.router_by_name("n2").unwrap();
+        let flow = net.add_cbr_flow(a, c, 500, SimTime::from_ms(5), SimTime::ZERO, Some(SimTime::from_ms(50)));
+        net.set_attacks(
+            b,
+            vec![Attack {
+                victims: crate::attack::VictimFilter::flows([flow]),
+                kind: AttackKind::Delay {
+                    extra: SimTime::from_ms(100),
+                    fraction: 1.0,
+                },
+            }],
+        );
+        let mut max_latency = SimTime::ZERO;
+        net.run_until(SimTime::from_secs(2), |ev| {
+            if let TapEvent::Delivered { packet, time, .. } = ev {
+                max_latency = max_latency.max(time.since(packet.created_at));
+            }
+        });
+        assert_eq!(net.ground_truth().delivered, 10);
+        assert!(max_latency >= SimTime::from_ms(100));
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let run = |seed| {
+            let mut net = Network::new(builtin::line(4), seed);
+            let a = net.topo.router_by_name("n0").unwrap();
+            let b = net.topo.router_by_name("n1").unwrap();
+            let d = net.topo.router_by_name("n3").unwrap();
+            let f = net.add_cbr_flow(a, d, 1000, SimTime::from_ms(1), SimTime::ZERO, Some(SimTime::from_ms(200)));
+            net.set_attacks(b, vec![Attack::drop_flows([f], 0.3)]);
+            net.run_until(SimTime::from_secs(1), |_| {});
+            net.ground_truth()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9).malicious_drops, run(10).malicious_drops);
+    }
+
+    #[test]
+    fn clock_skew_applies() {
+        let mut net = Network::new(builtin::line(2), 1);
+        let a = net.topo.router_by_name("n0").unwrap();
+        net.run_until(SimTime::from_ms(10), |_| {});
+        assert_eq!(net.local_time(a), SimTime::from_ms(10));
+        net.set_clock_skew(a, 2_000_000);
+        assert_eq!(net.local_time(a), SimTime::from_ms(12));
+    }
+}

@@ -1,0 +1,182 @@
+//! Packets and flows.
+//!
+//! A simulated packet carries the fields the detection protocols care
+//! about: an invariant content identity (what fingerprints cover), a size
+//! (what queue prediction needs), and a TTL (mutable per hop, excluded from
+//! fingerprints exactly as §7.4.2 prescribes for real IP headers).
+
+use crate::time::SimTime;
+use fatih_crypto::{Fingerprint, UhashKey};
+use fatih_topology::RouterId;
+
+/// Globally unique packet identity (models the unique payload bytes of a
+/// real packet; fingerprints cover it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PacketId(pub u64);
+
+impl std::fmt::Display for PacketId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A traffic flow identity (five-tuple stand-in).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub u32);
+
+impl std::fmt::Display for FlowId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Transport-level kind of a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketKind {
+    /// Raw datagram (CBR and background traffic).
+    Data,
+    /// TCP connection request — the packet attack 4 of §6.4.2 targets.
+    TcpSyn,
+    /// TCP connection accept.
+    TcpSynAck,
+    /// TCP acknowledgment (possibly pure).
+    TcpAck,
+    /// TCP payload segment.
+    TcpData,
+    /// Echo request (Fig 5.7's RTT probe).
+    Ping,
+    /// Echo reply.
+    Pong,
+}
+
+/// A simulated packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// Unique id (content stand-in; fingerprinted).
+    pub id: PacketId,
+    /// Originating terminal router.
+    pub src: RouterId,
+    /// Destination terminal router.
+    pub dst: RouterId,
+    /// Flow this packet belongs to.
+    pub flow: FlowId,
+    /// Transport kind.
+    pub kind: PacketKind,
+    /// Wire size in bytes.
+    pub size: u32,
+    /// Transport sequence number (TCP) or probe number (ping).
+    pub seq: u64,
+    /// Deterministic content tag; a modification attack rewrites this.
+    pub payload_tag: u64,
+    /// Remaining hop budget; decremented per hop, NOT fingerprinted
+    /// (§7.4.2).
+    pub ttl: u8,
+    /// Injection time.
+    pub created_at: SimTime,
+}
+
+impl Packet {
+    /// Default TTL, ample for any simulated topology.
+    pub const DEFAULT_TTL: u8 = 64;
+
+    /// The invariant bytes a traffic fingerprint covers: everything except
+    /// the mutable TTL and timestamps.
+    pub fn invariant_bytes(&self) -> [u8; 40] {
+        let mut out = [0u8; 40];
+        out[0..8].copy_from_slice(&self.id.0.to_le_bytes());
+        out[8..12].copy_from_slice(&u32::from(self.src).to_le_bytes());
+        out[12..16].copy_from_slice(&u32::from(self.dst).to_le_bytes());
+        out[16..20].copy_from_slice(&self.flow.0.to_le_bytes());
+        out[20] = match self.kind {
+            PacketKind::Data => 0,
+            PacketKind::TcpSyn => 1,
+            PacketKind::TcpSynAck => 2,
+            PacketKind::TcpAck => 3,
+            PacketKind::TcpData => 4,
+            PacketKind::Ping => 5,
+            PacketKind::Pong => 6,
+        };
+        out[21..25].copy_from_slice(&self.size.to_le_bytes());
+        out[25..33].copy_from_slice(&self.seq.to_le_bytes());
+        out[33..]
+            .copy_from_slice(&self.payload_tag.to_le_bytes()[..7]);
+        out
+    }
+
+    /// Keyed fingerprint of the invariant content.
+    pub fn fingerprint(&self, key: &UhashKey) -> Fingerprint {
+        key.fingerprint(&self.invariant_bytes())
+    }
+
+    /// Whether this is a TCP connection-establishment packet.
+    pub fn is_syn(&self) -> bool {
+        self.kind == PacketKind::TcpSyn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Packet {
+        Packet {
+            id: PacketId(42),
+            src: RouterId::from(0),
+            dst: RouterId::from(3),
+            flow: FlowId(7),
+            kind: PacketKind::TcpData,
+            size: 1000,
+            seq: 5,
+            payload_tag: 0xabcdef,
+            ttl: Packet::DEFAULT_TTL,
+            created_at: SimTime::from_ms(1),
+        }
+    }
+
+    #[test]
+    fn fingerprint_ignores_ttl() {
+        let key = UhashKey::from_seed(1);
+        let a = sample();
+        let mut b = sample();
+        b.ttl -= 3; // decremented along the way
+        assert_eq!(a.fingerprint(&key), b.fingerprint(&key));
+    }
+
+    #[test]
+    fn fingerprint_detects_payload_modification() {
+        let key = UhashKey::from_seed(1);
+        let a = sample();
+        let mut b = sample();
+        b.payload_tag ^= 1;
+        assert_ne!(a.fingerprint(&key), b.fingerprint(&key));
+    }
+
+    #[test]
+    fn fingerprint_detects_every_invariant_field() {
+        let key = UhashKey::from_seed(1);
+        let base = sample().fingerprint(&key);
+        let mut p = sample();
+        p.id = PacketId(43);
+        assert_ne!(p.fingerprint(&key), base);
+        let mut p = sample();
+        p.dst = RouterId::from(4);
+        assert_ne!(p.fingerprint(&key), base);
+        let mut p = sample();
+        p.kind = PacketKind::TcpAck;
+        assert_ne!(p.fingerprint(&key), base);
+        let mut p = sample();
+        p.size += 1;
+        assert_ne!(p.fingerprint(&key), base);
+        let mut p = sample();
+        p.seq += 1;
+        assert_ne!(p.fingerprint(&key), base);
+    }
+
+    #[test]
+    fn is_syn() {
+        let mut p = sample();
+        assert!(!p.is_syn());
+        p.kind = PacketKind::TcpSyn;
+        assert!(p.is_syn());
+    }
+}

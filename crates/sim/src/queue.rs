@@ -1,0 +1,407 @@
+//! Output-interface queue disciplines: drop-tail FIFO and RED.
+//!
+//! Protocol χ validates exactly this object (dissertation Figure 6.1): the
+//! queue `Q` of an output interface, with a byte limit `q_limit`, fed by the
+//! neighbours and drained at link speed. Chapter 6 evaluates both a
+//! deterministic drop-tail queue (§6.4) and the probabilistic Random Early
+//! Detection discipline (§6.5), whose EWMA average-queue state is faithfully
+//! reproduced here because the χ validator must be able to *replay* it.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// RED parameters (Floyd–Jacobson), in bytes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RedParams {
+    /// No drops while the average queue is below this.
+    pub min_threshold: f64,
+    /// Forced drop above this average.
+    pub max_threshold: f64,
+    /// Drop probability as the average reaches `max_threshold`.
+    pub max_p: f64,
+    /// EWMA weight for the average queue size.
+    pub weight: f64,
+    /// Mean packet size, used for the idle-time decay.
+    pub mean_packet_size: f64,
+}
+
+impl Default for RedParams {
+    /// Matches the §6.5.3 experiments: thresholds placed so the attack
+    /// triggers at 45,000 / 54,000 bytes fall between them.
+    fn default() -> Self {
+        Self {
+            min_threshold: 30_000.0,
+            max_threshold: 60_000.0,
+            max_p: 0.1,
+            weight: 0.002,
+            mean_packet_size: 1_000.0,
+        }
+    }
+}
+
+/// Queue discipline configuration for one output interface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueueDiscipline {
+    /// Plain FIFO: drop arrivals that would overflow the byte limit.
+    DropTail,
+    /// Random Early Detection over the byte-limit FIFO.
+    Red(RedParams),
+}
+
+/// Verdict for an arriving packet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Verdict {
+    /// Enqueue the packet.
+    Accept,
+    /// Drop due to queue overflow (drop-tail) or RED early drop.
+    CongestionDrop {
+        /// RED's average queue size at the decision, if RED.
+        red_avg: Option<f64>,
+        /// The RED drop probability that fired (1.0 for overflow).
+        drop_probability: f64,
+    },
+}
+
+/// The byte-accounting state of one output queue.
+///
+/// The engine owns the actual packet FIFO; this object makes the
+/// accept/drop decision and tracks occupancy and RED state.
+///
+/// # Examples
+///
+/// ```
+/// use fatih_sim::queue::{OutputQueueState, QueueDiscipline, Verdict};
+/// use fatih_sim::SimTime;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut q = OutputQueueState::new(QueueDiscipline::DropTail, 3_000, 1_000_000_000);
+/// let mut rng = StdRng::seed_from_u64(0);
+/// for _ in 0..3 {
+///     assert_eq!(q.offer(1_000, SimTime::ZERO, &mut rng), Verdict::Accept);
+///     q.commit_enqueue(1_000);
+/// }
+/// // Fourth kilobyte packet overflows the 3 kB limit:
+/// assert!(matches!(q.offer(1_000, SimTime::ZERO, &mut rng),
+///                  Verdict::CongestionDrop { .. }));
+/// ```
+#[derive(Debug, Clone)]
+pub struct OutputQueueState {
+    discipline: QueueDiscipline,
+    limit_bytes: u32,
+    len_bytes: u32,
+    bandwidth_bps: u64,
+    // RED state.
+    avg: f64,
+    avg_seeded: bool,
+    count_since_drop: i64,
+    idle_since: Option<crate::time::SimTime>,
+}
+
+impl OutputQueueState {
+    /// Creates queue state for an interface with the given byte limit and
+    /// drain bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the limit or bandwidth is zero.
+    pub fn new(discipline: QueueDiscipline, limit_bytes: u32, bandwidth_bps: u64) -> Self {
+        assert!(limit_bytes > 0, "queue limit must be positive");
+        assert!(bandwidth_bps > 0, "bandwidth must be positive");
+        Self {
+            discipline,
+            limit_bytes,
+            len_bytes: 0,
+            bandwidth_bps,
+            avg: 0.0,
+            avg_seeded: false,
+            count_since_drop: -1,
+            idle_since: Some(crate::time::SimTime::ZERO),
+        }
+    }
+
+    /// Current occupancy in bytes.
+    pub fn len_bytes(&self) -> u32 {
+        self.len_bytes
+    }
+
+    /// Configured byte limit.
+    pub fn limit_bytes(&self) -> u32 {
+        self.limit_bytes
+    }
+
+    /// Occupancy as a fraction of the limit.
+    pub fn fill_fraction(&self) -> f64 {
+        self.len_bytes as f64 / self.limit_bytes as f64
+    }
+
+    /// RED's current average queue size, if the discipline is RED.
+    pub fn red_avg(&self) -> Option<f64> {
+        match self.discipline {
+            QueueDiscipline::Red(_) => Some(self.avg),
+            QueueDiscipline::DropTail => None,
+        }
+    }
+
+    /// The configured discipline.
+    pub fn discipline(&self) -> QueueDiscipline {
+        self.discipline
+    }
+
+    /// Decides whether an arriving packet of `size` bytes is accepted.
+    /// Does **not** change occupancy; call [`commit_enqueue`]
+    /// (Self::commit_enqueue) after actually enqueueing.
+    ///
+    /// RED semantics follow Floyd–Jacobson: EWMA update on every arrival
+    /// (with idle-time decay), geometric inter-drop spreading via the
+    /// `count` variable, forced drop above `max_threshold`, and overflow
+    /// drop when the instantaneous queue is full.
+    pub fn offer(&mut self, size: u32, now: crate::time::SimTime, rng: &mut StdRng) -> Verdict {
+        match self.discipline {
+            QueueDiscipline::DropTail => {
+                if self.len_bytes + size > self.limit_bytes {
+                    Verdict::CongestionDrop {
+                        red_avg: None,
+                        drop_probability: 1.0,
+                    }
+                } else {
+                    Verdict::Accept
+                }
+            }
+            QueueDiscipline::Red(p) => {
+                self.update_avg(&p, now);
+                // Hard overflow always drops.
+                if self.len_bytes + size > self.limit_bytes {
+                    self.count_since_drop = 0;
+                    return Verdict::CongestionDrop {
+                        red_avg: Some(self.avg),
+                        drop_probability: 1.0,
+                    };
+                }
+                if self.avg < p.min_threshold {
+                    self.count_since_drop = -1;
+                    return Verdict::Accept;
+                }
+                if self.avg >= p.max_threshold {
+                    self.count_since_drop = 0;
+                    return Verdict::CongestionDrop {
+                        red_avg: Some(self.avg),
+                        drop_probability: 1.0,
+                    };
+                }
+                self.count_since_drop += 1;
+                let pb = p.max_p * (self.avg - p.min_threshold)
+                    / (p.max_threshold - p.min_threshold);
+                let denom = 1.0 - self.count_since_drop as f64 * pb;
+                let pa = if denom <= 0.0 { 1.0 } else { (pb / denom).min(1.0) };
+                if rng.gen_bool(pa) {
+                    self.count_since_drop = 0;
+                    Verdict::CongestionDrop {
+                        red_avg: Some(self.avg),
+                        drop_probability: pa,
+                    }
+                } else {
+                    Verdict::Accept
+                }
+            }
+        }
+    }
+
+    fn update_avg(&mut self, p: &RedParams, now: crate::time::SimTime) {
+        if let Some(idle_start) = self.idle_since.take() {
+            if self.avg_seeded {
+                // Age the average as if m small packets had drained during
+                // the idle period.
+                let idle_ns = now.since(idle_start).as_ns();
+                let drain_ns_per_pkt =
+                    p.mean_packet_size * 8.0 * 1e9 / self.bandwidth_bps as f64;
+                let m = (idle_ns as f64 / drain_ns_per_pkt).floor().min(1e6) as i32;
+                self.avg *= (1.0 - p.weight).powi(m);
+            }
+        }
+        if self.avg_seeded {
+            self.avg += p.weight * (self.len_bytes as f64 - self.avg);
+        } else {
+            self.avg = self.len_bytes as f64;
+            self.avg_seeded = true;
+        }
+    }
+
+    /// Records that a packet of `size` bytes was enqueued.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this would exceed the configured limit (the engine must
+    /// only commit accepted offers).
+    pub fn commit_enqueue(&mut self, size: u32) {
+        assert!(
+            self.len_bytes + size <= self.limit_bytes,
+            "enqueue past limit: {} + {size} > {}",
+            self.len_bytes,
+            self.limit_bytes
+        );
+        self.len_bytes += size;
+    }
+
+    /// Records that a packet of `size` bytes finished transmission and left
+    /// the queue; `now` marks the start of a possible idle period.
+    ///
+    /// # Panics
+    ///
+    /// Panics on underflow (dequeue without matching enqueue).
+    pub fn commit_dequeue(&mut self, size: u32, now: crate::time::SimTime) {
+        assert!(self.len_bytes >= size, "queue byte underflow");
+        self.len_bytes -= size;
+        if self.len_bytes == 0 {
+            self.idle_since = Some(now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn drop_tail_accepts_until_full() {
+        let mut q = OutputQueueState::new(QueueDiscipline::DropTail, 2500, 1_000_000);
+        let mut r = rng();
+        assert_eq!(q.offer(1000, SimTime::ZERO, &mut r), Verdict::Accept);
+        q.commit_enqueue(1000);
+        assert_eq!(q.offer(1000, SimTime::ZERO, &mut r), Verdict::Accept);
+        q.commit_enqueue(1000);
+        assert!(matches!(
+            q.offer(1000, SimTime::ZERO, &mut r),
+            Verdict::CongestionDrop {
+                drop_probability, ..
+            } if drop_probability == 1.0
+        ));
+        // A smaller packet still fits.
+        assert_eq!(q.offer(500, SimTime::ZERO, &mut r), Verdict::Accept);
+    }
+
+    #[test]
+    fn dequeue_frees_space() {
+        let mut q = OutputQueueState::new(QueueDiscipline::DropTail, 1000, 1_000_000);
+        let mut r = rng();
+        q.commit_enqueue(1000);
+        assert!(matches!(
+            q.offer(1, SimTime::ZERO, &mut r),
+            Verdict::CongestionDrop { .. }
+        ));
+        q.commit_dequeue(1000, SimTime::from_ms(1));
+        assert_eq!(q.offer(1000, SimTime::from_ms(1), &mut r), Verdict::Accept);
+    }
+
+    #[test]
+    fn red_no_drops_below_min_threshold() {
+        let p = RedParams::default();
+        let mut q = OutputQueueState::new(QueueDiscipline::Red(p), 90_000, 100_000_000);
+        let mut r = rng();
+        // Stay well below min_threshold: 10 packets of 1000 B.
+        for i in 0..10 {
+            let v = q.offer(1000, SimTime::from_us(i * 100), &mut r);
+            assert_eq!(v, Verdict::Accept, "packet {i}");
+            q.commit_enqueue(1000);
+        }
+        assert!(q.red_avg().unwrap() < p.min_threshold);
+    }
+
+    #[test]
+    fn red_drops_probabilistically_between_thresholds() {
+        let p = RedParams::default();
+        let mut q = OutputQueueState::new(QueueDiscipline::Red(p), 90_000, 100_000_000);
+        let mut r = rng();
+        // Pump the queue into the 30k..60k band and hold it there.
+        let mut drops = 0;
+        let mut offers = 0;
+        for i in 0..5_000u64 {
+            match q.offer(1000, SimTime::from_us(i), &mut r) {
+                Verdict::Accept => {
+                    q.commit_enqueue(1000);
+                    // Drain to hold occupancy around 45 kB.
+                    if q.len_bytes() > 45_000 {
+                        q.commit_dequeue(1000, SimTime::from_us(i));
+                    }
+                }
+                Verdict::CongestionDrop { red_avg, .. } => {
+                    drops += 1;
+                    assert!(red_avg.unwrap() >= p.min_threshold);
+                }
+            }
+            offers += 1;
+        }
+        assert!(drops > 0, "expected early drops");
+        assert!(drops < offers / 2, "too many drops: {drops}/{offers}");
+    }
+
+    #[test]
+    fn red_forced_drop_above_max_threshold() {
+        let p = RedParams {
+            min_threshold: 1_000.0,
+            max_threshold: 2_000.0,
+            weight: 1.0, // avg == instantaneous for the test
+            ..RedParams::default()
+        };
+        let mut q = OutputQueueState::new(QueueDiscipline::Red(p), 90_000, 100_000_000);
+        let mut r = rng();
+        for _ in 0..3 {
+            if let Verdict::Accept = q.offer(1000, SimTime::ZERO, &mut r) {
+                q.commit_enqueue(1000);
+            }
+        }
+        // avg == len >= 2000 now: forced drop.
+        assert!(matches!(
+            q.offer(1000, SimTime::ZERO, &mut r),
+            Verdict::CongestionDrop {
+                drop_probability, ..
+            } if drop_probability == 1.0
+        ));
+    }
+
+    #[test]
+    fn red_idle_decay_reduces_average() {
+        let p = RedParams {
+            weight: 0.5,
+            ..RedParams::default()
+        };
+        let mut q = OutputQueueState::new(QueueDiscipline::Red(p), 90_000, 8_000_000); // 1 B/us
+        let mut r = rng();
+        for i in 0..40 {
+            if q.offer(1000, SimTime::from_us(i), &mut r) == Verdict::Accept {
+                q.commit_enqueue(1000);
+            }
+        }
+        let avg_before = q.red_avg().unwrap();
+        // Drain fully, then go idle a long time.
+        let len = q.len_bytes();
+        q.commit_dequeue(len, SimTime::from_ms(1));
+        let _ = q.offer(1000, SimTime::from_secs(1), &mut r);
+        assert!(
+            q.red_avg().unwrap() < avg_before / 10.0,
+            "idle decay failed: {} -> {}",
+            avg_before,
+            q.red_avg().unwrap()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn dequeue_underflow_panics() {
+        let mut q = OutputQueueState::new(QueueDiscipline::DropTail, 1000, 1_000_000);
+        q.commit_dequeue(1, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "past limit")]
+    fn enqueue_past_limit_panics() {
+        let mut q = OutputQueueState::new(QueueDiscipline::DropTail, 1000, 1_000_000);
+        q.commit_enqueue(1001);
+    }
+}

@@ -1,0 +1,205 @@
+//! Packet taps: the observation stream monitors consume.
+//!
+//! The detection protocols are *passive monitors* (§2.4.1): each router
+//! summarizes the traffic it forwards. The simulator exposes exactly the
+//! observation points a real Fatih deployment instruments — packets
+//! committed into an output queue, packets completing transmission, packets
+//! arriving and being delivered, and every drop with its cause. The cause
+//! carried in [`DropReason`] is *ground truth* for evaluating detectors; the
+//! detectors themselves never see it.
+
+use crate::packet::Packet;
+use crate::time::SimTime;
+use fatih_topology::RouterId;
+
+/// Why a packet was lost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DropReason {
+    /// Legitimate queue loss (overflow or RED early drop).
+    Congestion {
+        /// RED average queue size at the decision, if the queue is RED.
+        red_avg: Option<f64>,
+        /// Probability with which the discipline dropped (1.0 = forced).
+        drop_probability: f64,
+    },
+    /// A compromised router dropped it (ground truth for evaluation).
+    Malicious,
+    /// Hop budget exhausted (e.g. due to a misrouting loop).
+    TtlExpired,
+    /// No route toward the destination (partition or total exclusion).
+    NoRoute,
+}
+
+impl DropReason {
+    /// Whether the loss is attack ground truth.
+    pub fn is_malicious(&self) -> bool {
+        matches!(self, DropReason::Malicious)
+    }
+}
+
+/// One observation event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TapEvent {
+    /// `router` committed `packet` into its output queue toward
+    /// `next_hop` at `time` (the packet *entered Q* — what neighbours
+    /// compute as `t + d + ps/bw` in §6.2.1).
+    Enqueued {
+        /// Forwarding router.
+        router: RouterId,
+        /// Egress neighbour.
+        next_hop: RouterId,
+        /// The packet.
+        packet: Packet,
+        /// Enqueue time.
+        time: SimTime,
+        /// Queue occupancy in bytes immediately *after* the enqueue.
+        queue_len_after: u32,
+    },
+    /// `packet` finished transmission from `router` toward `next_hop`
+    /// (the packet *exited Q*).
+    Transmitted {
+        /// Transmitting router.
+        router: RouterId,
+        /// Egress neighbour.
+        next_hop: RouterId,
+        /// The packet.
+        packet: Packet,
+        /// Transmission-complete time.
+        time: SimTime,
+    },
+    /// `packet` arrived at `router` from `from` (after link propagation).
+    Arrived {
+        /// Receiving router.
+        router: RouterId,
+        /// Upstream neighbour (`None` for locally injected traffic).
+        from: Option<RouterId>,
+        /// The packet.
+        packet: Packet,
+        /// Arrival time.
+        time: SimTime,
+    },
+    /// `packet` reached its destination and left the network.
+    Delivered {
+        /// Destination router.
+        router: RouterId,
+        /// The packet.
+        packet: Packet,
+        /// Delivery time.
+        time: SimTime,
+    },
+    /// `packet` was lost at `router` (before or inside the queue toward
+    /// `next_hop`, when known).
+    Dropped {
+        /// Router where the loss happened.
+        router: RouterId,
+        /// Intended egress neighbour, if the loss happened at an egress.
+        next_hop: Option<RouterId>,
+        /// The packet.
+        packet: Packet,
+        /// Ground-truth cause.
+        reason: DropReason,
+        /// Drop time.
+        time: SimTime,
+        /// Queue occupancy in bytes at the drop decision.
+        queue_len: u32,
+    },
+    /// A source injected `packet` into the network at `router`.
+    Injected {
+        /// Source router.
+        router: RouterId,
+        /// The packet.
+        packet: Packet,
+        /// Injection time.
+        time: SimTime,
+    },
+}
+
+impl TapEvent {
+    /// The event's timestamp.
+    pub fn time(&self) -> SimTime {
+        match self {
+            TapEvent::Enqueued { time, .. }
+            | TapEvent::Transmitted { time, .. }
+            | TapEvent::Arrived { time, .. }
+            | TapEvent::Delivered { time, .. }
+            | TapEvent::Dropped { time, .. }
+            | TapEvent::Injected { time, .. } => *time,
+        }
+    }
+
+    /// The packet the event concerns.
+    pub fn packet(&self) -> &Packet {
+        match self {
+            TapEvent::Enqueued { packet, .. }
+            | TapEvent::Transmitted { packet, .. }
+            | TapEvent::Arrived { packet, .. }
+            | TapEvent::Delivered { packet, .. }
+            | TapEvent::Dropped { packet, .. }
+            | TapEvent::Injected { packet, .. } => packet,
+        }
+    }
+}
+
+/// Aggregate ground-truth counters the engine maintains for evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GroundTruth {
+    /// Packets injected by sources.
+    pub injected: u64,
+    /// Packets delivered to destinations.
+    pub delivered: u64,
+    /// Congestive losses (drop-tail overflow + RED early drops).
+    pub congestive_drops: u64,
+    /// Malicious losses.
+    pub malicious_drops: u64,
+    /// TTL-expiry losses.
+    pub ttl_drops: u64,
+    /// Losses for lack of a route.
+    pub no_route_drops: u64,
+    /// Packets whose payload a compromised router modified.
+    pub modified: u64,
+    /// Packets a compromised router misrouted.
+    pub misrouted: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, PacketId, PacketKind};
+
+    fn pkt() -> Packet {
+        Packet {
+            id: PacketId(1),
+            src: RouterId::from(0),
+            dst: RouterId::from(1),
+            flow: FlowId(0),
+            kind: PacketKind::Data,
+            size: 100,
+            seq: 0,
+            payload_tag: 0,
+            ttl: 64,
+            created_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let e = TapEvent::Delivered {
+            router: RouterId::from(1),
+            packet: pkt(),
+            time: SimTime::from_ms(3),
+        };
+        assert_eq!(e.time(), SimTime::from_ms(3));
+        assert_eq!(e.packet().id, PacketId(1));
+    }
+
+    #[test]
+    fn malicious_reason() {
+        assert!(DropReason::Malicious.is_malicious());
+        assert!(!DropReason::Congestion {
+            red_avg: None,
+            drop_probability: 1.0
+        }
+        .is_malicious());
+        assert!(!DropReason::TtlExpired.is_malicious());
+    }
+}

@@ -1,0 +1,151 @@
+//! Simulation time.
+//!
+//! The dissertation assumes a synchronous system (§2.1.2, §4.1): clocks
+//! synchronized closely enough that routers agree on measurement intervals.
+//! The simulator keeps one true nanosecond clock; per-router skew is modeled
+//! separately (see [`crate::engine::Network::set_clock_skew`]) so the
+//! protocols' tolerance of a few milliseconds of NTP error (§5.3.1) can be
+//! exercised.
+
+/// A point in simulated time, in nanoseconds since simulation start.
+///
+/// # Examples
+///
+/// ```
+/// use fatih_sim::SimTime;
+/// let t = SimTime::from_ms(5) + SimTime::from_us(250);
+/// assert_eq!(t.as_ns(), 5_250_000);
+/// assert!((t.as_secs_f64() - 0.00525).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// From nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// From microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// From milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// From whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// From fractional seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite input.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "invalid time {s}");
+        SimTime((s * 1e9).round() as u64)
+    }
+
+    /// Nanoseconds since simulation start.
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// As fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating difference `self − earlier`.
+    pub fn since(self, earlier: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Applies a signed skew, saturating at zero (how a router with a slow
+    /// clock timestamps an observation).
+    pub fn with_skew(self, skew_ns: i64) -> SimTime {
+        if skew_ns >= 0 {
+            SimTime(self.0.saturating_add(skew_ns as u64))
+        } else {
+            SimTime(self.0.saturating_sub(skew_ns.unsigned_abs()))
+        }
+    }
+}
+
+impl std::ops::Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::ops::Mul<u64> for SimTime {
+    type Output = SimTime;
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    /// Renders as seconds with millisecond precision.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::from_secs(1).as_ns(), 1_000_000_000);
+        assert_eq!(SimTime::from_ms(1).as_ns(), 1_000_000);
+        assert_eq!(SimTime::from_us(1).as_ns(), 1_000);
+        assert_eq!(SimTime::from_secs_f64(0.5).as_ns(), 500_000_000);
+    }
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = SimTime::from_ms(10);
+        let b = SimTime::from_ms(3);
+        assert_eq!((a + b).as_ns(), 13_000_000);
+        assert!(b < a);
+        assert_eq!(a.since(b), SimTime::from_ms(7));
+        assert_eq!(b.since(a), SimTime::ZERO);
+        assert_eq!(SimTime::from_ms(2) * 3, SimTime::from_ms(6));
+    }
+
+    #[test]
+    fn skew_application() {
+        let t = SimTime::from_ms(10);
+        assert_eq!(t.with_skew(1_000_000), SimTime::from_ms(11));
+        assert_eq!(t.with_skew(-1_000_000), SimTime::from_ms(9));
+        assert_eq!(SimTime::from_ns(5).with_skew(-100), SimTime::ZERO);
+    }
+
+    #[test]
+    fn display_in_seconds() {
+        assert_eq!(format!("{}", SimTime::from_ms(1500)), "1.500s");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid time")]
+    fn negative_seconds_rejected() {
+        let _ = SimTime::from_secs_f64(-1.0);
+    }
+}

@@ -1,0 +1,316 @@
+//! Batch and online descriptive statistics.
+//!
+//! The evaluation chapters report max/average/median series (Figures 5.2 and
+//! 5.4) and Protocol χ needs a running mean/standard deviation of the
+//! queue-prediction error learned over a calibration period (§6.2.1). Batch
+//! summaries are computed by [`Summary`]; streaming moments by
+//! [`OnlineStats`] (Welford's algorithm, numerically stable).
+
+/// Batch summary of a sample: count, mean, standard deviation, min, max,
+/// median and arbitrary percentiles.
+///
+/// # Examples
+///
+/// ```
+/// use fatih_stats::Summary;
+/// let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.len(), 4);
+/// assert!((s.mean() - 2.5).abs() < 1e-12);
+/// assert!((s.median() - 2.5).abs() < 1e-12);
+/// assert_eq!(s.max(), 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    sorted: Vec<f64>,
+    mean: f64,
+    m2: f64,
+}
+
+impl Summary {
+    /// Builds a summary from any iterator of values.
+    ///
+    /// Non-finite values are rejected with a panic because every statistic
+    /// downstream would silently become meaningless.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is NaN or infinite.
+    pub fn from_iter<I: IntoIterator<Item = f64>>(values: I) -> Self {
+        let mut sorted: Vec<f64> = values.into_iter().collect();
+        assert!(
+            sorted.iter().all(|v| v.is_finite()),
+            "Summary requires finite values"
+        );
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        let mut mean = 0.0;
+        let mut m2 = 0.0;
+        for (i, &x) in sorted.iter().enumerate() {
+            let delta = x - mean;
+            mean += delta / (i + 1) as f64;
+            m2 += delta * (x - mean);
+        }
+        Self { sorted, mean, m2 }
+    }
+
+    /// Builds a summary from a slice.
+    pub fn from_slice(values: &[f64]) -> Self {
+        Self::from_iter(values.iter().copied())
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Arithmetic mean. Zero for an empty sample.
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (`n − 1` denominator). Zero when `n < 2`.
+    pub fn variance(&self) -> f64 {
+        if self.sorted.len() < 2 {
+            0.0
+        } else {
+            self.m2 / (self.sorted.len() - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum. Zero for an empty sample.
+    pub fn min(&self) -> f64 {
+        self.sorted.first().copied().unwrap_or(0.0)
+    }
+
+    /// Maximum. Zero for an empty sample.
+    pub fn max(&self) -> f64 {
+        self.sorted.last().copied().unwrap_or(0.0)
+    }
+
+    /// Median (linear interpolation between the middle pair for even `n`).
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Percentile in `[0, 100]` with linear interpolation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        if self.sorted.len() == 1 {
+            return self.sorted[0];
+        }
+        let rank = p / 100.0 * (self.sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+    }
+}
+
+/// Streaming mean / variance via Welford's algorithm.
+///
+/// Protocol χ uses this during its *learning period* to estimate the mean
+/// `µ` and standard deviation `σ` of the queue-prediction error
+/// `X = q_act − q_pred` (dissertation §6.2.1).
+///
+/// # Examples
+///
+/// ```
+/// use fatih_stats::OnlineStats;
+/// let mut o = OnlineStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     o.push(x);
+/// }
+/// assert!((o.mean() - 5.0).abs() < 1e-12);
+/// assert!((o.population_std_dev() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// Whether no observations were added yet.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Running mean. Zero when empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance. Zero when `n < 2`.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Population variance (`n` denominator). Zero when empty.
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn population_std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.len(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.median() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_handles_empty_and_singleton() {
+        let e = Summary::from_slice(&[]);
+        assert!(e.is_empty());
+        assert_eq!(e.mean(), 0.0);
+        assert_eq!(e.median(), 0.0);
+        let s = Summary::from_slice(&[42.0]);
+        assert_eq!(s.median(), 42.0);
+        assert_eq!(s.percentile(99.0), 42.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let s = Summary::from_slice(&[0.0, 10.0]);
+        assert!((s.percentile(25.0) - 2.5).abs() < 1e-12);
+        assert_eq!(s.percentile(0.0), 0.0);
+        assert_eq!(s.percentile(100.0), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite values")]
+    fn summary_rejects_nan() {
+        let _ = Summary::from_slice(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn online_matches_batch() {
+        let data: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.25).collect();
+        let batch = Summary::from_slice(&data);
+        let mut online = OnlineStats::new();
+        for &x in &data {
+            online.push(x);
+        }
+        assert!((online.mean() - batch.mean()).abs() < 1e-9);
+        assert!((online.variance() - batch.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let a: Vec<f64> = (0..500).map(|i| (i as f64).sin() * 10.0).collect();
+        let b: Vec<f64> = (0..700).map(|i| (i as f64).cos() * 3.0 + 5.0).collect();
+        let mut all = OnlineStats::new();
+        for x in a.iter().chain(b.iter()) {
+            all.push(*x);
+        }
+        let mut left = OnlineStats::new();
+        for &x in &a {
+            left.push(x);
+        }
+        let mut right = OnlineStats::new();
+        for &x in &b {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.len(), all.len());
+        assert!((left.mean() - all.mean()).abs() < 1e-9);
+        assert!((left.variance() - all.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+        let mut e = OnlineStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+}

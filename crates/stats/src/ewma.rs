@@ -1,0 +1,150 @@
+//! Exponentially weighted moving averages.
+//!
+//! Used in two places in the reproduction: RED's average queue size
+//! (dissertation §6.5.1 — RED drops probabilistically based on an EWMA of
+//! instantaneous queue length), and rate estimation in the ZHANG-style
+//! per-interface baseline (§3.12).
+
+/// An exponentially weighted moving average
+/// `avg ← (1 − w)·avg + w·sample`.
+///
+/// # Examples
+///
+/// ```
+/// use fatih_stats::Ewma;
+/// let mut avg = Ewma::new(0.5);
+/// avg.update(10.0);
+/// avg.update(20.0);
+/// // (0.5·10)·0.5 + 0.5·20 ... first sample seeds the average:
+/// assert!((avg.value() - 15.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    weight: f64,
+    value: f64,
+    seeded: bool,
+}
+
+impl Ewma {
+    /// Creates an average with smoothing weight `w ∈ (0, 1]`.
+    ///
+    /// RED traditionally uses small weights such as `w = 0.002`; the first
+    /// sample seeds the average directly (standard RED initialisation).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < w <= 1`.
+    pub fn new(weight: f64) -> Self {
+        assert!(
+            weight > 0.0 && weight <= 1.0,
+            "EWMA weight must be in (0,1], got {weight}"
+        );
+        Self {
+            weight,
+            value: 0.0,
+            seeded: false,
+        }
+    }
+
+    /// Feeds one sample, returning the updated average.
+    pub fn update(&mut self, sample: f64) -> f64 {
+        if self.seeded {
+            self.value += self.weight * (sample - self.value);
+        } else {
+            self.value = sample;
+            self.seeded = true;
+        }
+        self.value
+    }
+
+    /// Applies the idle-time decay RED performs when a packet arrives at an
+    /// empty queue: the average is aged as if `m` zero-length samples were
+    /// seen, i.e. `avg ← avg · (1 − w)^m`.
+    pub fn decay(&mut self, m: u32) -> f64 {
+        if self.seeded {
+            self.value *= (1.0 - self.weight).powi(m as i32);
+        }
+        self.value
+    }
+
+    /// Current average; zero before any sample.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Smoothing weight.
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// Whether at least one sample was seen.
+    pub fn is_seeded(&self) -> bool {
+        self.seeded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_seeds() {
+        let mut e = Ewma::new(0.1);
+        assert_eq!(e.value(), 0.0);
+        e.update(42.0);
+        assert_eq!(e.value(), 42.0);
+        assert!(e.is_seeded());
+    }
+
+    #[test]
+    fn converges_to_constant_input() {
+        let mut e = Ewma::new(0.02);
+        for _ in 0..2_000 {
+            e.update(7.5);
+        }
+        assert!((e.value() - 7.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tracks_step_change_monotonically() {
+        let mut e = Ewma::new(0.25);
+        e.update(0.0);
+        let mut prev = e.value();
+        for _ in 0..50 {
+            let v = e.update(100.0);
+            assert!(v > prev);
+            prev = v;
+        }
+        assert!(prev < 100.0 + 1e-9);
+    }
+
+    #[test]
+    fn decay_matches_repeated_zero_updates() {
+        let mut a = Ewma::new(0.1);
+        let mut b = Ewma::new(0.1);
+        a.update(50.0);
+        b.update(50.0);
+        a.decay(5);
+        for _ in 0..5 {
+            let v = b.value();
+            b.update(0.0);
+            // update toward zero == multiply by (1-w)
+            assert!((b.value() - v * 0.9).abs() < 1e-12);
+        }
+        assert!((a.value() - b.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decay_before_seed_is_noop() {
+        let mut e = Ewma::new(0.5);
+        e.decay(10);
+        assert_eq!(e.value(), 0.0);
+        assert!(!e.is_seeded());
+    }
+
+    #[test]
+    #[should_panic(expected = "EWMA weight")]
+    fn rejects_zero_weight() {
+        let _ = Ewma::new(0.0);
+    }
+}

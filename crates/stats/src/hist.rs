@@ -1,0 +1,253 @@
+//! Fixed-bin histograms and normality diagnostics.
+//!
+//! The Figure 6.3 experiment shows that the queue-prediction error
+//! `q_error = q_act − q_pred` is approximately normal; the figure
+//! regenerator uses [`Histogram`] to print the empirical distribution and
+//! [`Histogram::jarque_bera`]-style moments to quantify how normal it is.
+
+use crate::descriptive::OnlineStats;
+
+/// A histogram with uniform bins over `[lo, hi)` plus underflow/overflow
+/// counters, tracking exact moments of all pushed samples on the side.
+///
+/// # Examples
+///
+/// ```
+/// use fatih_stats::Histogram;
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// for x in [0.5, 1.5, 1.7, 9.9, -3.0, 11.0] {
+///     h.push(x);
+/// }
+/// assert_eq!(h.count(0), 3); // [0,2) holds 0.5, 1.5, 1.7
+/// assert_eq!(h.count(4), 1); // [8,10)
+/// assert_eq!(h.underflow(), 1);
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    moments: OnlineStats,
+    m3: f64,
+    m4: f64,
+    raw: Vec<f64>,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` uniform bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo < hi, "histogram range empty: [{lo}, {hi})");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            moments: OnlineStats::new(),
+            m3: 0.0,
+            m4: 0.0,
+            raw: Vec::new(),
+        }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.moments.push(x);
+        self.raw.push(x);
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / w) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// All bin counts, in order.
+    pub fn counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// `(lo, hi)` edges of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + i as f64 * w, self.lo + (i + 1) as f64 * w)
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the upper edge.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples pushed (including out-of-range ones).
+    pub fn len(&self) -> u64 {
+        self.moments.len()
+    }
+
+    /// Whether no samples were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Mean of all pushed samples.
+    pub fn mean(&self) -> f64 {
+        self.moments.mean()
+    }
+
+    /// Sample standard deviation of all pushed samples.
+    pub fn std_dev(&self) -> f64 {
+        self.moments.std_dev()
+    }
+
+    /// Sample skewness (third standardized moment); 0 for a symmetric
+    /// distribution. Returns 0 when fewer than 3 samples or zero variance.
+    pub fn skewness(&self) -> f64 {
+        self.standardized_moment(3)
+    }
+
+    /// Sample excess kurtosis (fourth standardized moment − 3); 0 for a
+    /// normal distribution. Returns 0 when fewer than 4 samples.
+    pub fn excess_kurtosis(&self) -> f64 {
+        if self.raw.len() < 4 {
+            return 0.0;
+        }
+        self.standardized_moment(4) - 3.0
+    }
+
+    fn standardized_moment(&self, k: u32) -> f64 {
+        let n = self.raw.len();
+        if n < k as usize {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let sd = {
+            // population sd for moment standardization
+            let var: f64 =
+                self.raw.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+            var.sqrt()
+        };
+        if sd == 0.0 {
+            return 0.0;
+        }
+        self.raw
+            .iter()
+            .map(|x| ((x - mean) / sd).powi(k as i32))
+            .sum::<f64>()
+            / n as f64
+    }
+
+    /// Jarque–Bera statistic `n/6 · (S² + K²/4)`; small values (≲ 6)
+    /// indicate consistency with a normal distribution at the 5% level.
+    pub fn jarque_bera(&self) -> f64 {
+        let n = self.raw.len() as f64;
+        let s = self.skewness();
+        let k = self.excess_kurtosis();
+        n / 6.0 * (s * s + k * k / 4.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_the_range() {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        // Offset by half a step so no sample sits on a bin boundary, where
+        // float rounding could legitimately place it on either side.
+        for i in 0..100 {
+            h.push((i as f64 + 0.5) / 100.0);
+        }
+        assert_eq!(h.counts().iter().sum::<u64>(), 100);
+        for i in 0..10 {
+            assert_eq!(h.count(i), 10, "bin {i}");
+        }
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn edges_are_uniform() {
+        let h = Histogram::new(-2.0, 2.0, 4);
+        assert_eq!(h.bin_edges(0), (-2.0, -1.0));
+        assert_eq!(h.bin_edges(3), (1.0, 2.0));
+    }
+
+    #[test]
+    fn upper_edge_counts_as_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.push(1.0);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.counts().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn symmetric_sample_has_near_zero_skew() {
+        let mut h = Histogram::new(-3.0, 3.0, 12);
+        for i in -1000i32..=1000 {
+            h.push(i as f64 / 400.0);
+        }
+        assert!(h.skewness().abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_sample_fails_jarque_bera_normality() {
+        // Uniform has excess kurtosis −1.2, so JB should be large.
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        for i in 0..2_000 {
+            h.push(i as f64 / 2_000.0);
+        }
+        assert!(h.jarque_bera() > 50.0);
+    }
+
+    #[test]
+    fn gaussian_like_sample_passes_jarque_bera() {
+        // Sum of 12 "uniforms" from a deterministic low-discrepancy stream
+        // is close to normal (Irwin–Hall).
+        let mut h = Histogram::new(-4.0, 4.0, 32);
+        let mut state = 1u64;
+        let mut next = || {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..4_000 {
+            let s: f64 = (0..12).map(|_| next()).sum::<f64>() - 6.0;
+            h.push(s);
+        }
+        assert!(h.jarque_bera() < 12.0, "JB = {}", h.jarque_bera());
+    }
+
+    #[test]
+    #[should_panic(expected = "range empty")]
+    fn rejects_bad_range() {
+        let _ = Histogram::new(1.0, 1.0, 4);
+    }
+}

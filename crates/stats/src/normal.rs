@@ -1,0 +1,225 @@
+//! Standard-normal distribution functions.
+//!
+//! Protocol χ models the queue-prediction error `q_act − q_pred` as a normal
+//! random variable whose mean and standard deviation are measured during a
+//! learning period (dissertation §6.2.1). Both its statistical tests reduce
+//! to evaluating the standard-normal CDF.
+
+use crate::erf_impl::{erf, erfc};
+
+const SQRT_2: f64 = std::f64::consts::SQRT_2;
+
+/// Cumulative distribution function `Φ(x) = P(Z ≤ x)` of `Z ~ N(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use fatih_stats::normal;
+/// assert!((normal::cdf(0.0) - 0.5).abs() < 1e-15);
+/// assert!(normal::cdf(3.0) > 0.998);
+/// ```
+pub fn cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / SQRT_2)
+}
+
+/// Survival function `P(Z > x) = 1 − Φ(x)`, stable in the upper tail.
+///
+/// # Examples
+///
+/// ```
+/// use fatih_stats::normal;
+/// // A 6-sigma event really is around 1e-9, not rounded to zero:
+/// let p = normal::sf(6.0);
+/// assert!(p > 0.9e-9 && p < 1.1e-9);
+/// ```
+pub fn sf(x: f64) -> f64 {
+    0.5 * erfc(x / SQRT_2)
+}
+
+/// Probability density function `φ(x)`.
+///
+/// # Examples
+///
+/// ```
+/// use fatih_stats::normal;
+/// assert!((normal::pdf(0.0) - 0.3989422804014327).abs() < 1e-12);
+/// ```
+pub fn pdf(x: f64) -> f64 {
+    const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
+    INV_SQRT_2PI * (-0.5 * x * x).exp()
+}
+
+/// Quantile function `Φ⁻¹(p)` (inverse CDF).
+///
+/// Uses Peter Acklam's rational approximation refined with one Halley step,
+/// giving full double precision over `(0, 1)`.
+///
+/// # Panics
+///
+/// Panics if `p` is not within `(0, 1)` (exclusive); the endpoints map to
+/// ±∞, which callers in this crate never want.
+///
+/// # Examples
+///
+/// ```
+/// use fatih_stats::normal;
+/// let z = normal::quantile(0.975);
+/// assert!((z - 1.959963984540054).abs() < 1e-9);
+/// // Round-trips with the CDF:
+/// assert!((normal::cdf(normal::quantile(0.3)) - 0.3).abs() < 1e-12);
+/// ```
+pub fn quantile(p: f64) -> f64 {
+    assert!(
+        p > 0.0 && p < 1.0,
+        "normal::quantile requires p in (0,1), got {p}"
+    );
+
+    // Acklam's coefficients.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_690e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley refinement step: e = cdf(x) - p; u = e/pdf(x).
+    let e = cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// CDF of a general normal `N(mu, sigma²)`.
+///
+/// # Examples
+///
+/// ```
+/// use fatih_stats::normal;
+/// let p = normal::cdf_general(54.0, 50.0, 2.0);
+/// assert!((p - normal::cdf(2.0)).abs() < 1e-14);
+/// ```
+pub fn cdf_general(x: f64, mu: f64, sigma: f64) -> f64 {
+    cdf((x - mu) / sigma)
+}
+
+/// Confidence value `(1 + erf(y/√2)) / 2` used verbatim by the dissertation's
+/// Figure 6.2 (the single-packet-loss test); equal to [`cdf`]`(y)`.
+///
+/// # Examples
+///
+/// ```
+/// use fatih_stats::normal;
+/// assert!((normal::erf_confidence(0.0) - 0.5).abs() < 1e-15);
+/// ```
+pub fn erf_confidence(y: f64) -> f64 {
+    0.5 * (1.0 + erf(y / SQRT_2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_reference_values() {
+        let refs = [
+            (-3.0, 1.349898031630095e-3),
+            (-1.0, 0.1586552539314571),
+            (0.0, 0.5),
+            (1.0, 0.8413447460685429),
+            (1.6448536269514722, 0.95),
+            (3.0, 0.9986501019683699),
+        ];
+        for (x, want) in refs {
+            assert!((cdf(x) - want).abs() < 1e-12, "cdf({x})");
+        }
+    }
+
+    #[test]
+    fn sf_is_one_minus_cdf() {
+        for x in [-4.0, -1.5, 0.0, 0.5, 2.2, 3.8] {
+            assert!((sf(x) + cdf(x) - 1.0).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn quantile_round_trip() {
+        for i in 1..200 {
+            let p = i as f64 / 200.0;
+            let x = quantile(p);
+            assert!((cdf(x) - p).abs() < 1e-11, "round trip at p={p}");
+        }
+    }
+
+    #[test]
+    fn quantile_deep_tails() {
+        for p in [1e-10, 1e-6, 1e-3, 1.0 - 1e-3, 1.0 - 1e-6] {
+            let x = quantile(p);
+            assert!((cdf(x) - p).abs() / p.min(1.0 - p) < 1e-6, "tail p={p}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires p in (0,1)")]
+    fn quantile_rejects_zero() {
+        let _ = quantile(0.0);
+    }
+
+    #[test]
+    fn erf_confidence_equals_cdf() {
+        for y in [-2.0, -0.5, 0.0, 0.7, 3.1] {
+            assert!((erf_confidence(y) - cdf(y)).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        // Simple trapezoid over [-8, 8].
+        let n = 16_000;
+        let h = 16.0 / n as f64;
+        let mut s = 0.0;
+        for i in 0..=n {
+            let x = -8.0 + i as f64 * h;
+            let w = if i == 0 || i == n { 0.5 } else { 1.0 };
+            s += w * pdf(x);
+        }
+        assert!((s * h - 1.0).abs() < 1e-9);
+    }
+}

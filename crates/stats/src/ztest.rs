@@ -1,0 +1,153 @@
+//! One-sample Z-tests.
+//!
+//! Protocol χ's *combined packet losses* test (dissertation §6.2.1) asks, for
+//! the set of `n` packets dropped in a round, whether their mean predicted
+//! queue headroom is consistent with congestion. The dissertation's score is
+//!
+//! ```text
+//! z1 = (q_limit − mean(q_pred) − mean(ps) − µ) / (σ / √n)
+//! ```
+//!
+//! and the confidence for "the losses were malicious" is `P(Z < z1)`.
+//! This module provides that score plus the generic building blocks.
+
+use crate::normal;
+
+/// Outcome of a one-sample Z-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZTest {
+    /// The standardized test statistic.
+    pub z: f64,
+    /// `P(Z < z)` under the standard normal null distribution.
+    pub p_less: f64,
+}
+
+impl ZTest {
+    /// Tests a sample mean against a hypothesized population mean `mu0`,
+    /// given the population standard deviation `sigma` and sample size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma <= 0` or `n == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fatih_stats::ztest::ZTest;
+    /// let t = ZTest::one_sample(5.2, 5.0, 1.0, 25);
+    /// assert!((t.z - 1.0).abs() < 1e-12);
+    /// ```
+    pub fn one_sample(sample_mean: f64, mu0: f64, sigma: f64, n: u64) -> Self {
+        assert!(sigma > 0.0, "sigma must be positive, got {sigma}");
+        assert!(n > 0, "sample size must be positive");
+        let z = (sample_mean - mu0) / (sigma / (n as f64).sqrt());
+        Self {
+            z,
+            p_less: normal::cdf(z),
+        }
+    }
+
+    /// Upper-tail p-value `P(Z > z)`.
+    pub fn p_greater(&self) -> f64 {
+        normal::sf(self.z)
+    }
+
+    /// Two-sided p-value `P(|Z| > |z|)`.
+    pub fn p_two_sided(&self) -> f64 {
+        2.0 * normal::sf(self.z.abs())
+    }
+}
+
+/// The dissertation's combined-losses confidence `c_combined` (§6.2.1).
+///
+/// * `q_limit` — output buffer limit in bytes;
+/// * `mean_q_pred` — mean predicted queue length at the drop times;
+/// * `mean_ps` — mean size of the dropped packets;
+/// * `mu`, `sigma` — learned moments of the prediction error
+///   `X = q_act − q_pred`;
+/// * `n` — number of dropped packets in the round.
+///
+/// Returns the confidence that the drops were **malicious**: the probability,
+/// under the congestion hypothesis, of seeing the queue this far below its
+/// limit at the drop times. Values near 1 mean "the queue had plenty of
+/// room — congestion cannot explain these losses".
+///
+/// # Panics
+///
+/// Panics if `sigma <= 0` or `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use fatih_stats::ztest::combined_loss_confidence;
+/// // 10 drops while the predicted queue was near-empty in a 64 kB buffer:
+/// let c = combined_loss_confidence(64_000.0, 1_000.0, 500.0, 0.0, 800.0, 10);
+/// assert!(c > 0.999);
+/// // 10 drops while the predicted queue hugged the limit: plausibly congestion.
+/// let c = combined_loss_confidence(64_000.0, 63_600.0, 500.0, 0.0, 800.0, 10);
+/// assert!(c < 0.6);
+/// ```
+pub fn combined_loss_confidence(
+    q_limit: f64,
+    mean_q_pred: f64,
+    mean_ps: f64,
+    mu: f64,
+    sigma: f64,
+    n: u64,
+) -> f64 {
+    assert!(sigma > 0.0, "sigma must be positive, got {sigma}");
+    assert!(n > 0, "need at least one dropped packet");
+    let z1 = (q_limit - mean_q_pred - mean_ps - mu) / (sigma / (n as f64).sqrt());
+    normal::cdf(z1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z_statistic_matches_hand_computation() {
+        // mean 103, mu0 100, sigma 12, n 36 -> z = 3/(12/6) = 1.5
+        let t = ZTest::one_sample(103.0, 100.0, 12.0, 36);
+        assert!((t.z - 1.5).abs() < 1e-12);
+        assert!((t.p_less - normal::cdf(1.5)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn tails_sum_to_one() {
+        let t = ZTest::one_sample(1.0, 0.0, 2.0, 9);
+        assert!((t.p_less + t.p_greater() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_sided_doubles_the_tail() {
+        let t = ZTest::one_sample(-1.0, 0.0, 1.0, 4);
+        assert!((t.p_two_sided() - 2.0 * normal::sf(2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_drops_sharpen_the_verdict() {
+        // Same per-drop evidence; confidence must grow with n.
+        let c1 = combined_loss_confidence(10_000.0, 5_000.0, 500.0, 0.0, 2_000.0, 1);
+        let c9 = combined_loss_confidence(10_000.0, 5_000.0, 500.0, 0.0, 2_000.0, 9);
+        assert!(c9 > c1);
+    }
+
+    #[test]
+    fn full_queue_drops_look_benign() {
+        let c = combined_loss_confidence(10_000.0, 9_800.0, 500.0, 0.0, 800.0, 5);
+        assert!(c < 0.5, "drops at a full queue must not look malicious, c={c}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be positive")]
+    fn rejects_nonpositive_sigma() {
+        let _ = combined_loss_confidence(1.0, 0.0, 0.0, 0.0, 0.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_zero_drops() {
+        let _ = combined_loss_confidence(1.0, 0.0, 0.0, 0.0, 1.0, 0);
+    }
+}

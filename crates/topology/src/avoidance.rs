@@ -1,0 +1,349 @@
+//! The response mechanism (dissertation §2.4.3): routing around suspected
+//! path segments.
+//!
+//! When detection raises a suspicion `(π, τ)`, the *least disruptive*
+//! countermeasure — and the one the dissertation chooses — is to remove only
+//! the path-segment `π` from the routing fabric: "routers update their
+//! forwarding tables such that no traffic traverses along the suspected
+//! path-segment anymore", while the member routers may keep forwarding
+//! other traffic. Fatih realizes this with source-prefix policy routing
+//! (§5.3.1); we realize the identical reachability semantics by computing
+//! shortest paths in a product graph that never *completes* a suspected
+//! segment.
+//!
+//! Forbidden-subsequence shortest paths are computed with an Aho–Corasick
+//! automaton over router-id sequences: states are prefixes of suspected
+//! segments, and any transition that would complete a full segment is
+//! removed. Dijkstra over (router, automaton-state) then yields the
+//! cheapest compliant path.
+
+use crate::graph::{RouterId, Topology};
+use crate::routing::Path;
+use crate::segments::PathSegment;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Aho–Corasick automaton over router sequences, specialized to *rejecting*
+/// walks that contain any pattern as a contiguous subsequence.
+#[derive(Debug, Clone)]
+struct SegmentAutomaton {
+    /// goto[state] : router -> next state.
+    transitions: Vec<HashMap<RouterId, usize>>,
+    /// Failure links.
+    fail: Vec<usize>,
+    /// Whether the state corresponds to a complete pattern (forbidden).
+    terminal: Vec<bool>,
+}
+
+impl SegmentAutomaton {
+    fn build(patterns: &[PathSegment]) -> Self {
+        let mut transitions: Vec<HashMap<RouterId, usize>> = vec![HashMap::new()];
+        let mut terminal = vec![false];
+        // Trie construction.
+        for p in patterns {
+            let mut state = 0usize;
+            for &r in p.routers() {
+                state = match transitions[state].get(&r) {
+                    Some(&next) => next,
+                    None => {
+                        transitions.push(HashMap::new());
+                        terminal.push(false);
+                        let next = transitions.len() - 1;
+                        transitions[state].insert(r, next);
+                        next
+                    }
+                };
+            }
+            terminal[state] = true;
+        }
+        // Failure links by BFS (standard Aho–Corasick).
+        let mut fail = vec![0usize; transitions.len()];
+        let mut queue = std::collections::VecDeque::new();
+        let first_level: Vec<usize> = transitions[0].values().copied().collect();
+        for s in first_level {
+            fail[s] = 0;
+            queue.push_back(s);
+        }
+        while let Some(state) = queue.pop_front() {
+            let edges: Vec<(RouterId, usize)> =
+                transitions[state].iter().map(|(&r, &s)| (r, s)).collect();
+            for (r, next) in edges {
+                // Walk failure links of `state` until a state with an
+                // `r`-edge is found (or the root is reached).
+                let mut f = fail[state];
+                fail[next] = loop {
+                    if let Some(&t) = transitions[f].get(&r) {
+                        // `t == next` can only happen when f == state == 0,
+                        // i.e. for depth-1 states, whose failure is the root.
+                        break if t == next { 0 } else { t };
+                    }
+                    if f == 0 {
+                        break 0;
+                    }
+                    f = fail[f];
+                };
+                // A state whose failure state is terminal contains a
+                // pattern as a suffix.
+                if terminal[fail[next]] {
+                    terminal[next] = true;
+                }
+                queue.push_back(next);
+            }
+        }
+        Self {
+            transitions,
+            fail,
+            terminal,
+        }
+    }
+
+    /// The state reached from `state` on symbol `r`.
+    fn step(&self, mut state: usize, r: RouterId) -> usize {
+        loop {
+            if let Some(&next) = self.transitions[state].get(&r) {
+                return next;
+            }
+            if state == 0 {
+                return 0;
+            }
+            state = self.fail[state];
+        }
+    }
+
+    fn is_terminal(&self, state: usize) -> bool {
+        self.terminal[state]
+    }
+
+    fn state_count(&self) -> usize {
+        self.transitions.len()
+    }
+}
+
+/// A routing fabric with a set of suspected path segments excluded
+/// (§2.4.3). Paths produced by [`path`](Self::path) never traverse any
+/// excluded segment; routers only appearing *inside* excluded segments
+/// remain usable on other routes, exactly like Fatih's policy routing.
+///
+/// # Examples
+///
+/// ```
+/// use fatih_topology::{builtin, AvoidingRoutes, PathSegment};
+///
+/// let t = builtin::abilene();
+/// let sun = t.router_by_name("Sunnyvale").unwrap();
+/// let ny = t.router_by_name("NewYork").unwrap();
+/// let den = t.router_by_name("Denver").unwrap();
+/// let kc = t.router_by_name("KansasCity").unwrap();
+/// let ind = t.router_by_name("Indianapolis").unwrap();
+///
+/// let direct = t.link_state_routes().path(sun, ny).unwrap();
+/// assert!(direct.routers().contains(&kc)); // primary route via Kansas City
+///
+/// let avoiding = AvoidingRoutes::new(&t, vec![
+///     PathSegment::new(vec![den, kc, ind]),
+///     PathSegment::new(vec![ind, kc, den]),
+/// ]);
+/// let rerouted = avoiding.path(sun, ny).unwrap();
+/// assert!(!rerouted.contains_segment(&[den, kc, ind]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AvoidingRoutes<'a> {
+    topo: &'a Topology,
+    excluded: Vec<PathSegment>,
+    automaton: SegmentAutomaton,
+}
+
+impl<'a> AvoidingRoutes<'a> {
+    /// Builds the avoidance fabric for a set of suspected segments.
+    pub fn new(topo: &'a Topology, excluded: Vec<PathSegment>) -> Self {
+        let automaton = SegmentAutomaton::build(&excluded);
+        Self {
+            topo,
+            excluded,
+            automaton,
+        }
+    }
+
+    /// The excluded segments.
+    pub fn excluded(&self) -> &[PathSegment] {
+        &self.excluded
+    }
+
+    /// Cheapest path from `src` to `dst` that contains no excluded segment,
+    /// or `None` if every path is forbidden (or `dst` is unreachable).
+    pub fn path(&self, src: RouterId, dst: RouterId) -> Option<Path> {
+        if src == dst {
+            return Some(Path::new(vec![src]));
+        }
+        let n = self.topo.router_count();
+        let states = self.automaton.state_count();
+        let idx = |r: RouterId, s: usize| r.index() * states + s;
+
+        let start_state = self.automaton.step(0, src);
+        if self.automaton.is_terminal(start_state) {
+            return None; // can't even start (single-router pattern; not constructible)
+        }
+
+        let mut dist = vec![u64::MAX; n * states];
+        let mut parent: Vec<Option<(RouterId, usize)>> = vec![None; n * states];
+        let mut heap = BinaryHeap::new();
+        dist[idx(src, start_state)] = 0;
+        heap.push(Reverse((0u64, src, start_state)));
+
+        while let Some(Reverse((cost, u, s))) = heap.pop() {
+            if cost > dist[idx(u, s)] {
+                continue;
+            }
+            if u == dst {
+                // Reconstruct.
+                let mut routers = vec![u];
+                let mut cur = (u, s);
+                while let Some(prev) = parent[idx(cur.0, cur.1)] {
+                    routers.push(prev.0);
+                    cur = prev;
+                }
+                routers.reverse();
+                return Some(Path::new(routers));
+            }
+            for &(v, p) in self.topo.neighbors(u) {
+                let s2 = self.automaton.step(s, v);
+                if self.automaton.is_terminal(s2) {
+                    continue; // would complete a suspected segment
+                }
+                let cand = cost + p.cost as u64;
+                if cand < dist[idx(v, s2)] {
+                    dist[idx(v, s2)] = cand;
+                    parent[idx(v, s2)] = Some((u, s));
+                    heap.push(Reverse((cand, v, s2)));
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether a router has become completely unreachable as a traffic
+    /// *transit or endpoint* for the given source — the "uniformly
+    /// malicious router ends up completely isolated" outcome of §2.4.3.
+    pub fn is_unreachable_from(&self, src: RouterId, r: RouterId) -> bool {
+        self.path(src, r).is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::LinkParams;
+
+    /// r0 - r1 - r2 - r3 line plus a bypass r0 - r4 - r5 - r3.
+    fn line_with_bypass() -> (Topology, Vec<RouterId>) {
+        let mut t = Topology::new();
+        let rs: Vec<RouterId> = (0..6).map(|i| t.add_router(&format!("n{i}"))).collect();
+        let p = LinkParams::default();
+        t.add_duplex_link(rs[0], rs[1], p);
+        t.add_duplex_link(rs[1], rs[2], p);
+        t.add_duplex_link(rs[2], rs[3], p);
+        let dear = LinkParams {
+            cost: 2,
+            ..LinkParams::default()
+        };
+        t.add_duplex_link(rs[0], rs[4], dear);
+        t.add_duplex_link(rs[4], rs[5], dear);
+        t.add_duplex_link(rs[5], rs[3], dear);
+        (t, rs)
+    }
+
+    #[test]
+    fn no_exclusions_matches_link_state_route() {
+        let (t, rs) = line_with_bypass();
+        let av = AvoidingRoutes::new(&t, vec![]);
+        let direct = t.link_state_routes().path(rs[0], rs[3]).unwrap();
+        assert_eq!(av.path(rs[0], rs[3]), Some(direct));
+    }
+
+    #[test]
+    fn excluded_segment_forces_detour() {
+        let (t, rs) = line_with_bypass();
+        let seg = PathSegment::new(vec![rs[1], rs[2]]);
+        let av = AvoidingRoutes::new(&t, vec![seg]);
+        let p = av.path(rs[0], rs[3]).unwrap();
+        assert_eq!(p.routers(), &[rs[0], rs[4], rs[5], rs[3]]);
+    }
+
+    #[test]
+    fn interior_router_stays_usable_elsewhere() {
+        // Excluding ⟨r1, r2⟩ must not stop r0 -> r1 or r2 -> r3 traffic.
+        let (t, rs) = line_with_bypass();
+        let seg = PathSegment::new(vec![rs[1], rs[2]]);
+        let av = AvoidingRoutes::new(&t, vec![seg]);
+        assert_eq!(av.path(rs[0], rs[1]).unwrap().routers(), &[rs[0], rs[1]]);
+        assert_eq!(av.path(rs[2], rs[3]).unwrap().routers(), &[rs[2], rs[3]]);
+    }
+
+    #[test]
+    fn three_router_segment_blocks_only_the_full_sequence() {
+        let (t, rs) = line_with_bypass();
+        // Exclude ⟨r0, r1, r2⟩ but not ⟨r1, r2⟩ itself.
+        let seg = PathSegment::new(vec![rs[0], rs[1], rs[2]]);
+        let av = AvoidingRoutes::new(&t, vec![seg]);
+        // r0 -> r3 must detour…
+        let p = av.path(rs[0], rs[3]).unwrap();
+        assert!(!p.contains_segment(&[rs[0], rs[1], rs[2]]));
+        // …but r1 -> r3 may still go through r2.
+        assert_eq!(
+            av.path(rs[1], rs[3]).unwrap().routers(),
+            &[rs[1], rs[2], rs[3]]
+        );
+    }
+
+    #[test]
+    fn unreachable_when_all_paths_forbidden() {
+        let mut t = Topology::new();
+        let a = t.add_router("a");
+        let b = t.add_router("b");
+        let c = t.add_router("c");
+        t.add_duplex_link(a, b, LinkParams::default());
+        t.add_duplex_link(b, c, LinkParams::default());
+        let av = AvoidingRoutes::new(&t, vec![PathSegment::new(vec![a, b])]);
+        assert_eq!(av.path(a, c), None);
+        assert!(av.is_unreachable_from(a, c));
+        // Reverse direction unaffected (segments are directional).
+        assert!(av.path(c, a).is_some());
+    }
+
+    #[test]
+    fn overlapping_segments_all_respected() {
+        let (t, rs) = line_with_bypass();
+        let av = AvoidingRoutes::new(
+            &t,
+            vec![
+                PathSegment::new(vec![rs[1], rs[2]]),
+                PathSegment::new(vec![rs[4], rs[5]]),
+            ],
+        );
+        // Both the primary and the bypass are now cut in the forward
+        // direction.
+        assert_eq!(av.path(rs[0], rs[3]), None);
+    }
+
+    #[test]
+    fn suffix_pattern_matching_works() {
+        // Pattern ⟨r2, r3⟩ must be caught even after a longer non-matching
+        // prefix (exercises the failure links).
+        let (t, rs) = line_with_bypass();
+        let av = AvoidingRoutes::new(&t, vec![PathSegment::new(vec![rs[2], rs[3]])]);
+        let p = av.path(rs[0], rs[3]).unwrap();
+        assert_eq!(p.routers(), &[rs[0], rs[4], rs[5], rs[3]]);
+        // r0 -> r2 is fine.
+        assert_eq!(
+            av.path(rs[0], rs[2]).unwrap().routers(),
+            &[rs[0], rs[1], rs[2]]
+        );
+    }
+
+    #[test]
+    fn trivial_path_allowed() {
+        let (t, rs) = line_with_bypass();
+        let av = AvoidingRoutes::new(&t, vec![PathSegment::new(vec![rs[0], rs[1]])]);
+        assert!(av.path(rs[0], rs[0]).unwrap().is_trivial());
+    }
+}

@@ -1,0 +1,284 @@
+//! Vertex-disjoint paths — the substrate of Perlman's Byzantine-robust
+//! data routing (dissertation §3.7).
+//!
+//! Under `TotalFault(f)` ("no more than f Byzantine faulty nodes"), a
+//! source that forwards each packet over `f + 1` *vertex-disjoint* paths
+//! is guaranteed that at least one copy traverses only correct routers —
+//! robustness without detection. This module computes maximum sets of
+//! internally-vertex-disjoint paths with the classic node-splitting
+//! max-flow construction (each interior router becomes an `in → out` edge
+//! of capacity one; Menger's theorem makes the flow value the
+//! connectivity).
+
+use crate::graph::{RouterId, Topology};
+use crate::routing::Path;
+use std::collections::VecDeque;
+
+/// Computes a maximum-cardinality set of internally-vertex-disjoint paths
+/// from `src` to `dst` (at most `limit` of them; pass `usize::MAX` for
+/// all). The two endpoints are shared by every path; no interior router
+/// appears twice.
+///
+/// # Panics
+///
+/// Panics if `src == dst`.
+pub fn vertex_disjoint_paths(
+    topo: &Topology,
+    src: RouterId,
+    dst: RouterId,
+    limit: usize,
+) -> Vec<Path> {
+    assert_ne!(src, dst, "need two distinct endpoints");
+    let n = topo.router_count();
+    // Node-split graph: node v becomes v_in = 2v, v_out = 2v+1, with a
+    // capacity-1 edge v_in→v_out for interior nodes (∞ modeled as 2 for
+    // endpoints is unnecessary: we never route *through* src/dst because
+    // simple augmenting paths won't revisit them profitably; give them
+    // high capacity anyway for correctness).
+    let nodes = 2 * n;
+    // adjacency with residual capacities: edge list + reverse indices.
+    #[derive(Clone, Copy)]
+    struct Edge {
+        to: usize,
+        cap: u32,
+        rev: usize,
+    }
+    let mut graph: Vec<Vec<Edge>> = vec![Vec::new(); nodes];
+    let add_edge = |graph: &mut Vec<Vec<Edge>>, a: usize, b: usize, cap: u32| {
+        let rev_a = graph[b].len();
+        let rev_b = graph[a].len();
+        graph[a].push(Edge { to: b, cap, rev: rev_a });
+        graph[b].push(Edge {
+            to: a,
+            cap: 0,
+            rev: rev_b,
+        });
+    };
+    for r in topo.routers() {
+        let i = r.index();
+        let cap = if r == src || r == dst { u32::MAX / 2 } else { 1 };
+        add_edge(&mut graph, 2 * i, 2 * i + 1, cap);
+    }
+    for l in topo.links() {
+        add_edge(&mut graph, 2 * l.from.index() + 1, 2 * l.to.index(), 1);
+    }
+
+    let s = 2 * src.index() + 1; // src_out
+    let t = 2 * dst.index(); // dst_in
+
+    // Edmonds–Karp.
+    let mut flow = 0usize;
+    while flow < limit {
+        // BFS for an augmenting path.
+        let mut prev: Vec<Option<(usize, usize)>> = vec![None; nodes]; // (node, edge idx)
+        let mut queue = VecDeque::from([s]);
+        let mut found = false;
+        'bfs: while let Some(u) = queue.pop_front() {
+            for (ei, e) in graph[u].iter().enumerate() {
+                if e.cap > 0 && prev[e.to].is_none() && e.to != s {
+                    prev[e.to] = Some((u, ei));
+                    if e.to == t {
+                        found = true;
+                        break 'bfs;
+                    }
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        if !found {
+            break;
+        }
+        // Augment by 1.
+        let mut v = t;
+        while v != s {
+            let (u, ei) = prev[v].expect("path recorded");
+            let rev = graph[u][ei].rev;
+            graph[u][ei].cap -= 1;
+            graph[v][rev].cap += 1;
+            v = u;
+        }
+        flow += 1;
+    }
+
+    // Extract paths by walking saturated forward edges from src_out,
+    // consuming flow as we go.
+    let mut used: Vec<Vec<bool>> = graph.iter().map(|es| vec![false; es.len()]).collect();
+    let mut paths = Vec::with_capacity(flow);
+    for _ in 0..flow {
+        let mut routers = vec![src];
+        let mut at = s;
+        while at != t {
+            let mut advanced = false;
+            for (ei, e) in graph[at].iter().enumerate() {
+                // A forward edge carries flow iff its reverse edge gained
+                // capacity; original forward edges had cap ≥ 1, reverse 0.
+                let carried = {
+                    let r = &graph[e.to][e.rev];
+                    r.cap > 0 && !used[at][ei] && is_forward(at, e.to)
+                };
+                if carried {
+                    used[at][ei] = true;
+                    // Also consume one unit of the reverse bookkeeping so a
+                    // second path extraction doesn't reuse it.
+                    at = e.to;
+                    if at % 2 == 0 {
+                        // arrived at some v_in: record v on the path, hop
+                        // to v_out next (via its internal edge).
+                        let rid = RouterId::from((at / 2) as u32);
+                        routers.push(rid);
+                    }
+                    advanced = true;
+                    break;
+                }
+            }
+            assert!(advanced, "flow extraction stuck — inconsistent flow");
+        }
+        paths.push(Path::new(routers));
+    }
+    paths
+}
+
+/// An edge in the split graph is "forward" when it goes v_in→v_out of the
+/// same node or u_out→w_in of different nodes.
+fn is_forward(a: usize, b: usize) -> bool {
+    if a / 2 == b / 2 {
+        a % 2 == 0 && b % 2 == 1
+    } else {
+        a % 2 == 1 && b % 2 == 0
+    }
+}
+
+/// The vertex connectivity between two routers: the maximum number of
+/// internally-vertex-disjoint paths (= minimum interior cut, Menger).
+pub fn vertex_connectivity(topo: &Topology, src: RouterId, dst: RouterId) -> usize {
+    vertex_disjoint_paths(topo, src, dst, usize::MAX).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin;
+    use std::collections::BTreeSet;
+
+    fn assert_disjoint(paths: &[Path]) {
+        let mut seen: BTreeSet<RouterId> = BTreeSet::new();
+        for p in paths {
+            for &r in p.interior_routers() {
+                assert!(seen.insert(r), "router {r} on two paths");
+            }
+        }
+    }
+
+    trait InteriorExt {
+        fn interior_routers(&self) -> &[RouterId];
+    }
+    impl InteriorExt for Path {
+        fn interior_routers(&self) -> &[RouterId] {
+            let r = self.routers();
+            &r[1..r.len() - 1]
+        }
+    }
+
+    #[test]
+    fn ring_has_exactly_two_disjoint_paths() {
+        let topo = builtin::ring(8);
+        let ids: Vec<RouterId> = topo.routers().collect();
+        let paths = vertex_disjoint_paths(&topo, ids[0], ids[4], usize::MAX);
+        assert_eq!(paths.len(), 2);
+        assert_disjoint(&paths);
+        for p in &paths {
+            assert_eq!(p.source(), ids[0]);
+            assert_eq!(p.sink(), ids[4]);
+        }
+    }
+
+    #[test]
+    fn line_has_one_path_and_grid_corner_has_two() {
+        let line = builtin::line(5);
+        let l: Vec<RouterId> = line.routers().collect();
+        assert_eq!(vertex_connectivity(&line, l[0], l[4]), 1);
+
+        let grid = builtin::grid(3, 3);
+        let a = grid.router_by_name("g0_0").unwrap();
+        let b = grid.router_by_name("g2_2").unwrap();
+        assert_eq!(vertex_connectivity(&grid, a, b), 2);
+    }
+
+    #[test]
+    fn paths_are_valid_adjacent_sequences() {
+        let topo = builtin::abilene();
+        let sun = topo.router_by_name("Sunnyvale").unwrap();
+        let ny = topo.router_by_name("NewYork").unwrap();
+        let paths = vertex_disjoint_paths(&topo, sun, ny, usize::MAX);
+        assert!(paths.len() >= 2, "Abilene is 2-connected coast to coast");
+        assert_disjoint(&paths);
+        for p in &paths {
+            for w in p.routers().windows(2) {
+                assert!(topo.has_link(w[0], w[1]), "non-adjacent hop in {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn limit_caps_the_count() {
+        let topo = builtin::grid(4, 4);
+        let a = topo.router_by_name("g0_0").unwrap();
+        let b = topo.router_by_name("g3_3").unwrap();
+        let paths = vertex_disjoint_paths(&topo, a, b, 1);
+        assert_eq!(paths.len(), 1);
+    }
+
+    #[test]
+    fn connectivity_matches_cuts_on_random_graphs() {
+        // Removing the interior routers of all returned paths must
+        // disconnect src from dst (maximality / Menger).
+        for seed in 0..8u64 {
+            let topo = builtin::random_connected(10, 6, seed);
+            let ids: Vec<RouterId> = topo.routers().collect();
+            let (s, d) = (ids[0], ids[9]);
+            let paths = vertex_disjoint_paths(&topo, s, d, usize::MAX);
+            assert_disjoint(&paths);
+            let cut: BTreeSet<RouterId> = paths
+                .iter()
+                .flat_map(|p| p.interior_routers().to_vec())
+                .collect();
+            // BFS avoiding the cut.
+            let mut seen = BTreeSet::from([s]);
+            let mut queue = std::collections::VecDeque::from([s]);
+            let mut reached = false;
+            while let Some(u) = queue.pop_front() {
+                for &(v, _) in topo.neighbors(u) {
+                    if v == d {
+                        // Direct edge s→…→d not through the cut.
+                        if !cut.contains(&u) || u == s {
+                            // u itself may be in the cut; only count if
+                            // the whole walk avoided the cut — enforced
+                            // by not enqueueing cut nodes below.
+                        }
+                        if u == s || !cut.contains(&u) {
+                            reached = true;
+                        }
+                    }
+                    if !cut.contains(&v) && v != d && seen.insert(v) {
+                        queue.push_back(v);
+                    }
+                }
+            }
+            // If there are no direct-edge exceptions, removing interiors
+            // of a *maximum* disjoint set must disconnect (unless s–d are
+            // adjacent, which yields an interior-free path).
+            let adjacent = topo.has_link(s, d);
+            if !adjacent {
+                assert!(!reached, "seed {seed}: cut fails to separate");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct endpoints")]
+    fn same_endpoints_rejected() {
+        let topo = builtin::line(3);
+        let ids: Vec<RouterId> = topo.routers().collect();
+        let _ = vertex_disjoint_paths(&topo, ids[0], ids[0], 2);
+    }
+}

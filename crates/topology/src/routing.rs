@@ -1,0 +1,361 @@
+//! Link-state routing (dissertation §4.1).
+//!
+//! The detection protocols assume that forwarding tables come from a
+//! link-state protocol (OSPF/IS-IS) giving every router a consistent global
+//! view, and that each router can *predict* the path any packet will take —
+//! real routers resolve equal-cost ties with a deterministic hash (Cisco
+//! CEF, Juniper IP ASIC), which we model with a deterministic lowest-id
+//! tie-break. The result is a single, globally agreed path per
+//! (source, destination) pair, which is what the path-segment enumeration
+//! of Chapter 5 consumes.
+
+use crate::graph::{RouterId, Topology};
+
+/// A loop-free sequence of adjacent routers (dissertation §4.1: "a path
+/// defines a sequence of routers that a packet can follow"; the first
+/// router is the *source*, the last the *sink*).
+///
+/// # Examples
+///
+/// ```
+/// use fatih_topology::{builtin, Path};
+/// let t = builtin::abilene();
+/// let routes = t.link_state_routes();
+/// let src = t.router_by_name("Sunnyvale").unwrap();
+/// let dst = t.router_by_name("NewYork").unwrap();
+/// let path: Path = routes.path(src, dst).unwrap();
+/// assert_eq!(path.source(), src);
+/// assert_eq!(path.sink(), dst);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Path(Vec<RouterId>);
+
+impl Path {
+    /// Wraps a router sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty — a path has at least one router (§4.1: "a path
+    /// might consist of only one router").
+    pub fn new(routers: Vec<RouterId>) -> Self {
+        assert!(!routers.is_empty(), "a path has at least one router");
+        Path(routers)
+    }
+
+    /// The first router.
+    pub fn source(&self) -> RouterId {
+        self.0[0]
+    }
+
+    /// The last router.
+    pub fn sink(&self) -> RouterId {
+        *self.0.last().expect("non-empty")
+    }
+
+    /// Routers in order.
+    pub fn routers(&self) -> &[RouterId] {
+        &self.0
+    }
+
+    /// Number of routers.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the path is the trivial single-router path.
+    pub fn is_trivial(&self) -> bool {
+        self.0.len() == 1
+    }
+
+    /// Whether `segment` occurs as a *contiguous* subsequence (the notion
+    /// of path-segment membership from §4.1).
+    pub fn contains_segment(&self, segment: &[RouterId]) -> bool {
+        if segment.is_empty() || segment.len() > self.0.len() {
+            return false;
+        }
+        self.0.windows(segment.len()).any(|w| w == segment)
+    }
+
+    /// The hop after `at` on this path, if any.
+    pub fn next_after(&self, at: RouterId) -> Option<RouterId> {
+        let pos = self.0.iter().position(|&r| r == at)?;
+        self.0.get(pos + 1).copied()
+    }
+}
+
+impl std::fmt::Display for Path {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<String> = self.0.iter().map(|r| r.to_string()).collect();
+        write!(f, "⟨{}⟩", names.join(", "))
+    }
+}
+
+/// All-pairs link-state routes: next-hop tables plus path extraction.
+#[derive(Debug, Clone)]
+pub struct Routes {
+    n: usize,
+    /// `next_hop[u][dst]`: the forwarding decision of router `u` for
+    /// destination `dst`.
+    next_hop: Vec<Vec<Option<RouterId>>>,
+    /// `dist[u][dst]`: total route cost, `u64::MAX` if unreachable.
+    dist: Vec<Vec<u64>>,
+}
+
+impl Topology {
+    /// Computes all-pairs deterministic shortest-path routes.
+    ///
+    /// Ties are broken toward the lowest next-hop id, modelling the
+    /// deterministic ECMP hash of §4.1; all routers agree on the result, so
+    /// any router can predict any packet's path in the stable state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any link has cost 0 (link-state metrics are ≥ 1; zero-cost
+    /// links would allow zero-length cycles in the next-hop derivation).
+    pub fn link_state_routes(&self) -> Routes {
+        for l in self.links() {
+            assert!(l.params.cost >= 1, "link {} -> {} has cost 0", l.from, l.to);
+        }
+        let n = self.router_count();
+        // Reverse adjacency for per-destination Dijkstra.
+        let mut reverse: Vec<Vec<(RouterId, u32)>> = vec![Vec::new(); n];
+        for l in self.links() {
+            reverse[l.to.index()].push((l.from, l.params.cost));
+        }
+
+        let mut next_hop = vec![vec![None; n]; n];
+        let mut dist = vec![vec![u64::MAX; n]; n];
+
+        for dst in self.routers() {
+            let d = dst.index();
+            // Dijkstra from dst over reversed edges.
+            let mut local = vec![u64::MAX; n];
+            local[d] = 0;
+            let mut heap = std::collections::BinaryHeap::new();
+            heap.push(std::cmp::Reverse((0u64, dst)));
+            while let Some(std::cmp::Reverse((cost, w))) = heap.pop() {
+                if cost > local[w.index()] {
+                    continue;
+                }
+                for &(u, link_cost) in &reverse[w.index()] {
+                    let cand = cost + link_cost as u64;
+                    if cand < local[u.index()] {
+                        local[u.index()] = cand;
+                        heap.push(std::cmp::Reverse((cand, u)));
+                    }
+                }
+            }
+            // Deterministic next hops: among optimal neighbours pick the
+            // lowest id.
+            for u in self.routers() {
+                if u == dst || local[u.index()] == u64::MAX {
+                    continue;
+                }
+                let mut best: Option<RouterId> = None;
+                for &(w, p) in self.neighbors(u) {
+                    if local[w.index()] != u64::MAX
+                        && p.cost as u64 + local[w.index()] == local[u.index()]
+                        && best.is_none_or(|b| w < b)
+                    {
+                        best = Some(w);
+                    }
+                }
+                next_hop[u.index()][d] = best;
+            }
+            for u in 0..n {
+                dist[u][d] = local[u];
+            }
+        }
+        Routes { n, next_hop, dist }
+    }
+}
+
+impl Routes {
+    /// The forwarding decision of `at` for destination `dst`; `None` when
+    /// unreachable or already delivered.
+    pub fn next_hop(&self, at: RouterId, dst: RouterId) -> Option<RouterId> {
+        if at == dst {
+            return None;
+        }
+        self.next_hop[at.index()][dst.index()]
+    }
+
+    /// Total route cost, if reachable.
+    pub fn cost(&self, src: RouterId, dst: RouterId) -> Option<u64> {
+        let d = self.dist[src.index()][dst.index()];
+        (d != u64::MAX).then_some(d)
+    }
+
+    /// Extracts the full path by following next hops; `None` if `dst` is
+    /// unreachable from `src`. `path(r, r)` is the trivial path `⟨r⟩`.
+    pub fn path(&self, src: RouterId, dst: RouterId) -> Option<Path> {
+        let mut routers = vec![src];
+        let mut at = src;
+        while at != dst {
+            at = self.next_hop(at, dst)?;
+            routers.push(at);
+            assert!(
+                routers.len() <= self.n,
+                "routing loop between {src} and {dst}"
+            );
+        }
+        Some(Path::new(routers))
+    }
+
+    /// Iterates the paths of every ordered reachable pair (excluding
+    /// trivial self-paths) — the route set the Chapter 5 protocols monitor.
+    pub fn all_paths(&self) -> impl Iterator<Item = Path> + '_ {
+        (0..self.n as u32).flat_map(move |s| {
+            (0..self.n as u32).filter_map(move |d| {
+                if s == d {
+                    None
+                } else {
+                    self.path(RouterId(s), RouterId(d))
+                }
+            })
+        })
+    }
+
+    /// Number of routers the table covers.
+    pub fn router_count(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::LinkParams;
+
+    /// a - b - c with a direct (more expensive) a - c link.
+    fn weighted_triangle() -> (Topology, [RouterId; 3]) {
+        let mut t = Topology::new();
+        let a = t.add_router("a");
+        let b = t.add_router("b");
+        let c = t.add_router("c");
+        let cheap = LinkParams {
+            cost: 1,
+            ..LinkParams::default()
+        };
+        let dear = LinkParams {
+            cost: 5,
+            ..LinkParams::default()
+        };
+        t.add_duplex_link(a, b, cheap);
+        t.add_duplex_link(b, c, cheap);
+        t.add_duplex_link(a, c, dear);
+        (t, [a, b, c])
+    }
+
+    #[test]
+    fn shortest_path_prefers_lower_cost() {
+        let (t, [a, b, c]) = weighted_triangle();
+        let r = t.link_state_routes();
+        let p = r.path(a, c).unwrap();
+        assert_eq!(p.routers(), &[a, b, c]);
+        assert_eq!(r.cost(a, c), Some(2));
+    }
+
+    #[test]
+    fn equal_cost_tie_breaks_to_lowest_id() {
+        // A diamond: s -> {m1, m2} -> t with equal costs.
+        let mut t = Topology::new();
+        let s = t.add_router("s");
+        let m1 = t.add_router("m1");
+        let m2 = t.add_router("m2");
+        let d = t.add_router("d");
+        let p = LinkParams::default();
+        t.add_duplex_link(s, m1, p);
+        t.add_duplex_link(s, m2, p);
+        t.add_duplex_link(m1, d, p);
+        t.add_duplex_link(m2, d, p);
+        let r = t.link_state_routes();
+        assert_eq!(r.path(s, d).unwrap().routers(), &[s, m1, d]);
+        // And every recomputation agrees (determinism).
+        let r2 = t.link_state_routes();
+        assert_eq!(r.path(s, d), r2.path(s, d));
+    }
+
+    #[test]
+    fn self_path_is_trivial() {
+        let (t, [a, ..]) = weighted_triangle();
+        let r = t.link_state_routes();
+        let p = r.path(a, a).unwrap();
+        assert!(p.is_trivial());
+        assert_eq!(p.source(), p.sink());
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut t = Topology::new();
+        let a = t.add_router("a");
+        let b = t.add_router("b");
+        let r = t.link_state_routes();
+        assert_eq!(r.path(a, b), None);
+        assert_eq!(r.cost(a, b), None);
+        assert_eq!(r.next_hop(a, b), None);
+    }
+
+    #[test]
+    fn directed_reachability() {
+        let mut t = Topology::new();
+        let a = t.add_router("a");
+        let b = t.add_router("b");
+        t.add_link(a, b, LinkParams::default());
+        let r = t.link_state_routes();
+        assert!(r.path(a, b).is_some());
+        assert!(r.path(b, a).is_none());
+    }
+
+    #[test]
+    fn subpath_consistency() {
+        // The suffix of any shortest path is itself the routed path — this
+        // is what lets every router predict a transit packet's remaining
+        // route (§4.1).
+        let (t, _) = weighted_triangle();
+        let r = t.link_state_routes();
+        for p in r.all_paths() {
+            for (i, &mid) in p.routers().iter().enumerate() {
+                let sub = r.path(mid, p.sink()).unwrap();
+                assert_eq!(sub.routers(), &p.routers()[i..]);
+            }
+        }
+    }
+
+    #[test]
+    fn all_paths_count() {
+        let (t, _) = weighted_triangle();
+        let r = t.link_state_routes();
+        assert_eq!(r.all_paths().count(), 6); // 3·2 ordered pairs
+    }
+
+    #[test]
+    fn contains_segment_and_next_after() {
+        let (t, [a, b, c]) = weighted_triangle();
+        let r = t.link_state_routes();
+        let p = r.path(a, c).unwrap();
+        assert!(p.contains_segment(&[a, b]));
+        assert!(p.contains_segment(&[a, b, c]));
+        assert!(!p.contains_segment(&[a, c]));
+        assert!(!p.contains_segment(&[]));
+        assert_eq!(p.next_after(b), Some(c));
+        assert_eq!(p.next_after(c), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "cost 0")]
+    fn zero_cost_links_rejected() {
+        let mut t = Topology::new();
+        let a = t.add_router("a");
+        let b = t.add_router("b");
+        t.add_link(
+            a,
+            b,
+            LinkParams {
+                cost: 0,
+                ..LinkParams::default()
+            },
+        );
+        let _ = t.link_state_routes();
+    }
+}

@@ -1,0 +1,441 @@
+//! Path segments and the monitored-segment sets `P_r` of Chapter 5.
+//!
+//! An *x-path-segment* is a sequence of `x` consecutive routers that is a
+//! contiguous subsequence of a routed path (§4.1). Under the
+//! `AdjacentFault(k)` assumption, Protocol Π2 has every router monitor each
+//! (k+2)-segment it belongs to, while Protocol Πk+2 has only segment *ends*
+//! monitor, over every length 3 ≤ x ≤ k+2 — the difference is exactly what
+//! Figures 5.2 and 5.4 quantify.
+
+use crate::graph::RouterId;
+use crate::routing::Routes;
+use std::collections::BTreeSet;
+
+/// A sequence of at least two consecutive routers along some routed path.
+///
+/// # Examples
+///
+/// ```
+/// use fatih_topology::{PathSegment, RouterId};
+/// let seg = PathSegment::new(vec![RouterId::from(0), RouterId::from(1)]);
+/// assert_eq!(seg.len(), 2);
+/// assert_eq!(seg.source(), RouterId::from(0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PathSegment(Vec<RouterId>);
+
+impl PathSegment {
+    /// Wraps a router sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two routers — traffic validation relates at
+    /// least a sender and a receiver.
+    pub fn new(routers: Vec<RouterId>) -> Self {
+        assert!(
+            routers.len() >= 2,
+            "a path segment has at least two routers"
+        );
+        PathSegment(routers)
+    }
+
+    /// First router of the segment.
+    pub fn source(&self) -> RouterId {
+        self.0[0]
+    }
+
+    /// Last router of the segment.
+    pub fn sink(&self) -> RouterId {
+        *self.0.last().expect("non-empty")
+    }
+
+    /// Both terminal routers.
+    pub fn ends(&self) -> (RouterId, RouterId) {
+        (self.source(), self.sink())
+    }
+
+    /// Routers in order.
+    pub fn routers(&self) -> &[RouterId] {
+        &self.0
+    }
+
+    /// Number of routers (the segment's *x*).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Always false; segments have ≥ 2 routers.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `r` lies on this segment.
+    pub fn contains(&self, r: RouterId) -> bool {
+        self.0.contains(&r)
+    }
+
+    /// Interior routers (everything but the two ends).
+    pub fn interior(&self) -> &[RouterId] {
+        &self.0[1..self.0.len() - 1]
+    }
+
+    /// A stable 64-bit id for key derivation (the segment's monitoring
+    /// routers share a UHASH key derived from this).
+    pub fn stable_id(&self) -> u64 {
+        // FNV-1a over the router ids.
+        let mut h = 0xcbf29ce484222325u64;
+        for r in &self.0 {
+            h ^= u32::from(*r) as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+}
+
+impl std::fmt::Display for PathSegment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<String> = self.0.iter().map(|r| r.to_string()).collect();
+        write!(f, "⟨{}⟩", names.join(", "))
+    }
+}
+
+/// The monitored-segment assignment: for each router `r`, the set `P_r` of
+/// path segments it participates in monitoring.
+#[derive(Debug, Clone)]
+pub struct SegmentSets {
+    sets: Vec<BTreeSet<PathSegment>>,
+}
+
+impl SegmentSets {
+    fn new(n: usize) -> Self {
+        Self {
+            sets: vec![BTreeSet::new(); n],
+        }
+    }
+
+    /// `P_r` for one router.
+    pub fn for_router(&self, r: RouterId) -> &BTreeSet<PathSegment> {
+        &self.sets[r.index()]
+    }
+
+    /// `|P_r|` for every router, in id order — the series plotted in
+    /// Figures 5.2 and 5.4.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.sets.iter().map(BTreeSet::len).collect()
+    }
+
+    /// The union of all monitored segments (deduplicated).
+    pub fn all_segments(&self) -> BTreeSet<PathSegment> {
+        let mut out = BTreeSet::new();
+        for s in &self.sets {
+            out.extend(s.iter().cloned());
+        }
+        out
+    }
+
+    /// Number of routers covered.
+    pub fn router_count(&self) -> usize {
+        self.sets.len()
+    }
+}
+
+/// Monitored segments for **Protocol Π2** under `AdjacentFault(k)`
+/// (§5.1): every (k+2)-segment of a routed path is monitored by *all* its
+/// member routers; routed paths shorter than k+2 (but of length ≥ 3) are
+/// monitored whole, since their ends are terminal routers.
+///
+/// # Panics
+///
+/// Panics if `k == 0` — `AdjacentFault(k)` needs at least one tolerated
+/// faulty router for the protocols to be meaningful.
+pub fn pi2_segments(routes: &Routes, k: usize) -> SegmentSets {
+    assert!(k >= 1, "AdjacentFault(k) requires k >= 1");
+    let window = k + 2;
+    let mut sets = SegmentSets::new(routes.router_count());
+    for path in routes.all_paths() {
+        let routers = path.routers();
+        if routers.len() < 3 {
+            continue; // adjacent terminals validate directly; nothing between them
+        }
+        if routers.len() < window {
+            // Whole path, ends are terminals.
+            assign_to_members(&mut sets, routers);
+        } else {
+            for w in routers.windows(window) {
+                assign_to_members(&mut sets, w);
+            }
+        }
+    }
+    sets
+}
+
+fn assign_to_members(sets: &mut SegmentSets, routers: &[RouterId]) {
+    let seg = PathSegment::new(routers.to_vec());
+    for &r in routers {
+        sets.sets[r.index()].insert(seg.clone());
+    }
+}
+
+/// Monitored segments for **Protocol Πk+2** under `AdjacentFault(k)`
+/// (§5.2): every x-segment of a routed path for 3 ≤ x ≤ k+2 is monitored by
+/// its two *end* routers only (monitoring the shorter lengths too is what
+/// stops a faulty end router from masking an interior accomplice).
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn pik2_segments(routes: &Routes, k: usize) -> SegmentSets {
+    pik2_segments_from_paths(routes.all_paths(), routes.router_count(), k)
+}
+
+/// [`pik2_segments`] over an explicit path set — used when the routing
+/// fabric is no longer the plain link-state one (e.g. after the §2.4.3
+/// response installed avoidance routes and monitoring must follow the new
+/// paths).
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn pik2_segments_from_paths<I: IntoIterator<Item = crate::routing::Path>>(
+    paths: I,
+    router_count: usize,
+    k: usize,
+) -> SegmentSets {
+    assert!(k >= 1, "AdjacentFault(k) requires k >= 1");
+    let max_window = k + 2;
+    let mut sets = SegmentSets::new(router_count);
+    for path in paths {
+        let routers = path.routers();
+        for x in 3..=max_window.min(routers.len()) {
+            for w in routers.windows(x) {
+                let seg = PathSegment::new(w.to_vec());
+                sets.sets[w[0].index()].insert(seg.clone());
+                sets.sets[w[x - 1].index()].insert(seg);
+            }
+        }
+    }
+    sets
+}
+
+/// Memory-lean variant of [`pi2_segments`] that returns only `|P_r|` per
+/// router (by hashing segment identities instead of storing them) — used
+/// for the ISP-scale sweeps of Figure 5.2, where materializing every
+/// per-router segment set would cost hundreds of megabytes.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn pi2_segment_counts(routes: &Routes, k: usize) -> Vec<usize> {
+    assert!(k >= 1, "AdjacentFault(k) requires k >= 1");
+    let window = k + 2;
+    let mut sets: Vec<std::collections::HashSet<u64>> =
+        vec![std::collections::HashSet::new(); routes.router_count()];
+    let count = |sets: &mut Vec<std::collections::HashSet<u64>>, w: &[RouterId]| {
+        let id = PathSegment::new(w.to_vec()).stable_id();
+        for &r in w {
+            sets[r.index()].insert(id);
+        }
+    };
+    for path in routes.all_paths() {
+        let routers = path.routers();
+        if routers.len() < 3 {
+            continue;
+        }
+        if routers.len() < window {
+            count(&mut sets, routers);
+        } else {
+            for w in routers.windows(window) {
+                count(&mut sets, w);
+            }
+        }
+    }
+    sets.into_iter().map(|s| s.len()).collect()
+}
+
+/// Memory-lean variant of [`pik2_segments`] returning only `|P_r|` per
+/// router (Figure 5.4).
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn pik2_segment_counts(routes: &Routes, k: usize) -> Vec<usize> {
+    assert!(k >= 1, "AdjacentFault(k) requires k >= 1");
+    let max_window = k + 2;
+    let mut sets: Vec<std::collections::HashSet<u64>> =
+        vec![std::collections::HashSet::new(); routes.router_count()];
+    for path in routes.all_paths() {
+        let routers = path.routers();
+        for x in 3..=max_window.min(routers.len()) {
+            for w in routers.windows(x) {
+                let id = PathSegment::new(w.to_vec()).stable_id();
+                sets[w[0].index()].insert(id);
+                sets[w[x - 1].index()].insert(id);
+            }
+        }
+    }
+    sets.into_iter().map(|s| s.len()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{LinkParams, Topology};
+
+    /// A 6-router line: r0 - r1 - r2 - r3 - r4 - r5.
+    fn line6() -> (Topology, Vec<RouterId>) {
+        let mut t = Topology::new();
+        let rs: Vec<RouterId> = (0..6).map(|i| t.add_router(&format!("n{i}"))).collect();
+        for w in rs.windows(2) {
+            t.add_duplex_link(w[0], w[1], LinkParams::default());
+        }
+        (t, rs)
+    }
+
+    #[test]
+    fn segment_accessors() {
+        let seg = PathSegment::new(vec![RouterId(3), RouterId(1), RouterId(2)]);
+        assert_eq!(seg.source(), RouterId(3));
+        assert_eq!(seg.sink(), RouterId(2));
+        assert_eq!(seg.ends(), (RouterId(3), RouterId(2)));
+        assert_eq!(seg.interior(), &[RouterId(1)]);
+        assert!(seg.contains(RouterId(1)));
+        assert!(!seg.contains(RouterId(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two routers")]
+    fn one_router_segment_rejected() {
+        let _ = PathSegment::new(vec![RouterId(0)]);
+    }
+
+    #[test]
+    fn stable_id_distinguishes_order() {
+        let ab = PathSegment::new(vec![RouterId(0), RouterId(1)]);
+        let ba = PathSegment::new(vec![RouterId(1), RouterId(0)]);
+        assert_ne!(ab.stable_id(), ba.stable_id());
+        assert_eq!(ab.stable_id(), ab.clone().stable_id());
+    }
+
+    #[test]
+    fn pi2_line_window_counts() {
+        // On a line with k=1 the windows are 3-segments; an interior router
+        // belongs to up to 3 of them per direction.
+        let (t, rs) = line6();
+        let routes = t.link_state_routes();
+        let sets = pi2_segments(&routes, 1);
+        // r2 is inside ⟨0,1,2⟩ ⟨1,2,3⟩ ⟨2,3,4⟩ and the reverses of each,
+        // i.e. 6 distinct directed 3-segments.
+        assert_eq!(sets.for_router(rs[2]).len(), 6);
+        // End router r0: ⟨0,1,2⟩ and ⟨2,1,0⟩.
+        assert_eq!(sets.for_router(rs[0]).len(), 2);
+        // Every monitored segment has length exactly k+2 = 3 on this long line.
+        for seg in sets.all_segments() {
+            assert_eq!(seg.len(), 3);
+        }
+    }
+
+    #[test]
+    fn pi2_short_paths_monitored_whole() {
+        // A 4-line with k=3: window = 5 > longest path (4), so whole paths
+        // of length 3 and 4 are monitored.
+        let mut t = Topology::new();
+        let rs: Vec<RouterId> = (0..4).map(|i| t.add_router(&format!("n{i}"))).collect();
+        for w in rs.windows(2) {
+            t.add_duplex_link(w[0], w[1], LinkParams::default());
+        }
+        let routes = t.link_state_routes();
+        let sets = pi2_segments(&routes, 3);
+        let lens: BTreeSet<usize> = sets.all_segments().iter().map(|s| s.len()).collect();
+        assert_eq!(lens, BTreeSet::from([3, 4]));
+    }
+
+    #[test]
+    fn pik2_assigns_to_ends_only() {
+        let (t, rs) = line6();
+        let routes = t.link_state_routes();
+        let sets = pik2_segments(&routes, 2); // x in 3..=4
+        for seg in sets.all_segments() {
+            let (a, b) = seg.ends();
+            assert!(sets.for_router(a).contains(&seg));
+            assert!(sets.for_router(b).contains(&seg));
+            for &mid in seg.interior() {
+                assert!(
+                    !sets.for_router(mid).contains(&seg),
+                    "interior router {mid} monitors {seg}"
+                );
+            }
+        }
+        // Interior router monitors segments of lengths 3 and 4 where it is
+        // an end.
+        let lens: BTreeSet<usize> =
+            sets.for_router(rs[2]).iter().map(|s| s.len()).collect();
+        assert_eq!(lens, BTreeSet::from([3, 4]));
+    }
+
+    #[test]
+    fn pik2_sets_smaller_than_pi2_on_meshy_graphs() {
+        // On a richer topology Πk+2's per-router state is smaller — the
+        // point of Figure 5.4 vs 5.2.
+        let mut t = Topology::new();
+        let rs: Vec<RouterId> = (0..8).map(|i| t.add_router(&format!("n{i}"))).collect();
+        for i in 0..8usize {
+            for j in (i + 1)..8 {
+                if (i + j) % 2 == 1 || j == i + 1 {
+                    t.add_duplex_link(rs[i], rs[j], LinkParams::default());
+                }
+            }
+        }
+        let routes = t.link_state_routes();
+        let k = 2;
+        let pi2: usize = pi2_segments(&routes, k).sizes().iter().sum();
+        let pik2: usize = pik2_segments(&routes, k).sizes().iter().sum();
+        assert!(
+            pik2 <= pi2,
+            "expected Πk+2 total state ({pik2}) ≤ Π2 ({pi2})"
+        );
+    }
+
+    #[test]
+    fn segments_lie_on_routed_paths() {
+        let (t, _) = line6();
+        let routes = t.link_state_routes();
+        for seg in pi2_segments(&routes, 1).all_segments() {
+            let p = routes.path(seg.source(), seg.sink()).unwrap();
+            assert!(p.contains_segment(seg.routers()), "{seg} not routed");
+        }
+    }
+
+    #[test]
+    fn lean_counts_match_materialized_sets() {
+        let mut t = Topology::new();
+        let rs: Vec<RouterId> = (0..8).map(|i| t.add_router(&format!("n{i}"))).collect();
+        for i in 0..8usize {
+            for j in (i + 1)..8 {
+                if (i * 3 + j) % 4 == 1 || j == i + 1 {
+                    t.add_duplex_link(rs[i], rs[j], LinkParams::default());
+                }
+            }
+        }
+        let routes = t.link_state_routes();
+        for k in 1..=3 {
+            assert_eq!(
+                pi2_segment_counts(&routes, k),
+                pi2_segments(&routes, k).sizes(),
+                "pi2 k={k}"
+            );
+            assert_eq!(
+                pik2_segment_counts(&routes, k),
+                pik2_segments(&routes, k).sizes(),
+                "pik2 k={k}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn k_zero_rejected() {
+        let (t, _) = line6();
+        let routes = t.link_state_routes();
+        let _ = pi2_segments(&routes, 0);
+    }
+}

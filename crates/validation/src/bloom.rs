@@ -1,0 +1,261 @@
+//! Bloom filters for cheap conservation-of-content checks.
+//!
+//! Dissertation §2.4.1 ("Conservation of content") describes the spectrum of
+//! set-difference mechanisms: resend every fingerprint (exact, expensive),
+//! Bloom filters (cheap, approximate — "comes at some expense in accuracy"),
+//! and polynomial set reconciliation (optimal bandwidth). This module is the
+//! middle option; the bench `reconcile` compares all three.
+
+use fatih_crypto::Fingerprint;
+
+/// A Bloom filter over packet fingerprints with `k` derived hash functions
+/// (double hashing of the 61-bit fingerprint value).
+///
+/// # Examples
+///
+/// ```
+/// use fatih_validation::bloom::BloomFilter;
+/// use fatih_crypto::Fingerprint;
+///
+/// let mut f = BloomFilter::new(1024, 4);
+/// f.insert(Fingerprint::new(12345));
+/// assert!(f.contains(Fingerprint::new(12345)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    m: usize,
+    k: u32,
+    inserted: u64,
+}
+
+impl BloomFilter {
+    /// Creates a filter with `m` bits and `k` hash functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `k == 0`.
+    pub fn new(m: usize, k: u32) -> Self {
+        assert!(m > 0, "filter needs at least one bit");
+        assert!(k > 0, "filter needs at least one hash function");
+        Self {
+            bits: vec![0; m.div_ceil(64)],
+            m,
+            k,
+            inserted: 0,
+        }
+    }
+
+    /// Sizes a filter for `n` expected elements at false-positive rate
+    /// `fp_rate`, using the standard `m = −n·ln p / (ln 2)²`,
+    /// `k = (m/n)·ln 2` formulas.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fp_rate < 1` and `n > 0`.
+    pub fn with_rate(n: usize, fp_rate: f64) -> Self {
+        assert!(n > 0, "expected element count must be positive");
+        assert!(
+            fp_rate > 0.0 && fp_rate < 1.0,
+            "false-positive rate must be in (0,1)"
+        );
+        let ln2 = std::f64::consts::LN_2;
+        let m = (-(n as f64) * fp_rate.ln() / (ln2 * ln2)).ceil() as usize;
+        let k = ((m as f64 / n as f64) * ln2).round().max(1.0) as u32;
+        Self::new(m.max(64), k)
+    }
+
+    fn indexes(&self, fp: Fingerprint) -> impl Iterator<Item = usize> + '_ {
+        // Double hashing: h_i = h1 + i*h2 (mod m), from a SplitMix64 mix.
+        let v = fp.value();
+        let mut z = v.wrapping_add(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        let h1 = z ^ (z >> 31);
+        let h2 = v.wrapping_mul(0xff51afd7ed558ccd) | 1; // odd
+        let m = self.m as u64;
+        (0..self.k as u64).map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % m) as usize)
+    }
+
+    /// Inserts a fingerprint.
+    pub fn insert(&mut self, fp: Fingerprint) {
+        let idx: Vec<usize> = self.indexes(fp).collect();
+        for i in idx {
+            self.bits[i / 64] |= 1u64 << (i % 64);
+        }
+        self.inserted += 1;
+    }
+
+    /// Membership test; false positives possible, false negatives not.
+    pub fn contains(&self, fp: Fingerprint) -> bool {
+        self.indexes(fp)
+            .all(|i| self.bits[i / 64] >> (i % 64) & 1 == 1)
+    }
+
+    /// Number of bits set.
+    pub fn popcount(&self) -> u64 {
+        self.bits.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Number of insert operations performed.
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Filter size in bits.
+    pub fn bit_len(&self) -> usize {
+        self.m
+    }
+
+    /// Number of hash functions.
+    pub fn hash_count(&self) -> u32 {
+        self.k
+    }
+
+    /// Estimated cardinality of the represented set from the bit population:
+    /// `n̂ = −m/k · ln(1 − X/m)`.
+    pub fn estimate_cardinality(&self) -> f64 {
+        let x = self.popcount() as f64;
+        let m = self.m as f64;
+        if x >= m {
+            return f64::INFINITY;
+        }
+        -m / self.k as f64 * (1.0 - x / m).ln()
+    }
+
+    /// Bitwise OR (set union); both filters must have identical geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the filters differ in `m` or `k`.
+    pub fn union(&self, other: &BloomFilter) -> BloomFilter {
+        assert_eq!(self.m, other.m, "filter sizes differ");
+        assert_eq!(self.k, other.k, "hash counts differ");
+        BloomFilter {
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(a, b)| a | b)
+                .collect(),
+            m: self.m,
+            k: self.k,
+            inserted: self.inserted + other.inserted,
+        }
+    }
+
+    /// Estimates the size of the symmetric difference `|A Δ B|` from the
+    /// populations of the two filters and their union, using
+    /// `|A Δ B| = 2|A ∪ B| − |A| − |B|` (§2.4.1's
+    /// "population of the bitwise difference" technique).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the filters differ in geometry.
+    pub fn estimate_symmetric_difference(&self, other: &BloomFilter) -> f64 {
+        let union = self.union(other);
+        (2.0 * union.estimate_cardinality()
+            - self.estimate_cardinality()
+            - other.estimate_cardinality())
+        .max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fatih_crypto::UhashKey;
+
+    fn fp(i: u64) -> Fingerprint {
+        UhashKey::from_seed(77).fingerprint(&i.to_le_bytes())
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::with_rate(1000, 0.01);
+        for i in 0..1000 {
+            f.insert(fp(i));
+        }
+        for i in 0..1000 {
+            assert!(f.contains(fp(i)), "false negative at {i}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_near_target() {
+        let mut f = BloomFilter::with_rate(1000, 0.01);
+        for i in 0..1000 {
+            f.insert(fp(i));
+        }
+        let fps = (1000..11_000).filter(|&i| f.contains(fp(i))).count();
+        let rate = fps as f64 / 10_000.0;
+        assert!(rate < 0.03, "observed fp rate {rate}");
+    }
+
+    #[test]
+    fn cardinality_estimate_tracks_n() {
+        let mut f = BloomFilter::with_rate(5000, 0.01);
+        for i in 0..2000 {
+            f.insert(fp(i));
+        }
+        let est = f.estimate_cardinality();
+        assert!(
+            (est - 2000.0).abs() < 100.0,
+            "estimate {est} too far from 2000"
+        );
+    }
+
+    #[test]
+    fn symmetric_difference_estimate() {
+        let mut a = BloomFilter::with_rate(2000, 0.01);
+        let mut b = BloomFilter::with_rate(2000, 0.01);
+        for i in 0..1000 {
+            a.insert(fp(i));
+        }
+        // b misses 50 packets and has 10 fabricated ones.
+        for i in 50..1000 {
+            b.insert(fp(i));
+        }
+        for i in 100_000..100_010 {
+            b.insert(fp(i));
+        }
+        let est = a.estimate_symmetric_difference(&b);
+        assert!((est - 60.0).abs() < 30.0, "estimate {est}, want ≈ 60");
+    }
+
+    #[test]
+    fn identical_filters_estimate_zero_difference() {
+        let mut a = BloomFilter::new(4096, 4);
+        let mut b = BloomFilter::new(4096, 4);
+        for i in 0..500 {
+            a.insert(fp(i));
+            b.insert(fp(i));
+        }
+        assert!(a.estimate_symmetric_difference(&b) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "filter sizes differ")]
+    fn union_rejects_mismatched_geometry() {
+        let a = BloomFilter::new(64, 2);
+        let b = BloomFilter::new(128, 2);
+        let _ = a.union(&b);
+    }
+
+    #[test]
+    fn with_rate_picks_sane_parameters() {
+        let f = BloomFilter::with_rate(1000, 0.01);
+        // Theory: m ≈ 9585 bits, k ≈ 7.
+        assert!(f.bit_len() > 9000 && f.bit_len() < 10_500);
+        assert!(f.hash_count() >= 6 && f.hash_count() <= 8);
+    }
+
+    #[test]
+    fn saturated_filter_reports_infinite_cardinality() {
+        let mut f = BloomFilter::new(64, 1);
+        for i in 0..10_000 {
+            f.insert(fp(i));
+        }
+        assert!(f.estimate_cardinality().is_infinite());
+    }
+}

@@ -1,0 +1,223 @@
+//! Arithmetic in the prime field GF(2⁶¹ − 1).
+//!
+//! Packet fingerprints produced by `fatih-crypto`'s UHASH are elements of
+//! this field, and the set-reconciliation algorithm of dissertation
+//! Appendix A interpolates rational functions over it. The modulus being a
+//! Mersenne prime makes reduction a shift-and-add.
+
+pub use fatih_crypto::uhash::FINGERPRINT_PRIME as P;
+
+/// A field element of GF(2⁶¹ − 1), always kept reduced.
+///
+/// # Examples
+///
+/// ```
+/// use fatih_validation::field::Fe;
+/// let a = Fe::new(5);
+/// let b = Fe::new(7);
+/// assert_eq!(a + b, Fe::new(12));
+/// assert_eq!((a * b) * b.inv(), a);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Fe(u64);
+
+impl Fe {
+    /// Zero element.
+    pub const ZERO: Fe = Fe(0);
+    /// One element.
+    pub const ONE: Fe = Fe(1);
+
+    /// Creates an element, reducing modulo `p`.
+    #[inline]
+    pub fn new(v: u64) -> Self {
+        Fe(v % P)
+    }
+
+    /// The canonical representative in `[0, p)`.
+    #[inline]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Whether this is the zero element.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Exponentiation by squaring.
+    pub fn pow(self, mut e: u64) -> Fe {
+        let mut base = self;
+        let mut acc = Fe::ONE;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc * base;
+            }
+            base = base * base;
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero, which has no inverse.
+    pub fn inv(self) -> Fe {
+        assert!(!self.is_zero(), "zero has no multiplicative inverse");
+        self.pow(P - 2)
+    }
+
+    /// Additive inverse.
+    #[inline]
+    pub fn neg(self) -> Fe {
+        if self.0 == 0 {
+            self
+        } else {
+            Fe(P - self.0)
+        }
+    }
+}
+
+impl From<fatih_crypto::Fingerprint> for Fe {
+    fn from(fp: fatih_crypto::Fingerprint) -> Self {
+        Fe::new(fp.value())
+    }
+}
+
+impl From<Fe> for u64 {
+    fn from(fe: Fe) -> u64 {
+        fe.0
+    }
+}
+
+impl std::ops::Add for Fe {
+    type Output = Fe;
+    #[inline]
+    fn add(self, rhs: Fe) -> Fe {
+        Fe(fatih_crypto::uhash::add_mod(self.0, rhs.0))
+    }
+}
+
+impl std::ops::Sub for Fe {
+    type Output = Fe;
+    #[inline]
+    fn sub(self, rhs: Fe) -> Fe {
+        self + rhs.neg()
+    }
+}
+
+impl std::ops::Mul for Fe {
+    type Output = Fe;
+    #[inline]
+    fn mul(self, rhs: Fe) -> Fe {
+        Fe(fatih_crypto::uhash::mul_mod(self.0, rhs.0))
+    }
+}
+
+impl std::ops::Div for Fe {
+    type Output = Fe;
+    #[inline]
+    fn div(self, rhs: Fe) -> Fe {
+        self * rhs.inv()
+    }
+}
+
+impl std::ops::AddAssign for Fe {
+    fn add_assign(&mut self, rhs: Fe) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::ops::SubAssign for Fe {
+    fn sub_assign(&mut self, rhs: Fe) {
+        *self = *self - rhs;
+    }
+}
+
+impl std::ops::MulAssign for Fe {
+    fn mul_assign(&mut self, rhs: Fe) {
+        *self = *self * rhs;
+    }
+}
+
+impl std::fmt::Display for Fe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_reduces() {
+        assert_eq!(Fe::new(P), Fe::ZERO);
+        assert_eq!(Fe::new(P + 5), Fe::new(5));
+    }
+
+    #[test]
+    fn additive_group_laws() {
+        let a = Fe::new(123456789);
+        let b = Fe::new(P - 3);
+        let c = Fe::new(987654321);
+        assert_eq!(a + b, b + a);
+        assert_eq!((a + b) + c, a + (b + c));
+        assert_eq!(a + Fe::ZERO, a);
+        assert_eq!(a + a.neg(), Fe::ZERO);
+        assert_eq!(a - a, Fe::ZERO);
+    }
+
+    #[test]
+    fn multiplicative_group_laws() {
+        let a = Fe::new(0xdeadbeefcafe);
+        let b = Fe::new(0x123456789abcdef % P);
+        let c = Fe::new(42);
+        assert_eq!(a * b, b * a);
+        assert_eq!((a * b) * c, a * (b * c));
+        assert_eq!(a * Fe::ONE, a);
+        assert_eq!(a * a.inv(), Fe::ONE);
+        assert_eq!(a / a, Fe::ONE);
+    }
+
+    #[test]
+    fn distributivity() {
+        let a = Fe::new(777);
+        let b = Fe::new(P - 123);
+        let c = Fe::new(314159265358979);
+        assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let a = Fe::new(3);
+        let mut acc = Fe::ONE;
+        for e in 0..20u64 {
+            assert_eq!(a.pow(e), acc);
+            acc = acc * a;
+        }
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        for v in [2u64, 3, 65537, 0xdeadbeef] {
+            assert_eq!(Fe::new(v).pow(P - 1), Fe::ONE);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no multiplicative inverse")]
+    fn zero_inverse_panics() {
+        let _ = Fe::ZERO.inv();
+    }
+
+    #[test]
+    fn fingerprint_conversion() {
+        use fatih_crypto::UhashKey;
+        let fp = UhashKey::from_seed(5).fingerprint(b"pkt");
+        let fe: Fe = fp.into();
+        assert_eq!(fe.value(), fp.value());
+    }
+}

@@ -1,0 +1,441 @@
+//! Dense univariate polynomials over GF(2⁶¹ − 1).
+//!
+//! The set-reconciliation algorithm of dissertation Appendix A manipulates
+//! characteristic polynomials `χ_S(z) = Π_{x ∈ S} (z − x)`: it interpolates
+//! their ratio from point evaluations and factors the result back into
+//! roots. This module provides the required arithmetic (add/mul/divmod/gcd),
+//! evaluation, and root extraction via the Cantor–Zassenhaus equal-degree
+//! splitting specialized to products of linears.
+
+use crate::field::{Fe, P};
+use rand::Rng;
+
+/// A polynomial with coefficients in GF(2⁶¹ − 1), stored little-endian
+/// (`coeffs[i]` multiplies `z^i`) with no trailing zeros.
+///
+/// # Examples
+///
+/// ```
+/// use fatih_validation::poly::Poly;
+/// use fatih_validation::field::Fe;
+/// // (z - 2)(z - 3) = z² - 5z + 6
+/// let p = Poly::from_roots(&[Fe::new(2), Fe::new(3)]);
+/// assert_eq!(p.eval(Fe::new(2)), Fe::ZERO);
+/// assert_eq!(p.eval(Fe::new(3)), Fe::ZERO);
+/// assert_eq!(p.eval(Fe::new(4)), Fe::new(2)); // (4-2)(4-3)
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Poly {
+    coeffs: Vec<Fe>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Poly { coeffs: Vec::new() }
+    }
+
+    /// The constant-one polynomial.
+    pub fn one() -> Self {
+        Poly {
+            coeffs: vec![Fe::ONE],
+        }
+    }
+
+    /// Builds a polynomial from little-endian coefficients, trimming
+    /// trailing zeros.
+    pub fn from_coeffs(coeffs: Vec<Fe>) -> Self {
+        let mut p = Poly { coeffs };
+        p.trim();
+        p
+    }
+
+    /// The monic polynomial `Π (z − r_i)` — the *characteristic polynomial*
+    /// of the multiset of roots (Appendix A's `χ_S`).
+    pub fn from_roots(roots: &[Fe]) -> Self {
+        let mut p = Poly::one();
+        for &r in roots {
+            p = p.mul(&Poly::from_coeffs(vec![r.neg(), Fe::ONE]));
+        }
+        p
+    }
+
+    /// `x` as a polynomial (degree 1, monic).
+    pub fn x() -> Self {
+        Poly {
+            coeffs: vec![Fe::ZERO, Fe::ONE],
+        }
+    }
+
+    fn trim(&mut self) {
+        while self.coeffs.last().is_some_and(|c| c.is_zero()) {
+            self.coeffs.pop();
+        }
+    }
+
+    /// Whether this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Degree; the zero polynomial reports degree 0 by convention of this
+    /// crate (check [`is_zero`](Self::is_zero) first when it matters).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len().saturating_sub(1)
+    }
+
+    /// Little-endian coefficients (no trailing zeros).
+    pub fn coeffs(&self) -> &[Fe] {
+        &self.coeffs
+    }
+
+    /// Leading coefficient; zero for the zero polynomial.
+    pub fn leading(&self) -> Fe {
+        self.coeffs.last().copied().unwrap_or(Fe::ZERO)
+    }
+
+    /// Horner evaluation at `x`.
+    pub fn eval(&self, x: Fe) -> Fe {
+        let mut acc = Fe::ZERO;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * x + c;
+        }
+        acc
+    }
+
+    /// Polynomial addition.
+    pub fn add(&self, rhs: &Poly) -> Poly {
+        let n = self.coeffs.len().max(rhs.coeffs.len());
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let a = self.coeffs.get(i).copied().unwrap_or(Fe::ZERO);
+            let b = rhs.coeffs.get(i).copied().unwrap_or(Fe::ZERO);
+            out.push(a + b);
+        }
+        Poly::from_coeffs(out)
+    }
+
+    /// Polynomial subtraction.
+    pub fn sub(&self, rhs: &Poly) -> Poly {
+        let n = self.coeffs.len().max(rhs.coeffs.len());
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let a = self.coeffs.get(i).copied().unwrap_or(Fe::ZERO);
+            let b = rhs.coeffs.get(i).copied().unwrap_or(Fe::ZERO);
+            out.push(a - b);
+        }
+        Poly::from_coeffs(out)
+    }
+
+    /// Schoolbook multiplication (reconciliation polynomials are small —
+    /// degree = number of differing packets — so O(n²) is fine).
+    pub fn mul(&self, rhs: &Poly) -> Poly {
+        if self.is_zero() || rhs.is_zero() {
+            return Poly::zero();
+        }
+        let mut out = vec![Fe::ZERO; self.coeffs.len() + rhs.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            if a.is_zero() {
+                continue;
+            }
+            for (j, &b) in rhs.coeffs.iter().enumerate() {
+                out[i + j] += a * b;
+            }
+        }
+        Poly::from_coeffs(out)
+    }
+
+    /// Multiplies by a scalar.
+    pub fn scale(&self, k: Fe) -> Poly {
+        Poly::from_coeffs(self.coeffs.iter().map(|&c| c * k).collect())
+    }
+
+    /// Euclidean division: returns `(quotient, remainder)` with
+    /// `self = q·rhs + r` and `deg r < deg rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    pub fn divmod(&self, rhs: &Poly) -> (Poly, Poly) {
+        assert!(!rhs.is_zero(), "polynomial division by zero");
+        if self.coeffs.len() < rhs.coeffs.len() {
+            return (Poly::zero(), self.clone());
+        }
+        let mut rem = self.coeffs.clone();
+        let mut quot = vec![Fe::ZERO; self.coeffs.len() - rhs.coeffs.len() + 1];
+        let lead_inv = rhs.leading().inv();
+        for i in (0..quot.len()).rev() {
+            let coeff = rem[i + rhs.coeffs.len() - 1] * lead_inv;
+            quot[i] = coeff;
+            if coeff.is_zero() {
+                continue;
+            }
+            for (j, &b) in rhs.coeffs.iter().enumerate() {
+                rem[i + j] -= coeff * b;
+            }
+        }
+        (Poly::from_coeffs(quot), Poly::from_coeffs(rem))
+    }
+
+    /// Remainder of Euclidean division.
+    pub fn rem(&self, rhs: &Poly) -> Poly {
+        self.divmod(rhs).1
+    }
+
+    /// Monic greatest common divisor.
+    pub fn gcd(&self, rhs: &Poly) -> Poly {
+        let mut a = self.clone();
+        let mut b = rhs.clone();
+        while !b.is_zero() {
+            let r = a.rem(&b);
+            a = b;
+            b = r;
+        }
+        a.monic()
+    }
+
+    /// Scales to a monic polynomial (zero stays zero).
+    pub fn monic(&self) -> Poly {
+        if self.is_zero() {
+            return Poly::zero();
+        }
+        self.scale(self.leading().inv())
+    }
+
+    /// Computes `base^e mod m` where `base` is a polynomial.
+    pub fn pow_mod(base: &Poly, mut e: u64, m: &Poly) -> Poly {
+        let mut acc = Poly::one().rem(m);
+        let mut b = base.rem(m);
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc.mul(&b).rem(m);
+            }
+            b = b.mul(&b).rem(m);
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Finds all roots of `self`, **assuming** it splits into distinct
+    /// linear factors over GF(p) — which holds by construction for the
+    /// interpolated difference polynomials of Appendix A. Returns `None`
+    /// if the assumption is violated (the polynomial has an irreducible
+    /// factor of higher degree or a repeated root), which reconciliation
+    /// reports as a bound failure.
+    ///
+    /// Uses Cantor–Zassenhaus splitting: `gcd(f, (z + a)^((p−1)/2) − 1)`
+    /// separates roots by the quadratic character of `r + a`.
+    pub fn roots<R: Rng>(&self, rng: &mut R) -> Option<Vec<Fe>> {
+        if self.is_zero() {
+            return None;
+        }
+        let f = self.monic();
+        if f.degree() == 0 {
+            return Some(Vec::new());
+        }
+        // All roots distinct <=> gcd(f, f') = 1.
+        if f.gcd(&f.derivative()).degree() != 0 {
+            return None;
+        }
+        // f must divide z^p − z; equivalently z^p ≡ z (mod f) restricted to
+        // the product of linear factors. Extract that product first:
+        // g = gcd(f, z^p − z). If g != f, f has non-linear factors.
+        let zp = Poly::pow_mod(&Poly::x(), P, &f);
+        let zp_minus_z = zp.sub(&Poly::x());
+        let linear_part = f.gcd(&zp_minus_z);
+        if linear_part.degree() != f.degree() {
+            return None;
+        }
+        let mut roots = Vec::with_capacity(f.degree());
+        let mut stack = vec![f];
+        while let Some(g) = stack.pop() {
+            match g.degree() {
+                0 => continue,
+                1 => {
+                    // g = z + c (monic) -> root = -c
+                    roots.push(g.coeffs[0].neg());
+                    continue;
+                }
+                _ => {}
+            }
+            // Random split.
+            loop {
+                let a = Fe::new(rng.gen_range(0..P));
+                let shifted = Poly::from_coeffs(vec![a, Fe::ONE]); // z + a
+                let h = Poly::pow_mod(&shifted, (P - 1) / 2, &g).sub(&Poly::one());
+                let d = g.gcd(&h);
+                if d.degree() > 0 && d.degree() < g.degree() {
+                    let (q, r) = g.divmod(&d);
+                    debug_assert!(r.is_zero());
+                    stack.push(d);
+                    stack.push(q.monic());
+                    break;
+                }
+            }
+        }
+        roots.sort();
+        Some(roots)
+    }
+
+    /// Formal derivative.
+    pub fn derivative(&self) -> Poly {
+        if self.coeffs.len() <= 1 {
+            return Poly::zero();
+        }
+        let out = self
+            .coeffs
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, &c)| c * Fe::new(i as u64))
+            .collect();
+        Poly::from_coeffs(out)
+    }
+}
+
+impl std::fmt::Display for Poly {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        let terms: Vec<String> = self
+            .coeffs
+            .iter()
+            .enumerate()
+            .rev()
+            .filter(|(_, c)| !c.is_zero())
+            .map(|(i, c)| match i {
+                0 => format!("{c}"),
+                1 => format!("{c}·z"),
+                _ => format!("{c}·z^{i}"),
+            })
+            .collect();
+        f.write_str(&terms.join(" + "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fe(v: u64) -> Fe {
+        Fe::new(v)
+    }
+
+    #[test]
+    fn from_roots_vanishes_at_roots() {
+        let roots = [fe(1), fe(100), fe(65537), fe(P - 2)];
+        let p = Poly::from_roots(&roots);
+        assert_eq!(p.degree(), 4);
+        assert_eq!(p.leading(), Fe::ONE);
+        for r in roots {
+            assert_eq!(p.eval(r), Fe::ZERO);
+        }
+        assert_ne!(p.eval(fe(12345)), Fe::ZERO);
+    }
+
+    #[test]
+    fn mul_then_divmod_round_trips() {
+        let a = Poly::from_coeffs(vec![fe(3), fe(0), fe(7), fe(1)]);
+        let b = Poly::from_coeffs(vec![fe(5), fe(2)]);
+        let prod = a.mul(&b);
+        let (q, r) = prod.divmod(&b);
+        assert!(r.is_zero());
+        assert_eq!(q, a);
+    }
+
+    #[test]
+    fn divmod_remainder_has_lower_degree() {
+        let a = Poly::from_coeffs(vec![fe(1), fe(2), fe(3), fe(4), fe(5)]);
+        let b = Poly::from_coeffs(vec![fe(7), fe(0), fe(1)]);
+        let (q, r) = a.divmod(&b);
+        assert!(r.is_zero() || r.degree() < b.degree());
+        assert_eq!(q.mul(&b).add(&r), a);
+    }
+
+    #[test]
+    fn gcd_of_shared_roots() {
+        let a = Poly::from_roots(&[fe(2), fe(3), fe(5)]);
+        let b = Poly::from_roots(&[fe(3), fe(5), fe(7)]);
+        let g = a.gcd(&b);
+        let want = Poly::from_roots(&[fe(3), fe(5)]);
+        assert_eq!(g, want);
+    }
+
+    #[test]
+    fn gcd_coprime_is_one() {
+        let a = Poly::from_roots(&[fe(2)]);
+        let b = Poly::from_roots(&[fe(9)]);
+        assert_eq!(a.gcd(&b), Poly::one());
+    }
+
+    #[test]
+    fn pow_mod_fermat() {
+        // z^p mod (z - a) = a^p = a  (Fermat), so z^p − z ≡ 0 mod (z − a).
+        let m = Poly::from_roots(&[fe(123456)]);
+        let zp = Poly::pow_mod(&Poly::x(), P, &m);
+        assert_eq!(zp.sub(&Poly::x()).rem(&m), Poly::zero());
+    }
+
+    #[test]
+    fn roots_recovers_random_sets() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [1usize, 2, 3, 8, 20] {
+            let mut roots: Vec<Fe> = Vec::new();
+            while roots.len() < n {
+                let r = fe(rng.gen_range(0..P));
+                if !roots.contains(&r) {
+                    roots.push(r);
+                }
+            }
+            let p = Poly::from_roots(&roots);
+            let mut got = p.roots(&mut rng).expect("splits into linears");
+            roots.sort();
+            got.sort();
+            assert_eq!(got, roots, "n={n}");
+        }
+    }
+
+    #[test]
+    fn roots_rejects_repeated_root() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = Poly::from_roots(&[fe(4), fe(4)]);
+        assert_eq!(p.roots(&mut rng), None);
+    }
+
+    #[test]
+    fn roots_rejects_irreducible_quadratic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // z² − n where n is a quadratic non-residue is irreducible.
+        // Find a non-residue by Euler's criterion.
+        let mut n = fe(2);
+        while n.pow((P - 1) / 2) == Fe::ONE {
+            n = n + Fe::ONE;
+        }
+        let p = Poly::from_coeffs(vec![n.neg(), Fe::ZERO, Fe::ONE]);
+        assert_eq!(p.roots(&mut rng), None);
+    }
+
+    #[test]
+    fn derivative_power_rule() {
+        // d/dz (z^3 + 2z) = 3z^2 + 2
+        let p = Poly::from_coeffs(vec![fe(0), fe(2), fe(0), fe(1)]);
+        let d = p.derivative();
+        assert_eq!(d, Poly::from_coeffs(vec![fe(2), fe(0), fe(3)]));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = Poly::from_coeffs(vec![fe(6), fe(P - 5), fe(1)]);
+        let s = format!("{p}");
+        assert!(s.contains("z^2"), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn divide_by_zero_panics() {
+        let _ = Poly::one().divmod(&Poly::zero());
+    }
+}

@@ -1,0 +1,438 @@
+//! Set reconciliation (dissertation Appendix A).
+//!
+//! Conservation-of-content validation needs each pair of monitoring routers
+//! to learn the *difference* between their fingerprint sets without
+//! resending all fingerprints. Appendix A adopts the characteristic
+//! polynomial scheme of Minsky, Trachtenberg & Zippel: host A sends the
+//! evaluations of `χ_A(z) = Π_{x∈A}(z − x)` at a handful of agreed sample
+//! points (one per differing element, plus change), host B divides by its
+//! own `χ_B` evaluations and interpolates the reduced rational function
+//!
+//! ```text
+//! χ_A(z) / χ_B(z) = χ_{A∖B}(z) / χ_{B∖A}(z)
+//! ```
+//!
+//! whose numerator and denominator roots are exactly the missing /
+//! fabricated packet fingerprints. Communication is proportional to the
+//! difference, not the set sizes — the property the dissertation calls
+//! "optimal in bandwidth utilization".
+//!
+//! # Examples
+//!
+//! ```
+//! use fatih_validation::field::Fe;
+//! use fatih_validation::reconcile::{reconcile, SetSketch};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let sent: Vec<Fe> = (1..=100u64).map(Fe::new).collect();
+//! // The downstream router saw everything except packets 7 and 42.
+//! let recv: Vec<Fe> = sent.iter().copied()
+//!     .filter(|f| *f != Fe::new(7) && *f != Fe::new(42)).collect();
+//!
+//! let a = SetSketch::from_elements(sent.iter().copied(), 8);
+//! let b = SetSketch::from_elements(recv.iter().copied(), 8);
+//! let delta = reconcile(&a, &b, &mut StdRng::seed_from_u64(0)).unwrap();
+//! assert_eq!(delta.only_in_a, vec![Fe::new(7), Fe::new(42)]); // dropped
+//! assert!(delta.only_in_b.is_empty());                        // none fabricated
+//! ```
+
+use crate::field::{Fe, P};
+use crate::poly::Poly;
+use rand::Rng;
+
+/// Extra sample points used to verify the interpolated rational function.
+const CHECK_POINTS: usize = 2;
+
+/// A compact sketch of a fingerprint set: `capacity + 2` evaluations of its
+/// characteristic polynomial at fixed points, plus the set size.
+///
+/// Two sketches can be reconciled iff they were built with the same
+/// `capacity` (they then share sample points) and the true symmetric
+/// difference is at most `capacity`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetSketch {
+    capacity: usize,
+    size: u64,
+    evals: Vec<Fe>,
+}
+
+/// Result of reconciliation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Delta {
+    /// Elements present at A but missing at B (e.g. dropped packets),
+    /// sorted ascending.
+    pub only_in_a: Vec<Fe>,
+    /// Elements present at B but not at A (e.g. fabricated packets),
+    /// sorted ascending.
+    pub only_in_b: Vec<Fe>,
+}
+
+impl Delta {
+    /// Total size of the symmetric difference.
+    pub fn len(&self) -> usize {
+        self.only_in_a.len() + self.only_in_b.len()
+    }
+
+    /// Whether the sets were identical.
+    pub fn is_empty(&self) -> bool {
+        self.only_in_a.is_empty() && self.only_in_b.is_empty()
+    }
+}
+
+/// Why reconciliation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconcileError {
+    /// The sketches were built with different capacities and therefore
+    /// different sample points.
+    CapacityMismatch,
+    /// The symmetric difference exceeds the sketch capacity; callers should
+    /// rebuild with a larger capacity (or fall back to a full exchange).
+    BoundExceeded,
+    /// A set element collided with one of the fixed sample points (the
+    /// characteristic polynomial evaluates to zero there). Probability
+    /// ≈ `|S|·m / 2⁶¹` per round; callers treat it like `BoundExceeded`.
+    EvalPointCollision,
+}
+
+impl std::fmt::Display for ReconcileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::CapacityMismatch => f.write_str("sketch capacities differ"),
+            Self::BoundExceeded => f.write_str("set difference exceeds sketch capacity"),
+            Self::EvalPointCollision => {
+                f.write_str("set element collided with a sample point")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReconcileError {}
+
+/// The fixed sample points: the top of the field, descending. Fingerprints
+/// are uniform over the field so collisions are ~2⁻⁶¹ per element.
+fn sample_point(i: usize) -> Fe {
+    Fe::new(P - 1 - i as u64)
+}
+
+impl SetSketch {
+    /// Builds a sketch able to reconcile up to `capacity` differing
+    /// elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn from_elements<I: IntoIterator<Item = Fe>>(elements: I, capacity: usize) -> Self {
+        assert!(capacity > 0, "sketch capacity must be positive");
+        let m = capacity + CHECK_POINTS;
+        let mut evals = vec![Fe::ONE; m];
+        let mut size = 0u64;
+        for x in elements {
+            size += 1;
+            for (i, e) in evals.iter_mut().enumerate() {
+                *e = *e * (sample_point(i) - x);
+            }
+        }
+        Self {
+            capacity,
+            size,
+            evals,
+        }
+    }
+
+    /// Maximum symmetric difference this sketch can resolve.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of elements in the summarized set.
+    pub fn len(&self) -> u64 {
+        self.size
+    }
+
+    /// Whether the summarized set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// Wire size in bytes: the evaluations plus the set size. This is what
+    /// the overhead analysis in Chapter 7 charges per summary exchange.
+    pub fn wire_bytes(&self) -> usize {
+        self.evals.len() * 8 + 8
+    }
+}
+
+/// Reconciles two sketches, recovering the symmetric difference.
+///
+/// `rng` drives the Cantor–Zassenhaus polynomial splitting (the randomness
+/// affects only running time, not the result).
+///
+/// # Errors
+///
+/// See [`ReconcileError`]. All failure modes are detected — the function
+/// never silently returns a wrong difference: the interpolated rational
+/// function is re-verified at reserved check points, and both recovered
+/// polynomials must split completely into distinct linear factors.
+pub fn reconcile<R: Rng>(
+    a: &SetSketch,
+    b: &SetSketch,
+    rng: &mut R,
+) -> Result<Delta, ReconcileError> {
+    if a.capacity != b.capacity {
+        return Err(ReconcileError::CapacityMismatch);
+    }
+    let d = a.capacity;
+
+    // Size difference fixes deg(num) − deg(den).
+    let delta = a.size as i64 - b.size as i64;
+    if delta.unsigned_abs() as usize > d {
+        return Err(ReconcileError::BoundExceeded);
+    }
+    // Largest usable bound with the right parity.
+    let m = if (d as i64 - delta).rem_euclid(2) == 0 {
+        d
+    } else {
+        d - 1
+    };
+    if (m as i64) < delta.abs() {
+        return Err(ReconcileError::BoundExceeded);
+    }
+    let deg_num = ((m as i64 + delta) / 2) as usize;
+    let deg_den = ((m as i64 - delta) / 2) as usize;
+
+    // Ratio f(z_i) = χ_A(z_i) / χ_B(z_i) at interpolation points.
+    let mut ratio = Vec::with_capacity(m);
+    for i in 0..m {
+        if b.evals[i].is_zero() || a.evals[i].is_zero() {
+            // χ(z_i) = 0 means z_i is an element of the set.
+            return Err(ReconcileError::EvalPointCollision);
+        }
+        ratio.push(a.evals[i] / b.evals[i]);
+    }
+
+    // Solve for the non-monic coefficients of num (deg_num of them) and den
+    // (deg_den of them):
+    //   Σ_j a_j z^j − f(z) Σ_j b_j z^j = f(z)·z^deg_den − z^deg_num
+    let unknowns = deg_num + deg_den;
+    let mut matrix = vec![vec![Fe::ZERO; unknowns + 1]; m];
+    for (row, mrow) in matrix.iter_mut().enumerate() {
+        let z = sample_point(row);
+        let f = ratio[row];
+        let mut zj = Fe::ONE;
+        for col in 0..deg_num {
+            mrow[col] = zj;
+            zj = zj * z;
+        }
+        let mut zj = Fe::ONE;
+        for col in 0..deg_den {
+            mrow[deg_num + col] = (f * zj).neg();
+            zj = zj * z;
+        }
+        mrow[unknowns] = f * z.pow(deg_den as u64) - z.pow(deg_num as u64);
+    }
+    let solution = solve(matrix, unknowns);
+
+    // Assemble monic num/den.
+    let mut num_coeffs = solution[..deg_num].to_vec();
+    num_coeffs.push(Fe::ONE);
+    let mut den_coeffs = solution[deg_num..].to_vec();
+    den_coeffs.push(Fe::ONE);
+    let num = Poly::from_coeffs(num_coeffs);
+    let den = Poly::from_coeffs(den_coeffs);
+
+    // Cancel any common factor (happens when the true difference is smaller
+    // than the bound and the system was underdetermined).
+    let g = num.gcd(&den);
+    let num = num.divmod(&g).0.monic();
+    let den = den.divmod(&g).0.monic();
+
+    // Verify at the reserved check points: num(z)·χ_B(z) == χ_A(z)·den(z).
+    for i in 0..CHECK_POINTS {
+        let idx = d + i;
+        let z = sample_point(idx);
+        if num.eval(z) * b.evals[idx] != a.evals[idx] * den.eval(z) {
+            return Err(ReconcileError::BoundExceeded);
+        }
+    }
+
+    // Extract roots; failure to split completely means the bound was wrong.
+    let only_in_a = num.roots(rng).ok_or(ReconcileError::BoundExceeded)?;
+    let only_in_b = den.roots(rng).ok_or(ReconcileError::BoundExceeded)?;
+    Ok(Delta {
+        only_in_a,
+        only_in_b,
+    })
+}
+
+/// Gaussian elimination over GF(p); free variables are set to zero.
+/// `matrix` is `rows × (unknowns + 1)` with the RHS in the last column.
+fn solve(mut matrix: Vec<Vec<Fe>>, unknowns: usize) -> Vec<Fe> {
+    let rows = matrix.len();
+    let mut pivot_of_col = vec![usize::MAX; unknowns];
+    let mut r = 0;
+    for c in 0..unknowns {
+        if r >= rows {
+            break;
+        }
+        // Find a pivot.
+        let Some(p_row) = (r..rows).find(|&i| !matrix[i][c].is_zero()) else {
+            continue;
+        };
+        matrix.swap(r, p_row);
+        let inv = matrix[r][c].inv();
+        for v in matrix[r].iter_mut() {
+            *v = *v * inv;
+        }
+        for i in 0..rows {
+            if i != r && !matrix[i][c].is_zero() {
+                let factor = matrix[i][c];
+                for j in 0..=unknowns {
+                    let sub = factor * matrix[r][j];
+                    matrix[i][j] -= sub;
+                }
+            }
+        }
+        pivot_of_col[c] = r;
+        r += 1;
+    }
+    (0..unknowns)
+        .map(|c| {
+            if pivot_of_col[c] == usize::MAX {
+                Fe::ZERO
+            } else {
+                matrix[pivot_of_col[c]][unknowns]
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fes(vals: &[u64]) -> Vec<Fe> {
+        vals.iter().map(|&v| Fe::new(v)).collect()
+    }
+
+    fn run(a: &[u64], b: &[u64], cap: usize) -> Result<Delta, ReconcileError> {
+        let sa = SetSketch::from_elements(fes(a), cap);
+        let sb = SetSketch::from_elements(fes(b), cap);
+        reconcile(&sa, &sb, &mut StdRng::seed_from_u64(42))
+    }
+
+    #[test]
+    fn identical_sets_yield_empty_delta() {
+        let d = run(&[1, 2, 3, 4, 5], &[1, 2, 3, 4, 5], 4).unwrap();
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn pure_losses_recovered() {
+        let d = run(&[10, 20, 30, 40, 50], &[10, 30, 50], 4).unwrap();
+        assert_eq!(d.only_in_a, fes(&[20, 40]));
+        assert!(d.only_in_b.is_empty());
+    }
+
+    #[test]
+    fn pure_fabrications_recovered() {
+        let d = run(&[10, 30], &[10, 30, 99, 77], 4).unwrap();
+        assert!(d.only_in_a.is_empty());
+        assert_eq!(d.only_in_b, fes(&[77, 99]));
+    }
+
+    #[test]
+    fn modification_appears_as_loss_plus_fabrication() {
+        // Packet 20 was modified in transit into 21.
+        let d = run(&[10, 20, 30], &[10, 21, 30], 4).unwrap();
+        assert_eq!(d.only_in_a, fes(&[20]));
+        assert_eq!(d.only_in_b, fes(&[21]));
+    }
+
+    #[test]
+    fn difference_exactly_at_capacity() {
+        let d = run(&[1, 2, 3, 4], &[5, 6], 6).unwrap();
+        assert_eq!(d.len(), 6);
+        assert_eq!(d.only_in_a, fes(&[1, 2, 3, 4]));
+        assert_eq!(d.only_in_b, fes(&[5, 6]));
+    }
+
+    #[test]
+    fn bound_exceeded_is_detected_not_wrong() {
+        // 6 differences, capacity 3: must error, never fabricate an answer.
+        let r = run(&[1, 2, 3, 4, 5, 6, 100], &[100], 3);
+        assert_eq!(r, Err(ReconcileError::BoundExceeded));
+    }
+
+    #[test]
+    fn size_delta_larger_than_capacity_errors_early() {
+        let r = run(&[1, 2, 3, 4, 5], &[], 3);
+        assert_eq!(r, Err(ReconcileError::BoundExceeded));
+    }
+
+    #[test]
+    fn capacity_mismatch_rejected() {
+        let sa = SetSketch::from_elements(fes(&[1]), 3);
+        let sb = SetSketch::from_elements(fes(&[1]), 4);
+        assert_eq!(
+            reconcile(&sa, &sb, &mut StdRng::seed_from_u64(0)),
+            Err(ReconcileError::CapacityMismatch)
+        );
+    }
+
+    #[test]
+    fn eval_point_collision_detected() {
+        // P-1 is the first sample point.
+        let r = run(&[P - 1, 5], &[5], 2);
+        assert_eq!(r, Err(ReconcileError::EvalPointCollision));
+    }
+
+    #[test]
+    fn empty_versus_nonempty() {
+        let d = run(&[7, 8], &[], 4).unwrap();
+        assert_eq!(d.only_in_a, fes(&[7, 8]));
+    }
+
+    #[test]
+    fn both_empty() {
+        let d = run(&[], &[], 2).unwrap();
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn large_sets_small_difference() {
+        let a: Vec<u64> = (1..=5_000).collect();
+        let mut b = a.clone();
+        b.retain(|&x| x != 1234 && x != 4321);
+        b.push(999_999);
+        let d = run(&a, &b, 8).unwrap();
+        assert_eq!(d.only_in_a, fes(&[1234, 4321]));
+        assert_eq!(d.only_in_b, fes(&[999_999]));
+    }
+
+    #[test]
+    fn wire_size_depends_on_capacity_not_set_size() {
+        let small = SetSketch::from_elements(fes(&[1, 2]), 8);
+        let big = SetSketch::from_elements((1..10_000).map(Fe::new), 8);
+        assert_eq!(small.wire_bytes(), big.wire_bytes());
+    }
+
+    #[test]
+    fn realistic_fingerprints_round_trip() {
+        use fatih_crypto::UhashKey;
+        let key = UhashKey::from_seed(9);
+        let sent: Vec<Fe> = (0u64..400)
+            .map(|i| key.fingerprint(&i.to_le_bytes()).into())
+            .collect();
+        let mut recv = sent.clone();
+        let dropped: Vec<Fe> = vec![recv.remove(17), recv.remove(200), recv.remove(350)];
+        let sa = SetSketch::from_elements(sent, 6);
+        let sb = SetSketch::from_elements(recv, 6);
+        let d = reconcile(&sa, &sb, &mut StdRng::seed_from_u64(5)).unwrap();
+        let mut want = dropped;
+        want.sort();
+        assert_eq!(d.only_in_a, want);
+        assert!(d.only_in_b.is_empty());
+    }
+}

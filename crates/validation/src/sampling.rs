@@ -1,0 +1,124 @@
+//! Trajectory-sampling-style packet subsampling (dissertation §2.4.1,
+//! "Single packet vs. aggregate traffic", and §5.2.1).
+//!
+//! Summarizing *every* packet can be too expensive. Duffield–Grossglauser
+//! trajectory sampling keys a hash function on packet content: if the two
+//! ends of a path segment use the same keyed hash and the same acceptance
+//! range, they deterministically sample the *same subset* of packets, so
+//! conservation checks remain sound on the sample. The key is secret to the
+//! segment ends, so intermediate compromised routers cannot tell which
+//! packets are monitored (the reason Protocol Πk+2 may sample while
+//! Protocol Π2 must not — §5.1.1 footnote 12).
+
+use fatih_crypto::uhash::FINGERPRINT_PRIME;
+use fatih_crypto::{Fingerprint, UhashKey};
+
+/// A deterministic sampling pattern: sample a packet iff its keyed
+/// fingerprint falls below `rate` × field size.
+///
+/// # Examples
+///
+/// ```
+/// use fatih_validation::sampling::SamplingPattern;
+/// use fatih_crypto::UhashKey;
+///
+/// let upstream = SamplingPattern::new(UhashKey::from_seed(5), 0.25);
+/// let downstream = SamplingPattern::new(UhashKey::from_seed(5), 0.25);
+/// // Both ends agree on every packet:
+/// for i in 0u64..100 {
+///     let pkt = i.to_le_bytes();
+///     assert_eq!(upstream.samples(&pkt), downstream.samples(&pkt));
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplingPattern {
+    key: UhashKey,
+    threshold: u64,
+}
+
+impl SamplingPattern {
+    /// Creates a pattern sampling approximately `rate` of packets,
+    /// `0 < rate <= 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `(0, 1]`.
+    pub fn new(key: UhashKey, rate: f64) -> Self {
+        assert!(
+            rate > 0.0 && rate <= 1.0,
+            "sampling rate must be in (0,1], got {rate}"
+        );
+        let threshold = (rate * FINGERPRINT_PRIME as f64) as u64;
+        Self {
+            key,
+            threshold: threshold.max(1),
+        }
+    }
+
+    /// Whether this packet is in the monitored subset.
+    pub fn samples(&self, packet_invariant_bytes: &[u8]) -> bool {
+        self.key.fingerprint(packet_invariant_bytes).value() < self.threshold
+    }
+
+    /// Whether an already-computed fingerprint (under the same key!) is in
+    /// the monitored subset.
+    pub fn samples_fingerprint(&self, fp: Fingerprint) -> bool {
+        fp.value() < self.threshold
+    }
+
+    /// The configured acceptance threshold as a fraction of the field.
+    pub fn rate(&self) -> f64 {
+        self.threshold as f64 / FINGERPRINT_PRIME as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_one_samples_everything() {
+        let p = SamplingPattern::new(UhashKey::from_seed(1), 1.0);
+        for i in 0u64..200 {
+            assert!(p.samples(&i.to_le_bytes()));
+        }
+    }
+
+    #[test]
+    fn empirical_rate_tracks_configured_rate() {
+        let p = SamplingPattern::new(UhashKey::from_seed(2), 0.2);
+        let n = 20_000u64;
+        let sampled = (0..n).filter(|i| p.samples(&i.to_le_bytes())).count();
+        let rate = sampled as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.02, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn different_keys_sample_different_subsets() {
+        let a = SamplingPattern::new(UhashKey::from_seed(1), 0.5);
+        let b = SamplingPattern::new(UhashKey::from_seed(999), 0.5);
+        let disagreements = (0u64..2_000)
+            .filter(|i| a.samples(&i.to_le_bytes()) != b.samples(&i.to_le_bytes()))
+            .count();
+        assert!(disagreements > 500, "only {disagreements} disagreements");
+    }
+
+    #[test]
+    fn fingerprint_shortcut_agrees() {
+        let key = UhashKey::from_seed(3);
+        let p = SamplingPattern::new(key, 0.3);
+        for i in 0u64..500 {
+            let bytes = i.to_le_bytes();
+            assert_eq!(
+                p.samples(&bytes),
+                p.samples_fingerprint(key.fingerprint(&bytes))
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling rate")]
+    fn rejects_zero_rate() {
+        let _ = SamplingPattern::new(UhashKey::from_seed(1), 0.0);
+    }
+}

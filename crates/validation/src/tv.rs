@@ -1,0 +1,365 @@
+//! The traffic-validation predicates `TV(π, info(r_i), info(r_j))` of
+//! dissertation §4.2.1, one per conservation-of-traffic policy (§2.4.1).
+//!
+//! Each predicate compares the summary collected where traffic *entered* a
+//! path segment with the summary collected where it *left*, and reports a
+//! verdict rather than a bare boolean so the caller (the distributed
+//! detectors in `fatih-core`) can apply thresholds, attribute drops, and
+//! raise evidence.
+
+use crate::summary::{ContentSummary, FlowCounter, OrderedSummary, TimedSummary};
+use fatih_crypto::Fingerprint;
+
+/// Verdict of the conservation-of-flow check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowVerdict {
+    /// Packets the upstream summary claims were sent.
+    pub sent: u64,
+    /// Packets the downstream summary observed.
+    pub received: u64,
+}
+
+impl FlowVerdict {
+    /// Packets missing in transit (zero if the downstream saw *more*).
+    pub fn lost(&self) -> u64 {
+        self.sent.saturating_sub(self.received)
+    }
+
+    /// Packets that appeared from nowhere (fabrication lower bound).
+    pub fn fabricated(&self) -> u64 {
+        self.received.saturating_sub(self.sent)
+    }
+
+    /// Loss fraction in `[0, 1]`; zero when nothing was sent.
+    pub fn loss_fraction(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.lost() as f64 / self.sent as f64
+        }
+    }
+
+    /// The WATCHERS-style test: traffic is conserved up to a threshold of
+    /// acceptable congestive losses (§3.1's `|I_b − O_b| > T`).
+    pub fn passes(&self, loss_threshold: u64) -> bool {
+        self.lost() <= loss_threshold && self.fabricated() == 0
+    }
+}
+
+/// Conservation of flow: compares volume only (detects dropping, not
+/// modification — a "fragile summary function", §2.4.1).
+pub fn tv_flow(sent: &FlowCounter, received: &FlowCounter) -> FlowVerdict {
+    FlowVerdict {
+        sent: sent.packets,
+        received: received.packets,
+    }
+}
+
+/// Verdict of the conservation-of-content check.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ContentVerdict {
+    /// Fingerprints sent upstream but never received (loss or modification).
+    pub lost: Vec<Fingerprint>,
+    /// Fingerprints received downstream that were never sent (fabrication
+    /// or modification).
+    pub fabricated: Vec<Fingerprint>,
+}
+
+impl ContentVerdict {
+    /// Modified packets pair one loss with one fabrication; this is the
+    /// lower bound on modifications implied by the verdict.
+    pub fn modified_lower_bound(&self) -> usize {
+        self.lost.len().min(self.fabricated.len())
+    }
+
+    /// Pure (unpaired) losses.
+    pub fn pure_losses(&self) -> usize {
+        self.lost.len().saturating_sub(self.fabricated.len())
+    }
+
+    /// The content test with a congestive-loss allowance: any fabrication is
+    /// malicious, and losses beyond the threshold are malicious.
+    pub fn passes(&self, loss_threshold: usize) -> bool {
+        self.fabricated.is_empty() && self.lost.len() <= loss_threshold
+    }
+}
+
+/// Conservation of content: exact multiset comparison of fingerprints
+/// (detects loss, fabrication, modification, misrouting — §2.4.1).
+pub fn tv_content(sent: &ContentSummary, received: &ContentSummary) -> ContentVerdict {
+    ContentVerdict {
+        lost: sent.difference(received),
+        fabricated: received.difference(sent),
+    }
+}
+
+/// Verdict of the conservation-of-order check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderVerdict {
+    /// The content verdict on the same traffic (order implies content).
+    pub content: ContentVerdict,
+    /// The reordering metric of §2.2.1: with lost/fabricated packets
+    /// removed from both streams, `|S| − |LCS(S, F)|`.
+    pub reordered: usize,
+}
+
+impl OrderVerdict {
+    /// Passes if content passes and no reordering beyond `reorder_threshold`
+    /// was observed.
+    pub fn passes(&self, loss_threshold: usize, reorder_threshold: usize) -> bool {
+        self.content.passes(loss_threshold) && self.reordered <= reorder_threshold
+    }
+}
+
+/// Conservation of order (§2.4.1, quantified per [107] as cited in §2.2.1):
+/// compute the longest common subsequence of the transmit and receive
+/// streams after removing lost and fabricated packets; the difference from
+/// the stream length is the amount of reordering.
+///
+/// Fingerprints are unique with overwhelming probability, so the LCS of the
+/// two cleaned streams is the longest increasing subsequence of the
+/// receive-side positions — computed in `O(n log n)`.
+pub fn tv_order(sent: &OrderedSummary, received: &OrderedSummary) -> OrderVerdict {
+    let content = tv_content(&sent.to_content(), &received.to_content());
+
+    // Positions of each fingerprint in the received stream (first
+    // occurrence; duplicates are vanishingly rare and resolved arbitrarily).
+    let mut pos = std::collections::HashMap::new();
+    for (i, &fp) in received.sequence().iter().enumerate() {
+        pos.entry(fp).or_insert(i);
+    }
+    // Project the sent stream onto receive positions, skipping lost packets.
+    let projected: Vec<usize> = sent
+        .sequence()
+        .iter()
+        .filter_map(|fp| pos.get(fp).copied())
+        .collect();
+    let lcs = longest_increasing_subsequence_len(&projected);
+    OrderVerdict {
+        content,
+        reordered: projected.len() - lcs,
+    }
+}
+
+/// Classic patience-sorting LIS length.
+fn longest_increasing_subsequence_len(seq: &[usize]) -> usize {
+    let mut tails: Vec<usize> = Vec::new();
+    for &x in seq {
+        match tails.binary_search(&x) {
+            Ok(i) | Err(i) => {
+                if i == tails.len() {
+                    tails.push(x);
+                } else {
+                    tails[i] = x;
+                }
+            }
+        }
+    }
+    tails.len()
+}
+
+/// One delayed packet found by the timeliness check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DelayViolation {
+    /// The delayed packet.
+    pub fingerprint: Fingerprint,
+    /// Observed one-way delay in nanoseconds.
+    pub delay_ns: u64,
+}
+
+/// Verdict of the conservation-of-timeliness check.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TimelinessVerdict {
+    /// Packets delayed beyond the allowance.
+    pub violations: Vec<DelayViolation>,
+    /// Packets in the sent summary that never arrived (handed to the
+    /// content/χ machinery — timeliness does not judge losses).
+    pub missing: usize,
+}
+
+impl TimelinessVerdict {
+    /// Passes when no packet exceeded the delay allowance.
+    pub fn passes(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Conservation of timeliness (§2.4.1): matches packets by fingerprint and
+/// flags any whose transit delay exceeds `max_delay_ns`.
+pub fn tv_timeliness(
+    sent: &TimedSummary,
+    received: &TimedSummary,
+    max_delay_ns: u64,
+) -> TimelinessVerdict {
+    let mut recv_time = std::collections::HashMap::new();
+    for e in received.entries() {
+        recv_time.entry(e.fingerprint).or_insert(e.time_ns);
+    }
+    let mut verdict = TimelinessVerdict::default();
+    for e in sent.entries() {
+        match recv_time.get(&e.fingerprint) {
+            None => verdict.missing += 1,
+            Some(&t_recv) => {
+                let delay = t_recv.saturating_sub(e.time_ns);
+                if delay > max_delay_ns {
+                    verdict.violations.push(DelayViolation {
+                        fingerprint: e.fingerprint,
+                        delay_ns: delay,
+                    });
+                }
+            }
+        }
+    }
+    verdict
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(v: u64) -> Fingerprint {
+        Fingerprint::new(v)
+    }
+
+    fn content_of(fps: &[u64]) -> ContentSummary {
+        let mut s = ContentSummary::default();
+        for &v in fps {
+            s.observe(fp(v), 100);
+        }
+        s
+    }
+
+    fn ordered_of(fps: &[u64]) -> OrderedSummary {
+        let mut s = OrderedSummary::default();
+        for &v in fps {
+            s.observe(fp(v), 100);
+        }
+        s
+    }
+
+    #[test]
+    fn flow_verdict_loss_and_fabrication() {
+        let mut sent = FlowCounter::default();
+        let mut recv = FlowCounter::default();
+        for _ in 0..10 {
+            sent.observe(100);
+        }
+        for _ in 0..7 {
+            recv.observe(100);
+        }
+        let v = tv_flow(&sent, &recv);
+        assert_eq!(v.lost(), 3);
+        assert_eq!(v.fabricated(), 0);
+        assert!((v.loss_fraction() - 0.3).abs() < 1e-12);
+        assert!(v.passes(3));
+        assert!(!v.passes(2));
+    }
+
+    #[test]
+    fn flow_verdict_detects_fabrication() {
+        let mut sent = FlowCounter::default();
+        sent.observe(1);
+        let mut recv = FlowCounter::default();
+        recv.observe(1);
+        recv.observe(1);
+        let v = tv_flow(&sent, &recv);
+        assert_eq!(v.fabricated(), 1);
+        assert!(!v.passes(100), "fabrication must never pass");
+    }
+
+    #[test]
+    fn content_detects_loss_fabrication_modification() {
+        let sent = content_of(&[1, 2, 3, 4]);
+        let recv = content_of(&[1, 2, 5]); // 3,4 gone; 5 appeared
+        let v = tv_content(&sent, &recv);
+        assert_eq!(v.lost, vec![fp(3), fp(4)]);
+        assert_eq!(v.fabricated, vec![fp(5)]);
+        assert_eq!(v.modified_lower_bound(), 1);
+        assert_eq!(v.pure_losses(), 1);
+        assert!(!v.passes(10));
+    }
+
+    #[test]
+    fn content_passes_under_threshold() {
+        let sent = content_of(&[1, 2, 3, 4]);
+        let recv = content_of(&[1, 2, 3]);
+        let v = tv_content(&sent, &recv);
+        assert!(v.passes(1));
+        assert!(!v.passes(0));
+    }
+
+    #[test]
+    fn order_detects_pure_reordering() {
+        let sent = ordered_of(&[1, 2, 3, 4, 5]);
+        let recv = ordered_of(&[1, 3, 2, 4, 5]); // swap 2,3
+        let v = tv_order(&sent, &recv);
+        assert!(v.content.passes(0));
+        assert_eq!(v.reordered, 1);
+        assert!(!v.passes(0, 0));
+        assert!(v.passes(0, 1));
+    }
+
+    #[test]
+    fn order_full_reversal() {
+        let sent = ordered_of(&[1, 2, 3, 4, 5]);
+        let recv = ordered_of(&[5, 4, 3, 2, 1]);
+        let v = tv_order(&sent, &recv);
+        // LCS of a reversal is 1.
+        assert_eq!(v.reordered, 4);
+    }
+
+    #[test]
+    fn order_ignores_lost_packets_when_measuring_reorder() {
+        let sent = ordered_of(&[1, 2, 3, 4]);
+        let recv = ordered_of(&[1, 3, 4]); // 2 lost, no reorder among rest
+        let v = tv_order(&sent, &recv);
+        assert_eq!(v.reordered, 0);
+        assert_eq!(v.content.lost, vec![fp(2)]);
+    }
+
+    #[test]
+    fn order_identical_streams_pass() {
+        let sent = ordered_of(&[9, 8, 7]);
+        let recv = ordered_of(&[9, 8, 7]);
+        let v = tv_order(&sent, &recv);
+        assert_eq!(v.reordered, 0);
+        assert!(v.passes(0, 0));
+    }
+
+    #[test]
+    fn timeliness_flags_delays_over_allowance() {
+        let mut sent = TimedSummary::default();
+        let mut recv = TimedSummary::default();
+        sent.observe(fp(1), 100, 0);
+        sent.observe(fp(2), 100, 0);
+        sent.observe(fp(3), 100, 0);
+        recv.observe(fp(1), 100, 1_000); // fine
+        recv.observe(fp(2), 100, 50_000); // delayed
+        // fp(3) missing entirely
+        let v = tv_timeliness(&sent, &recv, 10_000);
+        assert_eq!(v.violations.len(), 1);
+        assert_eq!(v.violations[0].fingerprint, fp(2));
+        assert_eq!(v.violations[0].delay_ns, 50_000);
+        assert_eq!(v.missing, 1);
+        assert!(!v.passes());
+    }
+
+    #[test]
+    fn timeliness_passes_when_fast() {
+        let mut sent = TimedSummary::default();
+        let mut recv = TimedSummary::default();
+        for i in 0..5u64 {
+            sent.observe(fp(i), 100, i * 10);
+            recv.observe(fp(i), 100, i * 10 + 500);
+        }
+        assert!(tv_timeliness(&sent, &recv, 1_000).passes());
+    }
+
+    #[test]
+    fn lis_helper_known_cases() {
+        assert_eq!(longest_increasing_subsequence_len(&[]), 0);
+        assert_eq!(longest_increasing_subsequence_len(&[1, 2, 3]), 3);
+        assert_eq!(longest_increasing_subsequence_len(&[3, 2, 1]), 1);
+        assert_eq!(longest_increasing_subsequence_len(&[2, 1, 3, 0, 4]), 3);
+    }
+}

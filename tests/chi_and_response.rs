@@ -1,0 +1,155 @@
+//! Integration tests for Protocol χ and the response machinery under
+//! richer scenarios than the unit fixtures.
+
+use fatih::crypto::KeyStore;
+use fatih::protocols::chi::{ChiConfig, QueueModel, QueueValidator};
+use fatih::protocols::fatih_system::{FatihConfig, FatihSystem};
+use fatih::protocols::threshold::ThresholdDetector;
+use fatih::sim::{Attack, Network, SimTime};
+use fatih::topology::{builtin, LinkParams, RouterId};
+
+fn fan(sources: usize, q_limit: u32) -> (Network, KeyStore, RouterId, RouterId) {
+    let topo = builtin::fan_in(
+        sources,
+        LinkParams {
+            bandwidth_bps: 8_000_000,
+            queue_limit_bytes: q_limit,
+            ..LinkParams::default()
+        },
+    );
+    let mut ks = KeyStore::with_seed(7);
+    for r in topo.routers() {
+        ks.register(r.into());
+    }
+    let r = topo.router_by_name("r").unwrap();
+    let rd = topo.router_by_name("rd").unwrap();
+    (Network::new(topo, 7), ks, r, rd)
+}
+
+#[test]
+fn chi_and_threshold_see_the_same_traffic_but_judge_differently() {
+    // Congested, no attack: χ stays quiet; a 1% threshold cries wolf.
+    let (mut net, ks, r, rd) = fan(3, 8_000);
+    let mut chi = QueueValidator::new(
+        net.topology(),
+        &ks,
+        r,
+        rd,
+        QueueModel::DropTail,
+        ChiConfig::default(),
+    );
+    let mut th = ThresholdDetector::new(net.topology(), &ks, r, rd, 0.01);
+    for i in 0..3 {
+        let s = net.topology().router_by_name(&format!("s{i}")).unwrap();
+        net.add_cbr_flow(
+            s,
+            rd,
+            1000,
+            SimTime::from_us(1_100),
+            SimTime::ZERO,
+            Some(SimTime::from_secs(8)),
+        );
+    }
+    let routes = net.routes().clone();
+    let end = SimTime::from_secs(10);
+    net.run_until(end, |ev| {
+        let nh = |p: &fatih::sim::Packet| {
+            routes.path(p.src, p.dst).and_then(|path| path.next_after(r))
+        };
+        chi.observe(ev, nh);
+        th.observe(ev, nh);
+    });
+    let chi_verdict = chi.end_round(end);
+    let th_verdict = th.end_round(end);
+    assert!(net.ground_truth().congestive_drops > 100);
+    assert!(!chi_verdict.detected, "χ false positive: {chi_verdict:?}");
+    assert!(th_verdict.detected, "threshold should false-positive here");
+    // Both counted the same loss volume.
+    assert_eq!(
+        chi_verdict.total_drops(),
+        th_verdict.offered - th_verdict.forwarded
+    );
+}
+
+#[test]
+fn chi_survives_many_short_rounds_under_attack_onset() {
+    let (mut net, ks, r, rd) = fan(2, 64_000);
+    let mut chi = QueueValidator::new(
+        net.topology(),
+        &ks,
+        r,
+        rd,
+        QueueModel::DropTail,
+        ChiConfig::default(),
+    );
+    let s0 = net.topology().router_by_name("s0").unwrap();
+    let s1 = net.topology().router_by_name("s1").unwrap();
+    let f0 = net.add_cbr_flow(s0, rd, 1000, SimTime::from_ms(3), SimTime::ZERO, None);
+    net.add_cbr_flow(s1, rd, 1000, SimTime::from_ms(4), SimTime::ZERO, None);
+    let routes = net.routes().clone();
+
+    let mut first_detection = None;
+    for round in 1..=10u64 {
+        if round == 5 {
+            net.set_attacks(r, vec![Attack::drop_flows([f0], 0.1)]);
+        }
+        let end = SimTime::from_secs(round * 2);
+        net.run_until(end, |ev| {
+            chi.observe(ev, |p| {
+                routes.path(p.src, p.dst).and_then(|path| path.next_after(r))
+            })
+        });
+        let v = chi.end_round(end);
+        if round < 5 {
+            assert!(!v.detected, "round {round} false positive: {v:?}");
+        } else if v.detected && first_detection.is_none() {
+            first_detection = Some(round);
+        }
+    }
+    assert!(
+        matches!(first_detection, Some(5 | 6)),
+        "attack onset not caught promptly: {first_detection:?}"
+    );
+}
+
+#[test]
+fn fatih_response_survives_two_compromised_routers() {
+    // Two separate attackers on a richer topology: both eventually
+    // excluded, traffic still delivered end to end.
+    let topo = builtin::grid(3, 3);
+    let mut ks = KeyStore::with_seed(2);
+    for r in topo.routers() {
+        ks.register(r.into());
+    }
+    let corner_a = topo.router_by_name("g0_0").unwrap();
+    let corner_b = topo.router_by_name("g2_2").unwrap();
+    // Compromise a transit router actually on the routed path.
+    let routes = topo.link_state_routes();
+    let path = routes.path(corner_a, corner_b).unwrap();
+    let evil1 = path.routers()[path.len() / 2];
+    let mut net = Network::new(topo, 13);
+    net.add_cbr_flow(corner_a, corner_b, 1000, SimTime::from_ms(4), SimTime::ZERO, None);
+    net.add_cbr_flow(corner_b, corner_a, 1000, SimTime::from_ms(5), SimTime::ZERO, None);
+    net.set_attacks(
+        evil1,
+        vec![Attack {
+            victims: fatih::sim::VictimFilter::all(),
+            kind: fatih::sim::AttackKind::Drop { fraction: 0.4 },
+        }],
+    );
+    let mut system = FatihSystem::new(&net, ks, FatihConfig::default());
+    system.run(&mut net, SimTime::from_secs(60));
+
+    assert!(
+        !system.excluded_segments().is_empty(),
+        "no response happened"
+    );
+    for seg in system.excluded_segments() {
+        assert!(seg.contains(evil1), "excluded innocent segment {seg}");
+    }
+    // After the response, deliveries keep flowing without the attacker.
+    let before = net.ground_truth().delivered;
+    net.run_until(net.now() + SimTime::from_secs(5), |_| {});
+    let after = net.ground_truth().delivered;
+    assert!(after > before + 1000, "traffic stalled after response");
+}
