@@ -58,7 +58,9 @@ fn bench_chi(c: &mut Criterion) {
             );
             for ev in &events {
                 v.observe(ev, |p| {
-                    routes.path(p.src, p.dst).and_then(|path| path.next_after(r))
+                    routes
+                        .path(p.src, p.dst)
+                        .and_then(|path| path.next_after(r))
                 });
             }
             black_box(v.end_round(SimTime::from_secs(6)))

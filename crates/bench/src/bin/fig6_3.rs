@@ -47,10 +47,7 @@ fn main() {
     // says "clocks synchronized within a few milliseconds are sufficient").
     let skews: Vec<i64> = vec![350_000, -250_000, 150_000]; // ns, per source
     for (i, &sk) in skews.iter().enumerate() {
-        let s = net
-            .topology()
-            .router_by_name(&format!("s{i}"))
-            .unwrap();
+        let s = net.topology().router_by_name(&format!("s{i}")).unwrap();
         net.set_clock_skew(s, sk);
     }
 
@@ -91,7 +88,9 @@ fn main() {
             other => other,
         };
         validator.observe(&skewed, |p| {
-            routes.path(p.src, p.dst).and_then(|path| path.next_after(r))
+            routes
+                .path(p.src, p.dst)
+                .and_then(|path| path.next_after(r))
         });
         if let TapEvent::Enqueued {
             router,
@@ -140,11 +139,7 @@ fn main() {
         let (lo, hi) = hist.bin_edges(i);
         let n = hist.count(i);
         let bar = "#".repeat((n * 50 / max) as usize);
-        rows.push(vec![
-            format!("[{lo:>6.0}, {hi:>6.0})"),
-            n.to_string(),
-            bar,
-        ]);
+        rows.push(vec![format!("[{lo:>6.0}, {hi:>6.0})"), n.to_string(), bar]);
     }
     println!("{}", render_table(&["q_error (B)", "count", ""], &rows));
     let csv: Vec<Vec<String>> = (0..hist.counts().len())

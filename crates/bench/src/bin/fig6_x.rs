@@ -17,7 +17,10 @@ use fatih_sim::SimTime;
 fn scenario(name: &str) -> Option<(ChiAttack, &'static str)> {
     match name {
         "none" => Some((ChiAttack::None, "Fig 6.5: no attack")),
-        "drop20" => Some((ChiAttack::DropFraction(0.2), "Fig 6.6: drop 20% of selected flows")),
+        "drop20" => Some((
+            ChiAttack::DropFraction(0.2),
+            "Fig 6.6: drop 20% of selected flows",
+        )),
         "q90" => Some((
             ChiAttack::QueueConditional(0.90),
             "Fig 6.7: drop selected flows when queue ≥ 90% full",
@@ -63,10 +66,7 @@ fn run_one(name: &str) {
         out.rows.len()
     );
     match attack {
-        ChiAttack::None => assert!(
-            !out.detected(),
-            "FALSE POSITIVE in the no-attack scenario"
-        ),
+        ChiAttack::None => assert!(!out.detected(), "FALSE POSITIVE in the no-attack scenario"),
         _ => assert!(
             out.truth.malicious_drops == 0 || out.detected(),
             "attack escaped detection"

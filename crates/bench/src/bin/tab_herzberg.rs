@@ -63,14 +63,13 @@ fn main() {
     println!("fault at position f — detection time and suspected window:");
     println!(
         "{}",
-        render_table(
-            &["f", "end-to-end", "hop-by-hop", "checkpoints s=4"],
-            &rows
-        )
+        render_table(&["f", "end-to-end", "hop-by-hop", "checkpoints s=4"], &rows)
     );
     if let Some(p) = write_csv(
         "tab_herzberg",
-        &["f", "e2e_t", "e2e_prec", "hbh_t", "hbh_prec", "cp4_t", "cp4_prec"],
+        &[
+            "f", "e2e_t", "e2e_prec", "hbh_t", "hbh_prec", "cp4_t", "cp4_prec",
+        ],
         &csv,
     ) {
         println!("(csv: {})", p.display());

@@ -33,7 +33,10 @@ fn run(scenario: Scenario, policy: Policy) -> bool {
     // a zero reorder allowance for the order policy.
     let thresholds = match scenario {
         // For the drop scenario the loss signal is the point.
-        Scenario::Drop => Thresholds { loss: 5, reorder: 5 },
+        Scenario::Drop => Thresholds {
+            loss: 5,
+            reorder: 5,
+        },
         // For modify/reorder, mask the loss channel entirely so the table
         // shows which policy sees the *content*/*order* signal.
         Scenario::Modify | Scenario::Reorder => Thresholds {
@@ -51,7 +54,14 @@ fn run(scenario: Scenario, policy: Policy) -> bool {
             ..Pi2Config::default()
         },
     );
-    let flow = net.add_cbr_flow(ids[0], ids[4], 1000, SimTime::from_ms(2), SimTime::ZERO, None);
+    let flow = net.add_cbr_flow(
+        ids[0],
+        ids[4],
+        1000,
+        SimTime::from_ms(2),
+        SimTime::ZERO,
+        None,
+    );
     let kind = match scenario {
         Scenario::Drop => AttackKind::Drop { fraction: 0.3 },
         Scenario::Modify => AttackKind::Modify { fraction: 0.3 },
@@ -80,7 +90,11 @@ fn main() {
     for (label, scenario, expect) in [
         ("packet loss", Scenario::Drop, [true, true, true]),
         ("modification", Scenario::Modify, [false, true, true]),
-        ("reordering (via delay)", Scenario::Reorder, [false, false, true]),
+        (
+            "reordering (via delay)",
+            Scenario::Reorder,
+            [false, false, true],
+        ),
     ] {
         let mut cells = vec![label.to_string()];
         for (i, policy) in [Policy::Flow, Policy::Content, Policy::Order]
@@ -88,7 +102,11 @@ fn main() {
             .enumerate()
         {
             let caught = run(scenario, policy);
-            cells.push(if caught { "detected".into() } else { "blind".into() });
+            cells.push(if caught {
+                "detected".into()
+            } else {
+                "blind".into()
+            });
             assert_eq!(
                 caught, expect[i],
                 "{label} under {policy:?}: expected {}",

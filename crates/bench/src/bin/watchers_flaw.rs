@@ -63,7 +63,10 @@ fn main() {
     let mut rows = Vec::new();
     for (label, mode) in [
         ("aggregate counters (original)", WatchersMode::Aggregate),
-        ("per-destination counters (fixed)", WatchersMode::PerDestination),
+        (
+            "per-destination counters (fixed)",
+            WatchersMode::PerDestination,
+        ),
     ] {
         let (suspicions, caught, accurate) = run(mode);
         rows.push(vec![
@@ -77,14 +80,23 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["counter mode", "suspicions", "faulty caught", "outcome", "accurate"],
+            &[
+                "counter mode",
+                "suspicions",
+                "faulty caught",
+                "outcome",
+                "accurate"
+            ],
             &rows
         )
     );
 
     // The price of the fix (§3.1: O(R·N) counters).
     let sl = builtin::sprintlink_like(1);
-    let counts: Vec<usize> = sl.routers().map(|r| watchers_counter_count(&sl, r)).collect();
+    let counts: Vec<usize> = sl
+        .routers()
+        .map(|r| watchers_counter_count(&sl, r))
+        .collect();
     let avg = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
     let max = counts.iter().max().copied().unwrap_or(0);
     println!(

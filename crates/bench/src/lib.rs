@@ -9,9 +9,7 @@
 use fatih_core::chi::{ChiConfig, QueueModel, QueueValidator};
 use fatih_core::threshold::ThresholdDetector;
 use fatih_crypto::KeyStore;
-use fatih_sim::{
-    Attack, AttackKind, Network, RedParams, SimTime, TcpConfig, VictimFilter,
-};
+use fatih_sim::{Attack, AttackKind, Network, RedParams, SimTime, TcpConfig, VictimFilter};
 use fatih_topology::{builtin, LinkParams, RouterId};
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -151,17 +149,8 @@ impl RoundRow {
     /// Headers matching [`cells`](Self::cells).
     pub fn headers() -> Vec<&'static str> {
         vec![
-            "round",
-            "t(s)",
-            "fwd",
-            "drops",
-            "cong-ok",
-            "c_single",
-            "c_comb",
-            "mismatch",
-            "detect",
-            "mal(GT)",
-            "cong(GT)",
+            "round", "t(s)", "fwd", "drops", "cong-ok", "c_single", "c_comb", "mismatch", "detect",
+            "mal(GT)", "cong(GT)",
         ]
     }
 }
@@ -251,8 +240,7 @@ impl ChiExperiment {
             Some(p) => QueueModel::Red(p),
             None => QueueModel::DropTail,
         };
-        let mut validator =
-            QueueValidator::new(&topo, &ks, r, rd, model, ChiConfig::default());
+        let mut validator = QueueValidator::new(&topo, &ks, r, rd, model, ChiConfig::default());
         let mut net = Network::new(topo, self.seed);
         if let Some(p) = self.red {
             net.set_queue_discipline(r, rd, fatih_sim::QueueDiscipline::Red(p));
@@ -266,7 +254,9 @@ impl ChiExperiment {
             let end = self.round * round as u64;
             net.run_until(end, |ev| {
                 validator.observe(ev, |p| {
-                    routes.path(p.src, p.dst).and_then(|path| path.next_after(r))
+                    routes
+                        .path(p.src, p.dst)
+                        .and_then(|path| path.next_after(r))
                 })
             });
             let verdict = validator.end_round(end);
@@ -427,7 +417,9 @@ pub fn run_threshold_baseline(exp: &ChiExperiment, threshold: f64) -> Vec<(f64, 
         let end = exp.round * round as u64;
         net.run_until(end, |ev| {
             det.observe(ev, |p| {
-                routes.path(p.src, p.dst).and_then(|path| path.next_after(r))
+                routes
+                    .path(p.src, p.dst)
+                    .and_then(|path| path.next_after(r))
             })
         });
         let v = det.end_round(end);

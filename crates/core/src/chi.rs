@@ -111,10 +111,7 @@ impl ChiVerdict {
 
     /// Highest single-loss confidence this round (0 when lossless).
     pub fn max_single_confidence(&self) -> f64 {
-        self.drops
-            .iter()
-            .map(|d| d.confidence)
-            .fold(0.0, f64::max)
+        self.drops.iter().map(|d| d.confidence).fold(0.0, f64::max)
     }
 }
 
@@ -149,16 +146,18 @@ impl HonestQueue {
             self.fifo.pop_front();
             self.q_bytes -= head as u64;
             if let Some(&next) = self.fifo.front() {
-                self.next_complete = self.next_complete
-                    + SimTime::from_ns((next as u64 * 8).saturating_mul(1_000_000_000) / bandwidth_bps);
+                self.next_complete += SimTime::from_ns(
+                    (next as u64 * 8).saturating_mul(1_000_000_000) / bandwidth_bps,
+                );
             }
         }
         if self.q_bytes + size as u64 > limit as u64 {
             return false;
         }
         if self.fifo.is_empty() {
-            self.next_complete = t
-                + SimTime::from_ns((size as u64 * 8).saturating_mul(1_000_000_000) / bandwidth_bps);
+            self.next_complete = t + SimTime::from_ns(
+                (size as u64 * 8).saturating_mul(1_000_000_000) / bandwidth_bps,
+            );
         }
         self.fifo.push_back(size);
         self.q_bytes += size as u64;
@@ -237,11 +236,9 @@ impl QueueValidator {
         }
         // Worst-case queue residence: a full buffer ahead at line rate,
         // plus the egress propagation delay and generous slack.
-        let drain_ns = (out.queue_limit_bytes as u64 * 8)
-            .saturating_mul(1_000_000_000)
-            / out.bandwidth_bps;
-        let max_residence =
-            SimTime::from_ns(2 * drain_ns + out.delay_ns) + SimTime::from_ms(20);
+        let drain_ns =
+            (out.queue_limit_bytes as u64 * 8).saturating_mul(1_000_000_000) / out.bandwidth_bps;
+        let max_residence = SimTime::from_ns(2 * drain_ns + out.delay_ns) + SimTime::from_ms(20);
         let seg_id = (u64::from(u32::from(router)) << 32) | u64::from(u32::from(egress));
         Self {
             router,
@@ -277,11 +274,7 @@ impl QueueValidator {
     /// Feeds one simulator observation. The validator uses only what the
     /// *neighbours* of `r` can see: their own transmissions toward `r`
     /// (plus the packet's predictable next hop) and `r_d`'s arrivals.
-    pub fn observe(
-        &mut self,
-        ev: &TapEvent,
-        next_hop_of: impl Fn(&Packet) -> Option<RouterId>,
-    ) {
+    pub fn observe(&mut self, ev: &TapEvent, next_hop_of: impl Fn(&Packet) -> Option<RouterId>) {
         match ev {
             TapEvent::Transmitted {
                 router: rs,
@@ -331,11 +324,8 @@ impl QueueValidator {
         // at or before the cutoff has had time to exit by `now`, so its
         // exit (if it was forwarded) is already recorded even when that
         // exit is after the cutoff.
-        let all_exit_time: std::collections::HashMap<Fingerprint, SimTime> = self
-            .exits
-            .iter()
-            .map(|&(fp, _, t)| (fp, t))
-            .collect();
+        let all_exit_time: std::collections::HashMap<Fingerprint, SimTime> =
+            self.exits.iter().map(|&(fp, _, t)| (fp, t)).collect();
 
         // Replay, however, is strictly chronological: only events at or
         // before the cutoff change occupancy this round, so `q_pred`
@@ -387,11 +377,7 @@ impl QueueValidator {
         verdict
     }
 
-    fn replay_drop_tail(
-        &mut self,
-        timeline: &[(SimTime, u8, RawEvent)],
-        verdict: &mut ChiVerdict,
-    ) {
+    fn replay_drop_tail(&mut self, timeline: &[(SimTime, u8, RawEvent)], verdict: &mut ChiVerdict) {
         for &(t, _, ev) in timeline {
             match ev {
                 RawEvent::Exit(size) => {
@@ -401,8 +387,7 @@ impl QueueValidator {
                     // What would an honest queue have done with this
                     // arrival?
                     let predicted_accept =
-                        self.honest
-                            .offer(t, size, self.q_limit, self.bandwidth_bps);
+                        self.honest.offer(t, size, self.q_limit, self.bandwidth_bps);
                     if predicted_accept != has_exit {
                         verdict.outcome_mismatches += 1;
                     }
@@ -411,10 +396,8 @@ impl QueueValidator {
                         verdict.forwarded += 1;
                         self.prediction_trace.push((t, self.state.q_pred));
                     } else {
-                        let headroom =
-                            self.q_limit as f64 - self.state.q_pred - size as f64;
-                        let c =
-                            normal::cdf((headroom - self.cfg.mu) / self.cfg.sigma);
+                        let headroom = self.q_limit as f64 - self.state.q_pred - size as f64;
+                        let c = normal::cdf((headroom - self.cfg.mu) / self.cfg.sigma);
                         if headroom < 0.0 {
                             verdict.congestion_consistent += 1;
                         }
@@ -436,10 +419,8 @@ impl QueueValidator {
             .any(|d| d.confidence >= self.cfg.single_threshold);
         let combined_hit = if verdict.drops.len() >= 2 {
             let n = verdict.drops.len() as u64;
-            let mean_q: f64 =
-                verdict.drops.iter().map(|d| d.q_pred).sum::<f64>() / n as f64;
-            let mean_ps: f64 =
-                verdict.drops.iter().map(|d| d.size as f64).sum::<f64>() / n as f64;
+            let mean_q: f64 = verdict.drops.iter().map(|d| d.q_pred).sum::<f64>() / n as f64;
+            let mean_ps: f64 = verdict.drops.iter().map(|d| d.size as f64).sum::<f64>() / n as f64;
             let c = fatih_stats::ztest::combined_loss_confidence(
                 self.q_limit as f64,
                 mean_q,
@@ -453,9 +434,8 @@ impl QueueValidator {
         } else {
             false
         };
-        verdict.detected = single_hit
-            || combined_hit
-            || verdict.outcome_mismatches >= self.cfg.mismatch_floor;
+        verdict.detected =
+            single_hit || combined_hit || verdict.outcome_mismatches >= self.cfg.mismatch_floor;
     }
 
     fn replay_red(
@@ -481,10 +461,8 @@ impl QueueValidator {
                     if let Some(start) = self.state.idle_since.take() {
                         if self.state.avg_seeded {
                             let idle_ns = t.since(start).as_ns();
-                            let drain = p.mean_packet_size * 8.0 * 1e9
-                                / self.bandwidth_bps as f64;
-                            let m =
-                                (idle_ns as f64 / drain).floor().min(1e6) as i32;
+                            let drain = p.mean_packet_size * 8.0 * 1e9 / self.bandwidth_bps as f64;
+                            let m = (idle_ns as f64 / drain).floor().min(1e6) as i32;
                             self.state.avg *= (1.0 - p.weight).powi(m);
                         }
                     }
@@ -494,8 +472,7 @@ impl QueueValidator {
                         self.state.avg = self.state.q_pred;
                         self.state.avg_seeded = true;
                     }
-                    let overflow =
-                        self.state.q_pred + size as f64 > self.q_limit as f64;
+                    let overflow = self.state.q_pred + size as f64 > self.q_limit as f64;
                     let prob = if overflow {
                         self.state.count = 0;
                         1.0
@@ -604,11 +581,12 @@ mod tests {
         } else {
             QueueModel::DropTail
         };
-        let validator =
-            QueueValidator::new(&topo, &ks, r, rd, model, ChiConfig::default());
+        let validator = QueueValidator::new(&topo, &ks, r, rd, model, ChiConfig::default());
         let mut net = Network::new(topo, 5);
         if red {
-            let QueueModel::Red(p) = model else { unreachable!() };
+            let QueueModel::Red(p) = model else {
+                unreachable!()
+            };
             net.set_queue_discipline(r, rd, QueueDiscipline::Red(p));
         }
         let mut flows = Vec::new();
@@ -633,7 +611,9 @@ mod tests {
         let at = v.router();
         net.run_until(end, |ev| {
             v.observe(ev, |p| {
-                routes.path(p.src, p.dst).and_then(|path| path.next_after(at))
+                routes
+                    .path(p.src, p.dst)
+                    .and_then(|path| path.next_after(at))
             })
         });
         v.end_round(end)
@@ -724,7 +704,9 @@ mod tests {
         let end = SimTime::from_secs(7);
         net.run_until(end, |ev| {
             v.observe(ev, |p| {
-                routes.path(p.src, p.dst).and_then(|path| path.next_after(r))
+                routes
+                    .path(p.src, p.dst)
+                    .and_then(|path| path.next_after(r))
             });
             if let TapEvent::Enqueued {
                 router,

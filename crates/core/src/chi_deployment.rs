@@ -78,7 +78,9 @@ impl ChiDeployment {
         for v in &mut self.validators {
             let at = v.router();
             v.observe(ev, |p| {
-                routes.path(p.src, p.dst).and_then(|path| path.next_after(at))
+                routes
+                    .path(p.src, p.dst)
+                    .and_then(|path| path.next_after(at))
             });
         }
     }
@@ -133,8 +135,7 @@ mod tests {
         let path = routes.path(corner_a, corner_b).unwrap();
         let evil = path.routers()[path.len() / 2];
 
-        let mut deployment =
-            ChiDeployment::new(net.topology(), &ks, ChiConfig::default());
+        let mut deployment = ChiDeployment::new(net.topology(), &ks, ChiConfig::default());
         assert_eq!(deployment.interface_count(), net.topology().link_count());
 
         let victim = net.add_cbr_flow(
@@ -146,8 +147,22 @@ mod tests {
             None,
         );
         // Cross traffic.
-        net.add_cbr_flow(ids[1], ids[7], 900, SimTime::from_ms(3), SimTime::ZERO, None);
-        net.add_cbr_flow(ids[6], ids[2], 900, SimTime::from_ms(3), SimTime::ZERO, None);
+        net.add_cbr_flow(
+            ids[1],
+            ids[7],
+            900,
+            SimTime::from_ms(3),
+            SimTime::ZERO,
+            None,
+        );
+        net.add_cbr_flow(
+            ids[6],
+            ids[2],
+            900,
+            SimTime::from_ms(3),
+            SimTime::ZERO,
+            None,
+        );
         net.set_attacks(evil, vec![Attack::drop_flows([victim], 0.3)]);
 
         let end = SimTime::from_secs(5);
@@ -176,8 +191,7 @@ mod tests {
         }
         let mut net = Network::new(topo, 9);
         let ids: Vec<RouterId> = net.topology().routers().collect();
-        let mut deployment =
-            ChiDeployment::new(net.topology(), &ks, ChiConfig::default());
+        let mut deployment = ChiDeployment::new(net.topology(), &ks, ChiConfig::default());
         for i in 0..4 {
             net.add_cbr_flow(
                 ids[i],

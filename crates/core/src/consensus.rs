@@ -119,10 +119,9 @@ pub fn dolev_strong(
     // inbox[node] = messages to process next round.
     let mut inbox: BTreeMap<u32, Vec<SignedChain>> = BTreeMap::new();
 
-    let deliver =
-        |inbox: &mut BTreeMap<u32, Vec<SignedChain>>, to: u32, msg: SignedChain| {
-            inbox.entry(to).or_default().push(msg);
-        };
+    let deliver = |inbox: &mut BTreeMap<u32, Vec<SignedChain>>, to: u32, msg: SignedChain| {
+        inbox.entry(to).or_default().push(msg);
+    };
 
     // Round 1: the sender speaks.
     match faulty.get(&sender) {
@@ -152,7 +151,11 @@ pub fn dolev_strong(
                 if p == sender {
                     continue;
                 }
-                let msg = if to.contains(&p) { alt.clone() } else { real.clone() };
+                let msg = if to.contains(&p) {
+                    alt.clone()
+                } else {
+                    real.clone()
+                };
                 deliver(&mut inbox, p, msg);
             }
         }
@@ -291,10 +294,8 @@ mod tests {
         // {value} and decides it. Agreement holds (validity need not,
         // sender is faulty).
         let ks = keystore(4);
-        let faulty = BTreeMap::from([(
-            0,
-            FaultyBehavior::SelectiveRelay([1].into_iter().collect()),
-        )]);
+        let faulty =
+            BTreeMap::from([(0, FaultyBehavior::SelectiveRelay([1].into_iter().collect()))]);
         let d = dolev_strong(&ks, &[0, 1, 2, 3], 0, b"v", &faulty, 1);
         assert!(agreeing(&d), "{d:?}");
         assert_eq!(d[&1], Some(b"v".to_vec()));
@@ -306,10 +307,7 @@ mod tests {
         // f = 2 → 3 rounds. Correct nodes 3, 4 still decide the value
         // (they got it directly from the sender in round 1).
         let ks = keystore(5);
-        let faulty = BTreeMap::from([
-            (1, FaultyBehavior::Silent),
-            (2, FaultyBehavior::Silent),
-        ]);
+        let faulty = BTreeMap::from([(1, FaultyBehavior::Silent), (2, FaultyBehavior::Silent)]);
         let d = dolev_strong(&ks, &[0, 1, 2, 3, 4], 0, b"v", &faulty, 2);
         assert_eq!(d[&3], Some(b"v".to_vec()));
         assert_eq!(d[&4], Some(b"v".to_vec()));

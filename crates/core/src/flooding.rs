@@ -11,8 +11,17 @@
 //! every correct router no matter what the faulty ones do — they can
 //! drop, or tamper (tampering is caught by the origin's signature), but
 //! they cannot stand between all correct paths.
+//!
+//! Two implementations live here: [`robust_flood`], an abstract
+//! synchronous flood (the Chapter 3 analysis object), and
+//! [`flood_on_network`], the same protocol hosted on the event engine —
+//! each hop is a real control packet riding [`ReliableTransport`], so the
+//! flood experiences loss, delay, queuing and injected faults, and the
+//! outcome records each router's actual delivery latency.
 
+use crate::transport::{ReliableTransport, TransportEvent};
 use fatih_crypto::{KeyStore, Signature};
+use fatih_sim::{Network, SimTime};
 use fatih_topology::{RouterId, Topology};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -28,6 +37,37 @@ pub enum FloodBehavior {
     Tamper,
 }
 
+/// Why a flood could not be started.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FloodError {
+    /// The origin carries a faulty behaviour. A faulty origin is a
+    /// different problem — its updates are its own (see §2.4.2 on faulty
+    /// raisers) — so the flood's guarantee is vacuous and the call is
+    /// rejected rather than reported as a successful flood of lies.
+    FaultyOrigin(RouterId),
+    /// The origin has no signing key registered, so receivers could never
+    /// verify its updates.
+    UnregisteredOrigin(RouterId),
+}
+
+impl std::fmt::Display for FloodError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FloodError::FaultyOrigin(r) => {
+                write!(
+                    f,
+                    "flood origin {r:?} is faulty; its updates carry no guarantee"
+                )
+            }
+            FloodError::UnregisteredOrigin(r) => {
+                write!(f, "flood origin {r:?} is not registered with the key store")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FloodError {}
+
 /// Result of one flood.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FloodOutcome {
@@ -35,36 +75,64 @@ pub struct FloodOutcome {
     pub accepted: BTreeSet<RouterId>,
     /// Count of forged/tampered copies rejected by signature checks.
     pub rejected_forgeries: u64,
+    /// Correct routers the flood did **not** reach — non-empty exactly
+    /// when the good-path assumption is violated (faulty routers stand
+    /// between the origin and part of the correct set). Callers must
+    /// check this rather than treat every `Ok` as full coverage.
+    pub unreachable_correct: BTreeSet<RouterId>,
+}
+
+fn check_origin(
+    keystore: &KeyStore,
+    origin: RouterId,
+    behaviors: &BTreeMap<RouterId, FloodBehavior>,
+) -> Result<(), FloodError> {
+    if matches!(
+        behaviors.get(&origin),
+        Some(FloodBehavior::Drop | FloodBehavior::Tamper)
+    ) {
+        return Err(FloodError::FaultyOrigin(origin));
+    }
+    if !keystore.contains(origin.into()) {
+        return Err(FloodError::UnregisteredOrigin(origin));
+    }
+    Ok(())
+}
+
+/// The correct routers a flood from `origin` failed to reach.
+fn unreached(
+    topo: &Topology,
+    behaviors: &BTreeMap<RouterId, FloodBehavior>,
+    accepted: &BTreeSet<RouterId>,
+) -> BTreeSet<RouterId> {
+    topo.routers()
+        .filter(|r| {
+            !matches!(
+                behaviors.get(r),
+                Some(FloodBehavior::Drop | FloodBehavior::Tamper)
+            ) && !accepted.contains(r)
+        })
+        .collect()
 }
 
 /// Floods `payload` from `origin` over the topology. `behaviors` assigns
-/// faulty behaviour (missing routers are correct). Returns who accepted.
+/// faulty behaviour (missing routers are correct). Returns who accepted —
+/// and, in [`FloodOutcome::unreachable_correct`], which correct routers
+/// were cut off when the good-path assumption does not hold.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `origin` carries a faulty behaviour (a faulty origin is a
-/// different problem — its updates are its own; see §2.4.2 on faulty
-/// raisers) or is not registered with the key store.
+/// [`FloodError::FaultyOrigin`] if `origin` carries a faulty behaviour;
+/// [`FloodError::UnregisteredOrigin`] if it has no signing key.
 pub fn robust_flood(
     topo: &Topology,
     keystore: &KeyStore,
     origin: RouterId,
     payload: &[u8],
     behaviors: &BTreeMap<RouterId, FloodBehavior>,
-) -> FloodOutcome {
-    assert!(
-        !matches!(
-            behaviors.get(&origin),
-            Some(FloodBehavior::Drop | FloodBehavior::Tamper)
-        ),
-        "origin must be correct for this flood's guarantee"
-    );
-    let behavior = |r: RouterId| {
-        behaviors
-            .get(&r)
-            .copied()
-            .unwrap_or(FloodBehavior::Correct)
-    };
+) -> Result<FloodOutcome, FloodError> {
+    check_origin(keystore, origin, behaviors)?;
+    let behavior = |r: RouterId| behaviors.get(&r).copied().unwrap_or(FloodBehavior::Correct);
 
     // Message = (origin, payload, signature). Tampered copies carry a
     // payload the signature doesn't cover.
@@ -109,10 +177,12 @@ pub fn robust_flood(
             }
         }
     }
-    FloodOutcome {
+    let unreachable_correct = unreached(topo, behaviors, &accepted);
+    Ok(FloodOutcome {
         accepted,
         rejected_forgeries: rejected,
-    }
+        unreachable_correct,
+    })
 }
 
 /// Reference oracle: the correct routers reachable from `origin` through
@@ -141,9 +211,152 @@ pub fn correct_reachable(
     seen
 }
 
+/// Result of a flood hosted on the event engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkFloodOutcome {
+    /// Correct routers that accepted the verified update.
+    pub accepted: BTreeSet<RouterId>,
+    /// Forged/tampered copies rejected by signature checks.
+    pub rejected_forgeries: u64,
+    /// Correct routers the flood did not reach by the deadline.
+    pub unreachable_correct: BTreeSet<RouterId>,
+    /// Per-router delivery latency: time from flood start to each correct
+    /// router's first acceptance of a verified copy.
+    pub latency: BTreeMap<RouterId, SimTime>,
+    /// Hop transmissions whose transport retry budget ran out.
+    pub exhausted_hops: u64,
+}
+
+/// Wire form of one flood hop: origin id, origin signature, body.
+fn encode_flood_msg(origin: RouterId, sig: &Signature, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + 32 + body.len());
+    out.extend_from_slice(&u32::from(origin).to_le_bytes());
+    out.extend_from_slice(&sig.0 .0);
+    out.extend_from_slice(body);
+    out
+}
+
+fn decode_flood_msg(bytes: &[u8]) -> Option<(RouterId, Signature, Vec<u8>)> {
+    if bytes.len() < 36 {
+        return None;
+    }
+    let origin = u32::from_le_bytes(bytes[0..4].try_into().ok()?);
+    let mut digest = [0u8; 32];
+    digest.copy_from_slice(&bytes[4..36]);
+    Some((
+        RouterId::from(origin),
+        Signature(fatih_crypto::Digest(digest)),
+        bytes[36..].to_vec(),
+    ))
+}
+
+/// Runs the robust flood **on the simulated network**: every hop is a
+/// control packet sent neighbour-to-neighbour over `transport`, so the
+/// flood sees real queuing, propagation delay, and whatever loss,
+/// duplication, corruption or outages the installed
+/// [`fatih_sim::FaultPlan`] injects — retransmission rides them out. The
+/// simulation is advanced (at most) to `deadline`; the returned outcome
+/// reports who accepted, each router's delivery latency, and which correct
+/// routers stayed unreachable.
+///
+/// # Errors
+///
+/// Same conditions as [`robust_flood`].
+pub fn flood_on_network(
+    net: &mut Network,
+    transport: &mut ReliableTransport,
+    keystore: &KeyStore,
+    origin: RouterId,
+    payload: &[u8],
+    behaviors: &BTreeMap<RouterId, FloodBehavior>,
+    deadline: SimTime,
+) -> Result<NetworkFloodOutcome, FloodError> {
+    check_origin(keystore, origin, behaviors)?;
+    let behavior = |r: RouterId| behaviors.get(&r).copied().unwrap_or(FloodBehavior::Correct);
+    let topo = net.topology().clone();
+    let genuine = keystore.sign(origin.into(), payload);
+    let start = net.now();
+
+    let mut accepted: BTreeSet<RouterId> = [origin].into_iter().collect();
+    let mut latency: BTreeMap<RouterId, SimTime> = [(origin, SimTime::ZERO)].into_iter().collect();
+    let mut relayed: BTreeSet<RouterId> = [origin].into_iter().collect();
+    let mut rejected = 0u64;
+    let mut exhausted = 0u64;
+
+    let first_hop = encode_flood_msg(origin, &genuine, payload);
+    for &(n, _) in topo.neighbors(origin) {
+        transport.send(net, origin, n, first_hop.clone());
+    }
+
+    let step = SimTime::from_ms(10);
+    while net.now() < deadline {
+        let slice = (net.now() + step).min(deadline);
+        net.run_until(slice, |_| {});
+        transport.pump(net);
+
+        for msg in transport.take_inbox() {
+            let Some((claimed_origin, sig, body)) = decode_flood_msg(&msg.payload) else {
+                rejected += 1;
+                continue;
+            };
+            if claimed_origin != origin || !keystore.verify(origin.into(), &body, &sig) {
+                rejected += 1;
+                continue;
+            }
+            match behavior(msg.to) {
+                FloodBehavior::Correct => {
+                    if accepted.insert(msg.to) {
+                        latency.insert(msg.to, msg.at.since(start));
+                    }
+                    if relayed.insert(msg.to) {
+                        let hop = encode_flood_msg(origin, &sig, &body);
+                        for &(n, _) in topo.neighbors(msg.to) {
+                            if n != msg.from {
+                                transport.send(net, msg.to, n, hop.clone());
+                            }
+                        }
+                    }
+                }
+                FloodBehavior::Drop => {}
+                FloodBehavior::Tamper => {
+                    if relayed.insert(msg.to) {
+                        let mut forged = body.clone();
+                        forged.push(0xEE);
+                        let hop = encode_flood_msg(origin, &sig, &forged);
+                        for &(n, _) in topo.neighbors(msg.to) {
+                            if n != msg.from {
+                                transport.send(net, msg.to, n, hop.clone());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for ev in transport.take_events() {
+            if matches!(ev, TransportEvent::Exhausted { .. }) {
+                exhausted += 1;
+            }
+        }
+        if transport.outstanding() == 0 {
+            break; // nothing in flight or awaiting retransmission
+        }
+    }
+
+    let unreachable_correct = unreached(&topo, behaviors, &accepted);
+    Ok(NetworkFloodOutcome {
+        accepted,
+        rejected_forgeries: rejected,
+        unreachable_correct,
+        latency,
+        exhausted_hops: exhausted,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::TransportConfig;
+    use fatih_sim::{FaultPlan, LinkFaults};
     use fatih_topology::builtin;
 
     fn keystore(topo: &Topology) -> KeyStore {
@@ -159,9 +372,10 @@ mod tests {
         let topo = builtin::grid(3, 3);
         let ks = keystore(&topo);
         let origin = topo.router_by_name("g0_0").unwrap();
-        let out = robust_flood(&topo, &ks, origin, b"lsa", &BTreeMap::new());
+        let out = robust_flood(&topo, &ks, origin, b"lsa", &BTreeMap::new()).unwrap();
         assert_eq!(out.accepted.len(), topo.router_count());
         assert_eq!(out.rejected_forgeries, 0);
+        assert!(out.unreachable_correct.is_empty());
     }
 
     #[test]
@@ -171,7 +385,7 @@ mod tests {
         let ks = keystore(&topo);
         let ids: Vec<RouterId> = topo.routers().collect();
         let behaviors = BTreeMap::from([(ids[3], FloodBehavior::Drop)]);
-        let out = robust_flood(&topo, &ks, ids[0], b"lsa", &behaviors);
+        let out = robust_flood(&topo, &ks, ids[0], b"lsa", &behaviors).unwrap();
         // Every correct router accepted.
         for &r in &ids {
             if r != ids[3] {
@@ -179,21 +393,41 @@ mod tests {
             }
         }
         assert!(!out.accepted.contains(&ids[3]));
+        assert!(out.unreachable_correct.is_empty());
     }
 
     #[test]
-    fn flood_coverage_equals_correct_reachability() {
+    fn violated_good_path_reports_unreachable_correct_routers() {
         // On a line a dropper *does* partition (no path diversity): the
-        // flood matches the oracle exactly, which is all the good-path
-        // assumption lets anyone promise.
+        // flood matches the oracle exactly — and the outcome must name
+        // the cut-off correct routers instead of silently succeeding.
         let topo = builtin::line(6);
         let ks = keystore(&topo);
         let ids: Vec<RouterId> = topo.routers().collect();
         let behaviors = BTreeMap::from([(ids[2], FloodBehavior::Drop)]);
-        let out = robust_flood(&topo, &ks, ids[0], b"lsa", &behaviors);
+        let out = robust_flood(&topo, &ks, ids[0], b"lsa", &behaviors).unwrap();
         let oracle = correct_reachable(&topo, ids[0], &behaviors);
         assert_eq!(out.accepted, oracle);
-        assert!(!out.accepted.contains(&ids[4]), "partitioned side reached?!");
+        assert!(
+            !out.accepted.contains(&ids[4]),
+            "partitioned side reached?!"
+        );
+        let cut_off: BTreeSet<RouterId> = [ids[3], ids[4], ids[5]].into_iter().collect();
+        assert_eq!(out.unreachable_correct, cut_off);
+    }
+
+    #[test]
+    fn two_droppers_cut_a_ring() {
+        // Two droppers flanking an arc violate good-path even on a ring.
+        let topo = builtin::ring(8);
+        let ks = keystore(&topo);
+        let ids: Vec<RouterId> = topo.routers().collect();
+        let behaviors =
+            BTreeMap::from([(ids[2], FloodBehavior::Drop), (ids[6], FloodBehavior::Drop)]);
+        let out = robust_flood(&topo, &ks, ids[0], b"lsa", &behaviors).unwrap();
+        let cut_off: BTreeSet<RouterId> = [ids[3], ids[4], ids[5]].into_iter().collect();
+        assert_eq!(out.unreachable_correct, cut_off);
+        assert_eq!(out.accepted, correct_reachable(&topo, ids[0], &behaviors));
     }
 
     #[test]
@@ -202,7 +436,7 @@ mod tests {
         let ks = keystore(&topo);
         let ids: Vec<RouterId> = topo.routers().collect();
         let behaviors = BTreeMap::from([(ids[1], FloodBehavior::Tamper)]);
-        let out = robust_flood(&topo, &ks, ids[0], b"lsa", &behaviors);
+        let out = robust_flood(&topo, &ks, ids[0], b"lsa", &behaviors).unwrap();
         // All correct routers still accept (the other ring direction), and
         // at least one forgery was seen and rejected.
         assert_eq!(out.accepted.len(), topo.router_count() - 1);
@@ -223,19 +457,140 @@ mod tests {
             if behaviors.contains_key(&origin) {
                 continue;
             }
-            let out = robust_flood(&topo, &ks, origin, b"x", &behaviors);
+            let out = robust_flood(&topo, &ks, origin, b"x", &behaviors).unwrap();
             let oracle = correct_reachable(&topo, origin, &behaviors);
             assert_eq!(out.accepted, oracle, "seed {seed}");
         }
     }
 
     #[test]
-    #[should_panic(expected = "origin must be correct")]
     fn faulty_origin_rejected() {
         let topo = builtin::line(3);
         let ks = keystore(&topo);
         let ids: Vec<RouterId> = topo.routers().collect();
         let behaviors = BTreeMap::from([(ids[0], FloodBehavior::Drop)]);
-        let _ = robust_flood(&topo, &ks, ids[0], b"x", &behaviors);
+        assert_eq!(
+            robust_flood(&topo, &ks, ids[0], b"x", &behaviors),
+            Err(FloodError::FaultyOrigin(ids[0]))
+        );
+    }
+
+    #[test]
+    fn unregistered_origin_rejected() {
+        let topo = builtin::line(3);
+        let ks = KeyStore::with_seed(8); // nobody registered
+        let ids: Vec<RouterId> = topo.routers().collect();
+        assert_eq!(
+            robust_flood(&topo, &ks, ids[0], b"x", &BTreeMap::new()),
+            Err(FloodError::UnregisteredOrigin(ids[0]))
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Engine-hosted flood
+    // ------------------------------------------------------------------
+
+    fn hosted(topo_name: &str) -> (Network, Vec<RouterId>, KeyStore, ReliableTransport) {
+        let topo = match topo_name {
+            "ring8" => builtin::ring(8),
+            "line6" => builtin::line(6),
+            other => panic!("unknown fixture {other}"),
+        };
+        let ids: Vec<RouterId> = topo.routers().collect();
+        let ks = keystore(&topo);
+        let net = Network::new(topo, 21);
+        (
+            net,
+            ids,
+            ks,
+            ReliableTransport::new(TransportConfig::default()),
+        )
+    }
+
+    #[test]
+    fn network_flood_reaches_everyone_with_real_latency() {
+        let (mut net, ids, ks, mut t) = hosted("ring8");
+        let out = flood_on_network(
+            &mut net,
+            &mut t,
+            &ks,
+            ids[0],
+            b"lsa",
+            &BTreeMap::new(),
+            SimTime::from_secs(30),
+        )
+        .unwrap();
+        assert_eq!(out.accepted.len(), 8);
+        assert!(out.unreachable_correct.is_empty());
+        assert_eq!(out.exhausted_hops, 0);
+        // Latency grows with hop distance from the origin; the far side
+        // of the ring is strictly slower than the origin's neighbours.
+        assert_eq!(out.latency[&ids[0]], SimTime::ZERO);
+        assert!(out.latency[&ids[1]] > SimTime::ZERO);
+        assert!(out.latency[&ids[4]] > out.latency[&ids[1]]);
+    }
+
+    #[test]
+    fn network_flood_rides_out_control_plane_loss() {
+        let (mut net, ids, ks, mut t) = hosted("ring8");
+        net.set_fault_plan(Some(FaultPlan::new(3).with_default_link_faults(
+            LinkFaults {
+                loss: 0.25,
+                ..LinkFaults::NONE
+            },
+        )));
+        let out = flood_on_network(
+            &mut net,
+            &mut t,
+            &ks,
+            ids[0],
+            b"lsa",
+            &BTreeMap::new(),
+            SimTime::from_secs(60),
+        )
+        .unwrap();
+        assert_eq!(out.accepted.len(), 8, "{:?}", out.unreachable_correct);
+        assert!(
+            net.ground_truth().fault_drops > 0,
+            "the plan should actually lose packets"
+        );
+    }
+
+    #[test]
+    fn network_flood_reports_partition_by_deadline() {
+        let (mut net, ids, ks, mut t) = hosted("line6");
+        let behaviors = BTreeMap::from([(ids[2], FloodBehavior::Drop)]);
+        let out = flood_on_network(
+            &mut net,
+            &mut t,
+            &ks,
+            ids[0],
+            b"lsa",
+            &behaviors,
+            SimTime::from_secs(10),
+        )
+        .unwrap();
+        let cut_off: BTreeSet<RouterId> = [ids[3], ids[4], ids[5]].into_iter().collect();
+        assert_eq!(out.unreachable_correct, cut_off);
+        assert!(!out.latency.contains_key(&ids[4]));
+    }
+
+    #[test]
+    fn network_flood_survives_tamperers_on_a_ring() {
+        let (mut net, ids, ks, mut t) = hosted("ring8");
+        let behaviors = BTreeMap::from([(ids[1], FloodBehavior::Tamper)]);
+        let out = flood_on_network(
+            &mut net,
+            &mut t,
+            &ks,
+            ids[0],
+            b"lsa",
+            &behaviors,
+            SimTime::from_secs(30),
+        )
+        .unwrap();
+        assert_eq!(out.accepted.len(), 7);
+        assert!(out.rejected_forgeries > 0);
+        assert!(out.unreachable_correct.is_empty());
     }
 }

@@ -73,7 +73,10 @@ impl HerzbergOutcome {
 pub fn transmit(n: usize, droppers: &BTreeSet<usize>, variant: Variant) -> HerzbergOutcome {
     assert!(n >= 2, "need at least source and destination");
     for &d in droppers {
-        assert!(d > 0 && d < n - 1, "dropper {d} must be an interior processor");
+        assert!(
+            d > 0 && d < n - 1,
+            "dropper {d} must be an interior processor"
+        );
     }
     if let Variant::Checkpoints { spacing } = variant {
         assert!(spacing >= 1, "checkpoint spacing must be positive");
@@ -205,7 +208,11 @@ mod tests {
             assert_eq!((lo, hi), (f - 1, f), "fault at {f}");
             assert_eq!(out.precision(), 2);
             // Detection within two hops of the fault.
-            assert!(out.time <= (f + 2) as u64, "time {} for fault {f}", out.time);
+            assert!(
+                out.time <= (f + 2) as u64,
+                "time {} for fault {f}",
+                out.time
+            );
         }
     }
 
@@ -229,7 +236,11 @@ mod tests {
             let out = transmit(N, &drop_one(f), Variant::Checkpoints { spacing: s });
             let (lo, hi) = out.detection.expect("detected");
             assert!(lo < f || f <= hi, "window ({lo},{hi}) excludes fault {f}");
-            assert!(out.precision() <= s + 1 + 1, "precision {}", out.precision());
+            assert!(
+                out.precision() <= s + 1 + 1,
+                "precision {}",
+                out.precision()
+            );
             // Faster than end-to-end's full round trip for early faults.
             if f <= s {
                 assert!(out.time < 2 * (N - 1) as u64);

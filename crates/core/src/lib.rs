@@ -33,6 +33,9 @@
 //!   the Chapter 3 literature review: the per-interface rate model, the
 //!   ack/timeout per-packet protocols, and Secure Traceroute with its
 //!   framing weakness;
+//! * [`transport`] — reliable control-plane delivery: per-message
+//!   ack/retransmission with exponential backoff, bounded retries and
+//!   duplicate suppression over the lossy simulated network;
 //! * [`flooding`] — robust flooding for alert dissemination (§3.7);
 //! * [`perlman`] — Byzantine-robust multipath forwarding under
 //!   `TotalFault(f)` (§3.7).
@@ -87,6 +90,7 @@ pub mod policy;
 pub mod sectrace;
 pub mod spec;
 pub mod threshold;
+pub mod transport;
 pub mod watchers;
 pub mod wire;
 pub mod zhang;
@@ -94,10 +98,12 @@ pub mod zhang;
 pub use chi::{ChiConfig, ChiVerdict, QueueModel, QueueValidator};
 pub use chi_deployment::ChiDeployment;
 pub use fatih_system::{FatihConfig, FatihEvent, FatihSystem};
+pub use flooding::{FloodBehavior, FloodError, FloodOutcome, NetworkFloodOutcome};
 pub use pi2::{Pi2Config, Pi2Detector};
 pub use pik2::{Pik2Config, Pik2Detector};
 pub use policy::{Policy, ReportFault, Thresholds};
 pub use spec::{Interval, SpecCheck, Suspicion};
 pub use threshold::{ThresholdDetector, ThresholdVerdict};
+pub use transport::{ReliableTransport, TransportConfig, TransportEvent, TransportMsg};
 pub use watchers::{WatchersConfig, WatchersDetector, WatchersMode};
 pub use zhang::{ZhangConfig, ZhangDetector, ZhangVerdict};

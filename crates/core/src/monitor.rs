@@ -271,7 +271,16 @@ impl SegmentMonitorSet {
     }
 
     /// Feeds one simulator observation.
+    ///
+    /// Control-plane packets (the protocols' own summaries, acks and
+    /// alerts) are excluded from traffic validation: their loss is the
+    /// transport layer's business, and counting a faulted control packet
+    /// as missing *data* traffic would turn an environmental fault into a
+    /// false accusation against the routers on its path.
     pub fn observe(&mut self, ev: &TapEvent) {
+        if ev.packet().kind == fatih_sim::PacketKind::Control {
+            return;
+        }
         match ev {
             TapEvent::Enqueued {
                 router,
@@ -294,7 +303,13 @@ impl SegmentMonitorSet {
         }
     }
 
-    fn record(&mut self, edge: (RouterId, RouterId), packet: &Packet, time: SimTime, forward: bool) {
+    fn record(
+        &mut self,
+        edge: (RouterId, RouterId),
+        packet: &Packet,
+        time: SimTime,
+        forward: bool,
+    ) {
         let index = if forward {
             &self.forward_index
         } else {
@@ -329,10 +344,7 @@ impl SegmentMonitorSet {
     /// The cumulative report of `router` for segment index `i` (empty if
     /// it saw nothing since the last compaction).
     pub fn report(&self, router: RouterId, i: usize) -> Report {
-        self.data
-            .get(&(router, i))
-            .cloned()
-            .unwrap_or_default()
+        self.data.get(&(router, i)).cloned().unwrap_or_default()
     }
 
     /// Whether any record exists (for tests).
@@ -406,13 +418,7 @@ mod tests {
         let seg = PathSegment::new(vec![ids[0], ids[1], ids[2], ids[3]]);
         let oracle = PathOracle::from_routes(net.routes());
         let ks = keystore(4);
-        let mut mon = SegmentMonitorSet::new(
-            vec![seg],
-            oracle,
-            &ks,
-            MonitorMode::AllMembers,
-            None,
-        );
+        let mut mon = SegmentMonitorSet::new(vec![seg], oracle, &ks, MonitorMode::AllMembers, None);
         net.add_cbr_flow(
             ids[0],
             ids[3],
@@ -439,8 +445,7 @@ mod tests {
         let seg = PathSegment::new(vec![ids[0], ids[1], ids[2]]);
         let oracle = PathOracle::from_routes(net.routes());
         let ks = keystore(4);
-        let mut mon =
-            SegmentMonitorSet::new(vec![seg], oracle, &ks, MonitorMode::EndsOnly, None);
+        let mut mon = SegmentMonitorSet::new(vec![seg], oracle, &ks, MonitorMode::EndsOnly, None);
         net.add_cbr_flow(
             ids[0],
             ids[3],
@@ -462,8 +467,7 @@ mod tests {
         let seg = PathSegment::new(vec![ids[1], ids[2], ids[3]]);
         let oracle = PathOracle::from_routes(net.routes());
         let ks = keystore(4);
-        let mut mon =
-            SegmentMonitorSet::new(vec![seg], oracle, &ks, MonitorMode::AllMembers, None);
+        let mut mon = SegmentMonitorSet::new(vec![seg], oracle, &ks, MonitorMode::AllMembers, None);
         net.add_cbr_flow(
             ids[0],
             ids[1],
@@ -482,13 +486,7 @@ mod tests {
         let seg = PathSegment::new(vec![ids[0], ids[1], ids[2], ids[3]]);
         let oracle = PathOracle::from_routes(net.routes());
         let ks = keystore(4);
-        let mut mon = SegmentMonitorSet::new(
-            vec![seg],
-            oracle,
-            &ks,
-            MonitorMode::AllMembers,
-            None,
-        );
+        let mut mon = SegmentMonitorSet::new(vec![seg], oracle, &ks, MonitorMode::AllMembers, None);
         let flow = net.add_cbr_flow(
             ids[0],
             ids[3],
@@ -504,8 +502,7 @@ mod tests {
         let down = mon.report(ids[2], 0); // what n2 forwarded to n3
         assert_eq!(up.len(), 100);
         assert!(down.len() < 80, "expected heavy loss, got {}", down.len());
-        let verdict =
-            fatih_validation::tv_content(&up.to_content(), &down.to_content());
+        let verdict = fatih_validation::tv_content(&up.to_content(), &down.to_content());
         assert_eq!(verdict.lost.len(), 100 - down.len());
         assert!(verdict.fabricated.is_empty());
     }
@@ -516,13 +513,8 @@ mod tests {
         let seg = PathSegment::new(vec![ids[0], ids[1], ids[2], ids[3]]);
         let oracle = PathOracle::from_routes(net.routes());
         let ks = keystore(4);
-        let mut mon = SegmentMonitorSet::new(
-            vec![seg],
-            oracle,
-            &ks,
-            MonitorMode::EndsOnly,
-            Some(0.5),
-        );
+        let mut mon =
+            SegmentMonitorSet::new(vec![seg], oracle, &ks, MonitorMode::EndsOnly, Some(0.5));
         net.add_cbr_flow(
             ids[0],
             ids[3],
@@ -535,6 +527,10 @@ mod tests {
         let a = mon.report(ids[0], 0);
         let d = mon.report(ids[3], 0);
         assert_eq!(a.to_content(), d.to_content(), "sampled sets must agree");
-        assert!(a.len() > 50 && a.len() < 150, "≈50% of 200, got {}", a.len());
+        assert!(
+            a.len() > 50 && a.len() < 150,
+            "≈50% of 200, got {}",
+            a.len()
+        );
     }
 }

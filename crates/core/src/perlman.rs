@@ -148,11 +148,8 @@ mod tests {
             let plan = RobustForwarding::plan(&topo, s, d, f).unwrap();
             // Every faulty set of size f drawn from interiors leaves a
             // survivor (check all pairs when f ≥ 2; singletons otherwise).
-            let interiors: Vec<RouterId> = ids
-                .iter()
-                .copied()
-                .filter(|&r| r != s && r != d)
-                .collect();
+            let interiors: Vec<RouterId> =
+                ids.iter().copied().filter(|&r| r != s && r != d).collect();
             if f == 1 {
                 for &x in &interiors {
                     assert!(plan.survives(&[x].into_iter().collect()));

@@ -57,6 +57,7 @@ pub struct Pi2Detector {
     keystore: KeyStore,
     monitors: SegmentMonitorSet,
     report_faults: BTreeMap<RouterId, ReportFault>,
+    withheld: BTreeSet<RouterId>,
     round_start: SimTime,
     first_event: Option<SimTime>,
 }
@@ -66,8 +67,10 @@ impl Pi2Detector {
     /// with [`pi2_segments`] and fingerprint keys drawn from `keystore`
     /// (every router must be registered).
     pub fn new(routes: &Routes, keystore: KeyStore, cfg: Pi2Config) -> Self {
-        let segments: Vec<PathSegment> =
-            pi2_segments(routes, cfg.k).all_segments().into_iter().collect();
+        let segments: Vec<PathSegment> = pi2_segments(routes, cfg.k)
+            .all_segments()
+            .into_iter()
+            .collect();
         let oracle = PathOracle::from_routes(routes);
         let monitors =
             SegmentMonitorSet::new(segments, oracle, &keystore, MonitorMode::AllMembers, None);
@@ -76,6 +79,7 @@ impl Pi2Detector {
             keystore,
             monitors,
             report_faults: BTreeMap::new(),
+            withheld: BTreeSet::new(),
             round_start: SimTime::ZERO,
             first_event: None,
         }
@@ -84,6 +88,17 @@ impl Pi2Detector {
     /// Marks a router protocol-faulty with the given report behaviour.
     pub fn set_report_fault(&mut self, router: RouterId, fault: ReportFault) {
         self.report_faults.insert(router, fault);
+    }
+
+    /// Records that `router`'s summary for the current round never
+    /// arrived despite the transport's retry budget (timeout-as-accusation,
+    /// §5.1's refusal-to-cooperate semantics): at the next
+    /// [`end_round`](Self::end_round) its report is treated as ⊥ exactly
+    /// like a protocol-silent router's, so every adjacent pair it belongs
+    /// to fails validation and it is suspected. Cleared when the round
+    /// ends.
+    pub fn note_withheld_summary(&mut self, router: RouterId) {
+        self.withheld.insert(router);
     }
 
     /// Number of monitored segments (the global `Σ|P_r|` dedup — Fig 5.2's
@@ -127,6 +142,12 @@ impl Pi2Detector {
                 .iter()
                 .enumerate()
                 .map(|(pos, &r)| {
+                    if self.withheld.contains(&r) {
+                        // The transport exhausted its retry budget without
+                        // this router's summary arriving: same ⊥ treatment
+                        // as a protocol-silent member.
+                        return None;
+                    }
                     let own = self.monitors.report(r, i);
                     let received = if pos == 0 {
                         None
@@ -152,11 +173,15 @@ impl Pi2Detector {
 
             let mut judged_fabricated: BTreeSet<Fingerprint> = BTreeSet::new();
             for (w, pair) in decided.windows(2).enumerate() {
-                let verdict = tv_pair(pair[0].as_ref(), pair[1].as_ref(), cutoff, fabrication_floor);
+                let verdict = tv_pair(
+                    pair[0].as_ref(),
+                    pair[1].as_ref(),
+                    cutoff,
+                    fabrication_floor,
+                );
                 judged_fabricated.extend(verdict.fabricated.iter().copied());
                 if !verdict.passes(self.cfg.policy, &self.cfg.thresholds) {
-                    let pair_seg =
-                        PathSegment::new(vec![members[w], members[w + 1]]);
+                    let pair_seg = PathSegment::new(vec![members[w], members[w + 1]]);
                     // Strong completeness: every member that is not
                     // protocol-silent raises the suspicion (the reliable
                     // broadcast of Figure 5.1 carries the evidence to all).
@@ -183,16 +208,13 @@ impl Pi2Detector {
             done.extend(judged_fabricated);
             self.monitors.compact_segment(i, &done);
         }
+        self.withheld.clear();
         out.into_iter().collect()
     }
 
     /// Runs one authenticated broadcast per member report and returns the
     /// decided values (identical at every correct member by agreement).
-    fn disseminate(
-        &self,
-        members: &[RouterId],
-        claimed: &[Option<Report>],
-    ) -> Vec<Option<Report>> {
+    fn disseminate(&self, members: &[RouterId], claimed: &[Option<Report>]) -> Vec<Option<Report>> {
         let ids: Vec<u32> = members.iter().map(|&r| u32::from(r)).collect();
         let behaviors: BTreeMap<u32, FaultyBehavior> = members
             .iter()
@@ -247,11 +269,7 @@ mod tests {
         (Network::new(topo, 1), ids, ks)
     }
 
-    fn run_one_round(
-        net: &mut Network,
-        det: &mut Pi2Detector,
-        secs: u64,
-    ) -> Vec<Suspicion> {
+    fn run_one_round(net: &mut Network, det: &mut Pi2Detector, secs: u64) -> Vec<Suspicion> {
         let end = net.now() + SimTime::from_secs(secs);
         net.run_until(end, |ev| det.observe(ev));
         det.end_round(end)
@@ -261,8 +279,22 @@ mod tests {
     fn no_attack_no_suspicion() {
         let (mut net, ids, ks) = line(5);
         let mut det = Pi2Detector::new(net.routes(), ks, Pi2Config::default());
-        net.add_cbr_flow(ids[0], ids[4], 1000, SimTime::from_ms(2), SimTime::ZERO, None);
-        net.add_cbr_flow(ids[4], ids[0], 500, SimTime::from_ms(3), SimTime::ZERO, None);
+        net.add_cbr_flow(
+            ids[0],
+            ids[4],
+            1000,
+            SimTime::from_ms(2),
+            SimTime::ZERO,
+            None,
+        );
+        net.add_cbr_flow(
+            ids[4],
+            ids[0],
+            500,
+            SimTime::from_ms(3),
+            SimTime::ZERO,
+            None,
+        );
         let sus = run_one_round(&mut net, &mut det, 5);
         assert!(sus.is_empty(), "false positives: {sus:?}");
     }
@@ -271,8 +303,14 @@ mod tests {
     fn dropping_router_caught_with_precision_2() {
         let (mut net, ids, ks) = line(5);
         let mut det = Pi2Detector::new(net.routes(), ks, Pi2Config::default());
-        let flow =
-            net.add_cbr_flow(ids[0], ids[4], 1000, SimTime::from_ms(2), SimTime::ZERO, None);
+        let flow = net.add_cbr_flow(
+            ids[0],
+            ids[4],
+            1000,
+            SimTime::from_ms(2),
+            SimTime::ZERO,
+            None,
+        );
         net.set_attacks(ids[2], vec![Attack::drop_flows([flow], 0.3)]);
         let sus = run_one_round(&mut net, &mut det, 5);
         assert!(!sus.is_empty());
@@ -287,8 +325,14 @@ mod tests {
     fn modification_caught_by_content_policy() {
         let (mut net, ids, ks) = line(4);
         let mut det = Pi2Detector::new(net.routes(), ks, Pi2Config::default());
-        let flow =
-            net.add_cbr_flow(ids[0], ids[3], 1000, SimTime::from_ms(2), SimTime::ZERO, None);
+        let flow = net.add_cbr_flow(
+            ids[0],
+            ids[3],
+            1000,
+            SimTime::from_ms(2),
+            SimTime::ZERO,
+            None,
+        );
         net.set_attacks(
             ids[1],
             vec![Attack {
@@ -309,12 +353,21 @@ mod tests {
         let (mut net, ids, ks) = line(4);
         let cfg_order = Pi2Config {
             policy: Policy::Order,
-            thresholds: Thresholds { loss: 1000, reorder: 0 },
+            thresholds: Thresholds {
+                loss: 1000,
+                reorder: 0,
+            },
             ..Pi2Config::default()
         };
         let mut det = Pi2Detector::new(net.routes(), ks, cfg_order);
-        let flow =
-            net.add_cbr_flow(ids[0], ids[3], 1000, SimTime::from_ms(2), SimTime::ZERO, None);
+        let flow = net.add_cbr_flow(
+            ids[0],
+            ids[3],
+            1000,
+            SimTime::from_ms(2),
+            SimTime::ZERO,
+            None,
+        );
         net.set_attacks(
             ids[1],
             vec![Attack {
@@ -339,8 +392,14 @@ mod tests {
         // suspected 2-segment contains n2 (accuracy preserved).
         let (mut net, ids, ks) = line(5);
         let mut det = Pi2Detector::new(net.routes(), ks, Pi2Config::default());
-        let flow =
-            net.add_cbr_flow(ids[0], ids[4], 1000, SimTime::from_ms(2), SimTime::ZERO, None);
+        let flow = net.add_cbr_flow(
+            ids[0],
+            ids[4],
+            1000,
+            SimTime::from_ms(2),
+            SimTime::ZERO,
+            None,
+        );
         net.set_attacks(ids[2], vec![Attack::drop_flows([flow], 0.4)]);
         det.set_report_fault(ids[2], ReportFault::HideDrops);
         let sus = run_one_round(&mut net, &mut det, 5);
@@ -349,16 +408,21 @@ mod tests {
         assert!(check.is_accurate(2), "{:?}", check.false_positives);
         assert!(check.is_complete());
         // And the suspicion that fired is the downstream pair.
-        assert!(sus
-            .iter()
-            .any(|s| s.segment.routers() == [ids[2], ids[3]]));
+        assert!(sus.iter().any(|s| s.segment.routers() == [ids[2], ids[3]]));
     }
 
     #[test]
     fn silent_router_suspected_via_bottom_reports() {
         let (mut net, ids, ks) = line(4);
         let mut det = Pi2Detector::new(net.routes(), ks, Pi2Config::default());
-        net.add_cbr_flow(ids[0], ids[3], 1000, SimTime::from_ms(2), SimTime::ZERO, None);
+        net.add_cbr_flow(
+            ids[0],
+            ids[3],
+            1000,
+            SimTime::from_ms(2),
+            SimTime::ZERO,
+            None,
+        );
         det.set_report_fault(ids[1], ReportFault::Silent);
         let sus = run_one_round(&mut net, &mut det, 5);
         let faulty: BTreeSet<RouterId> = [ids[1]].into_iter().collect();
@@ -368,10 +432,44 @@ mod tests {
     }
 
     #[test]
+    fn withheld_summary_is_an_accusation() {
+        // n1 is not protocol-silent in the abstract model, but its summary
+        // never survived the transport's retry budget. Timeout-as-accusation:
+        // it is treated as ⊥ and suspected, and the flag does not leak into
+        // the next round.
+        let (mut net, ids, ks) = line(4);
+        let mut det = Pi2Detector::new(net.routes(), ks, Pi2Config::default());
+        net.add_cbr_flow(
+            ids[0],
+            ids[3],
+            1000,
+            SimTime::from_ms(2),
+            SimTime::ZERO,
+            None,
+        );
+        det.note_withheld_summary(ids[1]);
+        let sus = run_one_round(&mut net, &mut det, 5);
+        let faulty: BTreeSet<RouterId> = [ids[1]].into_iter().collect();
+        let check = crate::spec::SpecCheck::evaluate(&sus, &faulty);
+        assert!(check.is_complete(), "withheld summary escaped accusation");
+        assert!(check.is_accurate(2));
+        // Next round, with the summary delivered again, no suspicion.
+        let sus2 = run_one_round(&mut net, &mut det, 5);
+        assert!(sus2.is_empty(), "withheld flag leaked: {sus2:?}");
+    }
+
+    #[test]
     fn counter_inflation_caught_as_fabrication() {
         let (mut net, ids, ks) = line(4);
         let mut det = Pi2Detector::new(net.routes(), ks, Pi2Config::default());
-        net.add_cbr_flow(ids[0], ids[3], 1000, SimTime::from_ms(2), SimTime::ZERO, None);
+        net.add_cbr_flow(
+            ids[0],
+            ids[3],
+            1000,
+            SimTime::from_ms(2),
+            SimTime::ZERO,
+            None,
+        );
         det.set_report_fault(ids[2], ReportFault::Inflate(5));
         let sus = run_one_round(&mut net, &mut det, 5);
         let faulty: BTreeSet<RouterId> = [ids[2]].into_iter().collect();

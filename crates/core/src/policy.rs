@@ -40,7 +40,10 @@ impl Default for Thresholds {
     /// congested deployments raise `loss` (or use Protocol χ instead,
     /// which is the whole point of Chapter 6).
     fn default() -> Self {
-        Self { loss: 0, reorder: 0 }
+        Self {
+            loss: 0,
+            reorder: 0,
+        }
     }
 }
 
@@ -67,12 +70,8 @@ impl PairVerdict {
             // Flow sees only net volume: a modification (one lost + one
             // fabricated) cancels out — the documented blindness of the
             // conservation-of-flow policy.
-            Policy::Flow => {
-                self.lost.len().abs_diff(self.fabricated.len()) <= thresholds.loss
-            }
-            Policy::Content => {
-                self.fabricated.is_empty() && self.lost.len() <= thresholds.loss
-            }
+            Policy::Flow => self.lost.len().abs_diff(self.fabricated.len()) <= thresholds.loss,
+            Policy::Content => self.fabricated.is_empty() && self.lost.len() <= thresholds.loss,
             Policy::Order => {
                 self.fabricated.is_empty()
                     && self.lost.len() <= thresholds.loss
@@ -236,7 +235,10 @@ mod tests {
         let v = tv_pair(Some(&up), Some(&down), LATE, SimTime::ZERO);
         assert_eq!(v.lost.len(), 1);
         let th0 = Thresholds::default();
-        let th1 = Thresholds { loss: 1, reorder: 0 };
+        let th1 = Thresholds {
+            loss: 1,
+            reorder: 0,
+        };
         for p in [Policy::Flow, Policy::Content, Policy::Order] {
             assert!(!v.passes(p, &th0), "{p:?}");
             assert!(v.passes(p, &th1), "{p:?}");
@@ -250,7 +252,10 @@ mod tests {
         let v = tv_pair(Some(&up), Some(&down), LATE, SimTime::ZERO);
         assert_eq!(v.lost.len(), 1);
         assert_eq!(v.fabricated.len(), 1);
-        let th = Thresholds { loss: 1, reorder: 0 };
+        let th = Thresholds {
+            loss: 1,
+            reorder: 0,
+        };
         assert!(v.passes(Policy::Flow, &th));
         assert!(!v.passes(Policy::Content, &th));
     }

@@ -130,8 +130,7 @@ impl SpecCheck {
                 accurate.push(s.clone());
             }
         }
-        let missed: BTreeSet<RouterId> =
-            faulty.difference(&detected).copied().collect();
+        let missed: BTreeSet<RouterId> = faulty.difference(&detected).copied().collect();
         Self {
             accurate,
             false_positives,
@@ -187,9 +186,9 @@ mod tests {
     fn evaluate_classifies_hits_and_misses() {
         let faulty: BTreeSet<RouterId> = [rid(2), rid(7)].into_iter().collect();
         let sus = vec![
-            susp(&[1, 2], 0),  // accurate: contains 2
-            susp(&[3, 4], 0),  // false positive
-            susp(&[5, 6], 9),  // hmm raised by 9 (correct): false positive
+            susp(&[1, 2], 0), // accurate: contains 2
+            susp(&[3, 4], 0), // false positive
+            susp(&[5, 6], 9), // hmm raised by 9 (correct): false positive
         ];
         let check = SpecCheck::evaluate(&sus, &faulty);
         assert_eq!(check.accurate.len(), 1);

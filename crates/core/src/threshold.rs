@@ -77,8 +77,7 @@ impl ThresholdDetector {
             key: keystore.segment_uhash_key(seg_id),
             loss_fraction_threshold,
             in_delay_ns,
-            max_residence: SimTime::from_ns(2 * drain_ns + out.delay_ns)
-                + SimTime::from_ms(20),
+            max_residence: SimTime::from_ns(2 * drain_ns + out.delay_ns) + SimTime::from_ms(20),
             entries: Vec::new(),
             exits: HashSet::new(),
         }
@@ -86,11 +85,7 @@ impl ThresholdDetector {
 
     /// Feeds one simulator observation (same information set as
     /// [`crate::chi::QueueValidator::observe`]).
-    pub fn observe(
-        &mut self,
-        ev: &TapEvent,
-        next_hop_of: impl Fn(&Packet) -> Option<RouterId>,
-    ) {
+    pub fn observe(&mut self, ev: &TapEvent, next_hop_of: impl Fn(&Packet) -> Option<RouterId>) {
         match ev {
             TapEvent::Transmitted {
                 router: rs,
@@ -124,8 +119,7 @@ impl ThresholdDetector {
     pub fn end_round(&mut self, now: SimTime) -> ThresholdVerdict {
         let cutoff = now.since(self.max_residence);
         let entries = std::mem::take(&mut self.entries);
-        let (due, later): (Vec<_>, Vec<_>) =
-            entries.into_iter().partition(|&(_, t)| t <= cutoff);
+        let (due, later): (Vec<_>, Vec<_>) = entries.into_iter().partition(|&(_, t)| t <= cutoff);
         self.entries = later;
         let offered = due.len();
         let mut forwarded = 0;
@@ -178,7 +172,9 @@ mod tests {
         let end = SimTime::from_secs(until_secs);
         net.run_until(end, |ev| {
             det.observe(ev, |p| {
-                routes.path(p.src, p.dst).and_then(|path| path.next_after(at))
+                routes
+                    .path(p.src, p.dst)
+                    .and_then(|path| path.next_after(at))
             })
         });
         det.end_round(end)
@@ -192,8 +188,14 @@ mod tests {
         let mut det = ThresholdDetector::new(net.topology(), &ks, r, rd, 0.01);
         for i in 0..3 {
             let s = net.topology().router_by_name(&format!("s{i}")).unwrap();
-            net.add_cbr_flow(s, rd, 1000, SimTime::from_us(1100), SimTime::ZERO,
-                             Some(SimTime::from_secs(5)));
+            net.add_cbr_flow(
+                s,
+                rd,
+                1000,
+                SimTime::from_us(1100),
+                SimTime::ZERO,
+                Some(SimTime::from_secs(5)),
+            );
         }
         let v = drive(&mut net, &mut det, 7);
         assert!(net.ground_truth().congestive_drops > 0);

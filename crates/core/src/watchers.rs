@@ -124,16 +124,10 @@ impl WatchersDetector {
                 packet,
                 ..
             } => {
-                *self
-                    .recv
-                    .entry((*from, *router, packet.dst))
-                    .or_insert(0) += packet.size as u64;
+                *self.recv.entry((*from, *router, packet.dst)).or_insert(0) += packet.size as u64;
             }
             TapEvent::Injected { router, packet, .. } => {
-                *self
-                    .injected
-                    .entry((*router, packet.dst))
-                    .or_insert(0) += packet.size as u64;
+                *self.injected.entry((*router, packet.dst)).or_insert(0) += packet.size as u64;
             }
             TapEvent::Delivered { router, packet, .. } => {
                 *self.absorbed.entry(*router).or_insert(0) += packet.size as u64;
@@ -328,11 +322,7 @@ mod tests {
         (Network::new(topo, 1), ids)
     }
 
-    fn run_round(
-        net: &mut Network,
-        det: &mut WatchersDetector,
-        secs: u64,
-    ) -> Vec<Suspicion> {
+    fn run_round(net: &mut Network, det: &mut WatchersDetector, secs: u64) -> Vec<Suspicion> {
         let end = net.now() + SimTime::from_secs(secs);
         net.run_until(end, |ev| det.observe(ev));
         det.end_round(end)
@@ -342,8 +332,22 @@ mod tests {
     fn clean_network_raises_nothing() {
         let (mut net, ids) = line5();
         let mut det = WatchersDetector::new(net.topology(), WatchersConfig::default());
-        net.add_cbr_flow(ids[0], ids[4], 1000, SimTime::from_ms(2), SimTime::ZERO, None);
-        net.add_cbr_flow(ids[4], ids[1], 700, SimTime::from_ms(3), SimTime::ZERO, None);
+        net.add_cbr_flow(
+            ids[0],
+            ids[4],
+            1000,
+            SimTime::from_ms(2),
+            SimTime::ZERO,
+            None,
+        );
+        net.add_cbr_flow(
+            ids[4],
+            ids[1],
+            700,
+            SimTime::from_ms(3),
+            SimTime::ZERO,
+            None,
+        );
         let sus = run_round(&mut net, &mut det, 5);
         assert!(sus.is_empty(), "{sus:?}");
     }
@@ -352,8 +356,14 @@ mod tests {
     fn honest_dropper_fails_conservation_of_flow() {
         let (mut net, ids) = line5();
         let mut det = WatchersDetector::new(net.topology(), WatchersConfig::default());
-        let flow =
-            net.add_cbr_flow(ids[0], ids[4], 1000, SimTime::from_ms(2), SimTime::ZERO, None);
+        let flow = net.add_cbr_flow(
+            ids[0],
+            ids[4],
+            1000,
+            SimTime::from_ms(2),
+            SimTime::ZERO,
+            None,
+        );
         net.set_attacks(ids[2], vec![Attack::drop_flows([flow], 0.3)]);
         let sus = run_round(&mut net, &mut det, 5);
         let faulty: BTreeSet<RouterId> = [ids[2]].into_iter().collect();
@@ -374,8 +384,14 @@ mod tests {
                 threshold_bytes: 10_000,
             },
         );
-        let flow =
-            net.add_cbr_flow(ids[0], ids[4], 1000, SimTime::from_ms(2), SimTime::ZERO, None);
+        let flow = net.add_cbr_flow(
+            ids[0],
+            ids[4],
+            1000,
+            SimTime::from_ms(2),
+            SimTime::ZERO,
+            None,
+        );
         net.set_attacks(ids[2], vec![Attack::drop_flows([flow], 0.3)]);
         det.set_counter_fault(ids[2], CounterFault::AbsorbDrops { partner: ids[3] });
         let sus = run_round(&mut net, &mut det, 5);
@@ -391,8 +407,14 @@ mod tests {
     fn consorting_launder_caught_by_per_destination_mode() {
         let (mut net, ids) = line5();
         let mut det = WatchersDetector::new(net.topology(), WatchersConfig::default());
-        let flow =
-            net.add_cbr_flow(ids[0], ids[4], 1000, SimTime::from_ms(2), SimTime::ZERO, None);
+        let flow = net.add_cbr_flow(
+            ids[0],
+            ids[4],
+            1000,
+            SimTime::from_ms(2),
+            SimTime::ZERO,
+            None,
+        );
         net.set_attacks(ids[2], vec![Attack::drop_flows([flow], 0.3)]);
         det.set_counter_fault(ids[2], CounterFault::AbsorbDrops { partner: ids[3] });
         let sus = run_round(&mut net, &mut det, 5);

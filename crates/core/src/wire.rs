@@ -121,7 +121,10 @@ mod tests {
     #[test]
     fn chaining_composes() {
         let mut e = Encoder::new();
-        e.u64(1).u32(2).time(SimTime::from_ms(3)).router(RouterId::from(4));
+        e.u64(1)
+            .u32(2)
+            .time(SimTime::from_ms(3))
+            .router(RouterId::from(4));
         assert_eq!(e.finish().len(), 8 + 4 + 8 + 4);
     }
 }

@@ -97,8 +97,7 @@ impl ZhangDetector {
             capacity_bytes_per_sec: out.bandwidth_bps as f64 / 8.0,
             q_limit: out.queue_limit_bytes,
             in_delay_ns,
-            max_residence: SimTime::from_ns(2 * drain_ns + out.delay_ns)
-                + SimTime::from_ms(20),
+            max_residence: SimTime::from_ns(2 * drain_ns + out.delay_ns) + SimTime::from_ms(20),
             entries: Vec::new(),
             exits: HashSet::new(),
             round_start: SimTime::ZERO,
@@ -107,11 +106,7 @@ impl ZhangDetector {
     }
 
     /// Feeds one simulator observation.
-    pub fn observe(
-        &mut self,
-        ev: &TapEvent,
-        next_hop_of: impl Fn(&Packet) -> Option<RouterId>,
-    ) {
+    pub fn observe(&mut self, ev: &TapEvent, next_hop_of: impl Fn(&Packet) -> Option<RouterId>) {
         match ev {
             TapEvent::Transmitted {
                 router: rs,
@@ -170,8 +165,7 @@ impl ZhangDetector {
         // Fluid model: whatever exceeds capacity for the window, minus the
         // buffer the interface can absorb (backlog carried across rounds).
         let can_serve = self.capacity_bytes_per_sec * window;
-        let backlog =
-            (self.carry_backlog + offered_bytes - can_serve).max(0.0);
+        let backlog = (self.carry_backlog + offered_bytes - can_serve).max(0.0);
         let spill_bytes = (backlog - self.q_limit as f64).max(0.0);
         self.carry_backlog = backlog.min(self.q_limit as f64);
         let mean_pkt = if offered > 0 {
@@ -219,17 +213,15 @@ mod tests {
         (Network::new(topo, 21), ks, r, rd)
     }
 
-    fn drive(
-        net: &mut Network,
-        det: &mut ZhangDetector,
-        until_secs: u64,
-    ) -> ZhangVerdict {
+    fn drive(net: &mut Network, det: &mut ZhangDetector, until_secs: u64) -> ZhangVerdict {
         let routes = net.routes().clone();
         let at = det.router;
         let end = SimTime::from_secs(until_secs);
         net.run_until(end, |ev| {
             det.observe(ev, |p| {
-                routes.path(p.src, p.dst).and_then(|path| path.next_after(at))
+                routes
+                    .path(p.src, p.dst)
+                    .and_then(|path| path.next_after(at))
             })
         });
         det.end_round(end)
@@ -254,8 +246,7 @@ mod tests {
             "steady congestion must match the rate model: {v:?}"
         );
         // Prediction within ~5% of reality for stationary input.
-        let err = (v.predicted_losses - v.observed_losses as f64).abs()
-            / v.observed_losses as f64;
+        let err = (v.predicted_losses - v.observed_losses as f64).abs() / v.observed_losses as f64;
         assert!(err < 0.05, "prediction error {err:.3}");
     }
 
@@ -264,8 +255,14 @@ mod tests {
         let (mut net, ks, r, rd) = fixture(64_000);
         let mut det = ZhangDetector::new(net.topology(), &ks, r, rd, ZhangConfig::default());
         let s0 = net.topology().router_by_name("s0").unwrap();
-        let flow = net.add_cbr_flow(s0, rd, 1000, SimTime::from_ms(2), SimTime::ZERO,
-                                    Some(SimTime::from_secs(8)));
+        let flow = net.add_cbr_flow(
+            s0,
+            rd,
+            1000,
+            SimTime::from_ms(2),
+            SimTime::ZERO,
+            Some(SimTime::from_secs(8)),
+        );
         net.set_attacks(r, vec![Attack::drop_flows([flow], 0.2)]);
         let v = drive(&mut net, &mut det, 10);
         assert!(v.detected, "{v:?}");
@@ -306,21 +303,32 @@ mod tests {
         let mut net = Network::new(topo, 5);
         for i in 0..10 {
             let s = net.topology().router_by_name(&format!("s{i}")).unwrap();
-            net.add_cbr_flow(s, rd, 1000, SimTime::from_us(700), SimTime::ZERO,
-                             Some(SimTime::from_ms(300)));
+            net.add_cbr_flow(
+                s,
+                rd,
+                1000,
+                SimTime::from_us(700),
+                SimTime::ZERO,
+                Some(SimTime::from_ms(300)),
+            );
         }
         let routes = net.routes().clone();
         let end = SimTime::from_secs(10);
         net.run_until(end, |ev| {
             let nh = |p: &Packet| {
-                routes.path(p.src, p.dst).and_then(|path| path.next_after(r))
+                routes
+                    .path(p.src, p.dst)
+                    .and_then(|path| path.next_after(r))
             };
             zhang.observe(ev, nh);
             chi.observe(ev, nh);
         });
         let zv = zhang.end_round(end);
         let cv = chi.end_round(end);
-        assert!(net.ground_truth().congestive_drops > 50, "burst must overflow");
+        assert!(
+            net.ground_truth().congestive_drops > 50,
+            "burst must overflow"
+        );
         assert!(
             zv.detected,
             "rate model should misread the burst as malice: {zv:?}"

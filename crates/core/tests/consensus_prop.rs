@@ -1,9 +1,14 @@
-//! Property tests for the Dolev–Strong broadcast: agreement and validity
+//! Randomized tests for the Dolev–Strong broadcast: agreement and validity
 //! under randomized faulty subsets and behaviours.
+//!
+//! Formerly proptest-based; now plain seeded loops so the workspace builds
+//! offline. Each case derives its inputs from a deterministic RNG keyed by
+//! the loop index, so failures reproduce exactly.
 
 use fatih_core::consensus::{dolev_strong, FaultyBehavior};
 use fatih_crypto::KeyStore;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, BTreeSet};
 
 fn keystore(n: u32) -> KeyStore {
@@ -14,42 +19,44 @@ fn keystore(n: u32) -> KeyStore {
     ks
 }
 
-fn behavior_strategy(n: u32) -> impl Strategy<Value = FaultyBehavior> {
-    prop_oneof![
-        Just(FaultyBehavior::Silent),
-        prop::collection::btree_set(0..n, 0..n as usize)
-            .prop_map(FaultyBehavior::SelectiveRelay),
-        (prop::collection::btree_set(0..n, 0..n as usize), any::<u8>()).prop_map(
-            |(to, alt)| FaultyBehavior::Equivocate {
-                alternate: vec![alt],
-                to,
-            }
-        ),
-    ]
+fn random_ids(rng: &mut StdRng, range: std::ops::Range<u32>, max_len: usize) -> BTreeSet<u32> {
+    let len = rng.gen_range(0..max_len.max(1));
+    (0..len)
+        .map(|_| rng.gen_range(range.start as u64..range.end as u64) as u32)
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_behavior(rng: &mut StdRng, n: u32) -> FaultyBehavior {
+    match rng.gen_range(0u32..3) {
+        0 => FaultyBehavior::Silent,
+        1 => FaultyBehavior::SelectiveRelay(random_ids(rng, 0..n, n as usize)),
+        _ => FaultyBehavior::Equivocate {
+            alternate: vec![rng.gen::<u8>()],
+            to: random_ids(rng, 0..n, n as usize),
+        },
+    }
+}
 
-    /// Agreement: with f ≥ |faulty| and f + 1 rounds, every correct
-    /// participant decides the same value — whatever the faulty subset
-    /// does, sender included.
-    #[test]
-    fn agreement_under_arbitrary_faults(
-        n in 3u32..8,
-        sender in 0u32..8,
-        faulty_ids in prop::collection::btree_set(0u32..8, 0..3),
-        behaviors in prop::collection::vec(behavior_strategy(8), 3),
-        value in prop::collection::vec(any::<u8>(), 0..16),
-    ) {
-        let sender = sender % n;
-        let faulty_ids: BTreeSet<u32> =
-            faulty_ids.into_iter().filter(|&i| i < n).collect();
-        prop_assume!(faulty_ids.len() < n as usize); // at least one correct
+/// Agreement: with f ≥ |faulty| and f + 1 rounds, every correct
+/// participant decides the same value — whatever the faulty subset
+/// does, sender included.
+#[test]
+fn agreement_under_arbitrary_faults() {
+    for case in 0u64..128 {
+        let mut rng = StdRng::seed_from_u64(0xA62E_0000 + case);
+        let n = rng.gen_range(3u64..8) as u32;
+        let sender = rng.gen_range(0u64..8) as u32 % n;
+        let faulty_ids: BTreeSet<u32> = random_ids(&mut rng, 0..8, 3)
+            .into_iter()
+            .filter(|&i| i < n)
+            .collect();
+        if faulty_ids.len() >= n as usize {
+            continue; // need at least one correct participant
+        }
+        let value: Vec<u8> = (0..rng.gen_range(0usize..16)).map(|_| rng.gen()).collect();
         let faulty: BTreeMap<u32, FaultyBehavior> = faulty_ids
             .iter()
-            .zip(behaviors)
-            .map(|(&id, b)| (id, b))
+            .map(|&id| (id, random_behavior(&mut rng, 8)))
             .collect();
         let f = faulty.len().max(1);
         let participants: Vec<u32> = (0..n).collect();
@@ -57,42 +64,45 @@ proptest! {
         let decisions = dolev_strong(&ks, &participants, sender, &value, &faulty, f);
 
         // All correct participants present and agreeing.
-        prop_assert_eq!(decisions.len(), n as usize - faulty.len());
+        assert_eq!(decisions.len(), n as usize - faulty.len(), "case {case}");
         let mut values: Vec<&Option<Vec<u8>>> = decisions.values().collect();
         values.dedup();
-        prop_assert_eq!(values.len(), 1, "disagreement: {:?}", decisions);
+        assert_eq!(values.len(), 1, "case {case}: disagreement: {decisions:?}");
 
         // Validity: a correct sender's value is decided by everyone.
         if !faulty.contains_key(&sender) {
             for v in decisions.values() {
-                prop_assert_eq!(v.as_deref(), Some(&value[..]));
+                assert_eq!(v.as_deref(), Some(&value[..]), "case {case}");
             }
         }
     }
+}
 
-    /// Forgery resistance: a relay cannot convince anyone of a value the
-    /// sender never signed — modeled by the sender being Silent: everyone
-    /// decides ⊥ regardless of the other faulty behaviours.
-    #[test]
-    fn silent_sender_never_yields_a_value(
-        n in 3u32..8,
-        extra_faulty in prop::collection::btree_set(1u32..8, 0..2),
-        behaviors in prop::collection::vec(behavior_strategy(8), 2),
-    ) {
+/// Forgery resistance: a relay cannot convince anyone of a value the
+/// sender never signed — modeled by the sender being Silent: everyone
+/// decides ⊥ regardless of the other faulty behaviours.
+#[test]
+fn silent_sender_never_yields_a_value() {
+    for case in 0u64..64 {
+        let mut rng = StdRng::seed_from_u64(0x511E_0000 + case);
+        let n = rng.gen_range(3u64..8) as u32;
         let mut faulty: BTreeMap<u32, FaultyBehavior> =
             BTreeMap::from([(0u32, FaultyBehavior::Silent)]);
-        for (&id, b) in extra_faulty.iter().zip(behaviors) {
+        for id in random_ids(&mut rng, 1..8, 2) {
             if id < n {
+                let b = random_behavior(&mut rng, 8);
                 faulty.insert(id, b);
             }
         }
-        prop_assume!(faulty.len() < n as usize);
+        if faulty.len() >= n as usize {
+            continue;
+        }
         let f = faulty.len();
         let participants: Vec<u32> = (0..n).collect();
         let ks = keystore(n);
         let decisions = dolev_strong(&ks, &participants, 0, b"real", &faulty, f);
         for (id, v) in &decisions {
-            prop_assert_eq!(v, &None, "participant {} decided a value", id);
+            assert_eq!(v, &None, "case {case}: participant {id} decided a value");
         }
     }
 }

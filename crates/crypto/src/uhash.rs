@@ -227,7 +227,10 @@ mod tests {
             (0u64, 0u64),
             (1, FINGERPRINT_PRIME - 1),
             (FINGERPRINT_PRIME - 1, FINGERPRINT_PRIME - 1),
-            (123456789012345678 % FINGERPRINT_PRIME, 987654321098765432 % FINGERPRINT_PRIME),
+            (
+                123456789012345678 % FINGERPRINT_PRIME,
+                987654321098765432 % FINGERPRINT_PRIME,
+            ),
         ];
         for (a, b) in pairs {
             let want = ((a as u128 * b as u128) % FINGERPRINT_PRIME as u128) as u64;

@@ -93,7 +93,13 @@ impl Network {
             sent: 0,
         }));
         let at = start.max(self.now());
-        self.schedule(at, EventKind::AgentTimer { agent: idx, token: 0 });
+        self.schedule(
+            at,
+            EventKind::AgentTimer {
+                agent: idx,
+                token: 0,
+            },
+        );
         flow
     }
 
@@ -128,7 +134,13 @@ impl Network {
             rtts: Vec::new(),
         }));
         let at = start.max(self.now());
-        self.schedule(at, EventKind::AgentTimer { agent: idx, token: 0 });
+        self.schedule(
+            at,
+            EventKind::AgentTimer {
+                agent: idx,
+                token: 0,
+            },
+        );
         flow
     }
 
@@ -164,7 +176,13 @@ impl Network {
             sent: 0,
         }));
         let at = start.max(self.now());
-        self.schedule(at, EventKind::AgentTimer { agent: idx, token: 0 });
+        self.schedule(
+            at,
+            EventKind::AgentTimer {
+                agent: idx,
+                token: 0,
+            },
+        );
         flow
     }
 
@@ -211,6 +229,12 @@ impl Network {
     }
 
     pub(crate) fn deliver_to_agent(&mut self, packet: Packet) {
+        // Control messages are handed up to the protocol stack, not to a
+        // traffic agent; corruption is surfaced via the intact flag.
+        if packet.kind == PacketKind::Control {
+            self.push_control_delivery(&packet);
+            return;
+        }
         // Echo requests are answered by the destination's network stack.
         if packet.kind == PacketKind::Ping {
             self.inject(
@@ -244,7 +268,13 @@ impl Network {
         self.inject(c.src, c.dst, c.flow, PacketKind::Data, c.size, c.sent);
         c.sent += 1;
         let next = self.now() + c.interval;
-        self.schedule(next, EventKind::AgentTimer { agent: idx, token: 0 });
+        self.schedule(
+            next,
+            EventKind::AgentTimer {
+                agent: idx,
+                token: 0,
+            },
+        );
     }
 
     fn poisson_timer(&mut self, p: &mut PoissonState, idx: usize) {
@@ -259,7 +289,13 @@ impl Network {
         let u: f64 = rand::Rng::gen_range(&mut self.rng, 1e-12..1.0f64);
         let gap = SimTime::from_secs_f64(-u.ln() * p.mean_interval.as_secs_f64());
         let next = self.now() + gap.max(SimTime::from_ns(1));
-        self.schedule(next, EventKind::AgentTimer { agent: idx, token: 0 });
+        self.schedule(
+            next,
+            EventKind::AgentTimer {
+                agent: idx,
+                token: 0,
+            },
+        );
     }
 
     fn ping_timer(&mut self, p: &mut PingState, idx: usize) {
@@ -273,7 +309,13 @@ impl Network {
         p.outstanding.insert(seq, self.now());
         self.inject(p.src, p.dst, p.flow, PacketKind::Ping, p.size, seq);
         let next = self.now() + p.interval;
-        self.schedule(next, EventKind::AgentTimer { agent: idx, token: 0 });
+        self.schedule(
+            next,
+            EventKind::AgentTimer {
+                agent: idx,
+                token: 0,
+            },
+        );
     }
 
     fn ping_deliver(p: &mut PingState, packet: &Packet, now: SimTime) {

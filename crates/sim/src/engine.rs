@@ -12,6 +12,7 @@
 
 use crate::agent::AgentState;
 use crate::attack::{Attack, AttackAction, AttackKind};
+use crate::fault::FaultPlan;
 use crate::packet::{FlowId, Packet, PacketId, PacketKind};
 use crate::queue::{OutputQueueState, QueueDiscipline, Verdict};
 use crate::tap::{DropReason, GroundTruth, TapEvent};
@@ -76,6 +77,34 @@ struct LinkRt {
     busy: bool,
 }
 
+/// Installed fault plan plus its dedicated RNG, so fault decisions never
+/// perturb the traffic RNG stream (runs with and without faults stay
+/// comparable packet-for-packet).
+#[derive(Debug)]
+struct FaultRt {
+    plan: FaultPlan,
+    rng: StdRng,
+}
+
+/// A control-plane message handed up to the destination router's protocol
+/// stack (the simulator's equivalent of a socket delivery).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControlDelivery {
+    /// Originating router.
+    pub from: RouterId,
+    /// Destination router (where it was delivered).
+    pub to: RouterId,
+    /// The network-level packet id.
+    pub id: PacketId,
+    /// Opaque protocol sequence value given to `send_control`.
+    pub seq: u64,
+    /// Delivery time.
+    pub at: SimTime,
+    /// Whether the payload passed its integrity check — corrupted
+    /// messages are handed up flagged so transports treat them as losses.
+    pub intact: bool,
+}
+
 /// The simulated network.
 ///
 /// # Examples
@@ -111,6 +140,9 @@ pub struct Network {
     next_packet_id: u64,
     next_flow_id: u32,
     pending_taps: Vec<TapEvent>,
+    fault: Option<FaultRt>,
+    control_flows: BTreeMap<RouterId, FlowId>,
+    control_inbox: Vec<ControlDelivery>,
 }
 
 impl Network {
@@ -153,6 +185,9 @@ impl Network {
             next_packet_id: 0,
             next_flow_id: 0,
             pending_taps: Vec::new(),
+            fault: None,
+            control_flows: BTreeMap::new(),
+            control_inbox: Vec::new(),
         }
     }
 
@@ -257,19 +292,77 @@ impl Network {
                     continue;
                 }
                 match av.path(s, d) {
-                    Some(p) => {
-                        if Some(&p) != self.routes.path(s, d).as_ref() {
-                            self.overrides.insert((s, d), p);
-                        } else {
-                            self.overrides.remove(&(s, d));
-                        }
+                    Some(p) if Some(&p) != self.routes.path(s, d).as_ref() => {
+                        self.overrides.insert((s, d), p);
                     }
-                    None => {
+                    _ => {
                         self.overrides.remove(&(s, d));
                     }
                 }
             }
         }
+    }
+
+    /// Installs (or clears) the environmental fault plan. Fault decisions
+    /// draw from a dedicated RNG seeded from the plan, so the same traffic
+    /// seed with different fault seeds perturbs only the control plane.
+    /// Composable with [`set_attacks`](Self::set_attacks): a run may have
+    /// both a compromised router and a faulty environment.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault = plan.map(|plan| FaultRt {
+            rng: StdRng::seed_from_u64(plan.seed() ^ 0x0FA1_7000),
+            plan,
+        });
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref().map(|f| &f.plan)
+    }
+
+    /// Whether `router` is currently crashed under the fault plan.
+    pub fn router_crashed(&self, router: RouterId) -> bool {
+        self.fault
+            .as_ref()
+            .is_some_and(|f| f.plan.router_down(router, self.now))
+    }
+
+    /// Sends a protocol control message from `src` to `dst` as a
+    /// first-class simulated packet ([`PacketKind::Control`]): it is
+    /// routed, queued and transmitted like any datagram, experiences
+    /// attacks and injected faults, and on delivery is handed up via
+    /// [`take_control_deliveries`](Self::take_control_deliveries). `seq`
+    /// is an opaque value for the sending protocol (transports encode
+    /// message ids in it). A message sent by a crashed router is lost
+    /// immediately.
+    pub fn send_control(&mut self, src: RouterId, dst: RouterId, size: u32, seq: u64) -> PacketId {
+        let flow = match self.control_flows.get(&src) {
+            Some(&f) => f,
+            None => {
+                let f = FlowId(self.next_flow_id);
+                self.next_flow_id += 1;
+                self.control_flows.insert(src, f);
+                f
+            }
+        };
+        self.inject(src, dst, flow, PacketKind::Control, size, seq)
+    }
+
+    /// Drains every control message delivered since the last call, in
+    /// delivery order.
+    pub fn take_control_deliveries(&mut self) -> Vec<ControlDelivery> {
+        std::mem::take(&mut self.control_inbox)
+    }
+
+    pub(crate) fn push_control_delivery(&mut self, packet: &Packet) {
+        self.control_inbox.push(ControlDelivery {
+            from: packet.src,
+            to: packet.dst,
+            id: packet.id,
+            seq: packet.seq,
+            at: self.now,
+            intact: packet.intact(),
+        });
     }
 
     /// Sets a router's clock skew in nanoseconds (positive = fast clock).
@@ -314,10 +407,7 @@ impl Network {
     /// `tap`. May be called repeatedly with increasing horizons — the
     /// Chapter 5/6 protocols interleave validation rounds this way.
     pub fn run_until<F: FnMut(&TapEvent)>(&mut self, t_end: SimTime, mut tap: F) {
-        loop {
-            let Some(Reverse(top)) = self.events.peek() else {
-                break;
-            };
+        while let Some(Reverse(top)) = self.events.peek() {
             if top.time > t_end {
                 break;
             }
@@ -354,6 +444,7 @@ impl Network {
                 DropReason::Malicious => self.truth.malicious_drops += 1,
                 DropReason::TtlExpired => self.truth.ttl_drops += 1,
                 DropReason::NoRoute => self.truth.no_route_drops += 1,
+                DropReason::Fault => self.truth.fault_drops += 1,
             },
             _ => {}
         }
@@ -365,6 +456,23 @@ impl Network {
     // ------------------------------------------------------------------
 
     fn handle_arrival(&mut self, at: RouterId, from: Option<RouterId>, packet: Packet) {
+        // A crashed router loses everything reaching it, control and data
+        // alike — the benign-fault half of the §2.2.1 taxonomy.
+        if self
+            .fault
+            .as_ref()
+            .is_some_and(|f| f.plan.router_down(at, self.now))
+        {
+            self.emit(TapEvent::Dropped {
+                router: at,
+                next_hop: None,
+                packet,
+                reason: DropReason::Fault,
+                time: self.now,
+                queue_len: 0,
+            });
+            return;
+        }
         self.emit(TapEvent::Arrived {
             router: at,
             from,
@@ -487,14 +595,7 @@ impl Network {
                 }
                 AttackAction::Delay(extra) => {
                     let when = self.now + extra;
-                    self.schedule(
-                        when,
-                        EventKind::DelayedForward {
-                            at,
-                            next,
-                            packet,
-                        },
-                    );
+                    self.schedule(when, EventKind::DelayedForward { at, next, packet });
                     return;
                 }
                 AttackAction::Misroute => {
@@ -560,7 +661,10 @@ impl Network {
                         None
                     }
                 }
-                AttackKind::DropWhenAvgQueueAbove { avg_bytes, fraction } => {
+                AttackKind::DropWhenAvgQueueAbove {
+                    avg_bytes,
+                    fraction,
+                } => {
                     let link = self.links.get(&(at, next));
                     let triggered = link
                         .and_then(|l| l.queue.red_avg())
@@ -601,8 +705,83 @@ impl Network {
         AttackAction::Forward
     }
 
-    fn enqueue(&mut self, from: RouterId, to: RouterId, packet: Packet) {
+    fn enqueue(&mut self, from: RouterId, to: RouterId, mut packet: Packet) {
         let now = self.now;
+        // Environmental faults act at the egress, before queueing:
+        // structural outages (flaps, crashes) hit every packet, the
+        // probabilistic faults only the control plane. Decisions are
+        // computed first so the fault RNG borrow ends before emitting.
+        if self.fault.is_some() {
+            let (lose, corrupt, duplicate, reorder_extra) = {
+                let f = self.fault.as_mut().expect("checked");
+                let mut lose = f.plan.link_down(from, to, now) || f.plan.router_down(from, now);
+                let mut corrupt = false;
+                let mut duplicate = false;
+                let mut reorder_extra = None;
+                if !lose && packet.kind == PacketKind::Control {
+                    let lf = f.plan.link_faults(from, to, now);
+                    if !lf.is_none() {
+                        lose = lf.loss > 0.0 && f.rng.gen_bool(lf.loss);
+                        if !lose {
+                            corrupt = lf.corrupt > 0.0 && f.rng.gen_bool(lf.corrupt);
+                            duplicate = lf.duplicate > 0.0 && f.rng.gen_bool(lf.duplicate);
+                            if lf.reorder > 0.0 && f.rng.gen_bool(lf.reorder) {
+                                let span = lf.reorder_delay.as_ns().max(2);
+                                reorder_extra = Some(SimTime::from_ns(f.rng.gen_range(1..span)));
+                            }
+                        }
+                    }
+                }
+                (lose, corrupt, duplicate, reorder_extra)
+            };
+            if lose {
+                let qlen = self.queue_len(from, to);
+                self.emit(TapEvent::Dropped {
+                    router: from,
+                    next_hop: Some(to),
+                    packet,
+                    reason: DropReason::Fault,
+                    time: now,
+                    queue_len: qlen,
+                });
+                return;
+            }
+            if corrupt {
+                packet.payload_tag ^= 0xFA17_C0DE;
+                self.truth.fault_corrupted += 1;
+            }
+            if duplicate || reorder_extra.is_some() {
+                // Ghost copies and held-back packets bypass the queue and
+                // arrive after the full link latency, so they are not
+                // re-rolled against the fault probabilities (one network
+                // traversal, one set of fault decisions).
+                let link = self.links.get(&(from, to)).expect("link exists");
+                let latency = SimTime::from_ns(link.params.tx_time_ns(packet.size))
+                    + SimTime::from_ns(link.params.delay_ns);
+                if duplicate {
+                    self.truth.fault_duplicated += 1;
+                    self.schedule(
+                        now + latency,
+                        EventKind::Arrive {
+                            at: to,
+                            from: Some(from),
+                            packet,
+                        },
+                    );
+                }
+                if let Some(extra) = reorder_extra {
+                    self.schedule(
+                        now + latency + extra,
+                        EventKind::Arrive {
+                            at: to,
+                            from: Some(from),
+                            packet,
+                        },
+                    );
+                    return;
+                }
+            }
+        }
         let link = self
             .links
             .get_mut(&(from, to))
@@ -723,7 +902,14 @@ mod tests {
         let mut net = Network::new(builtin::line(3), 1);
         let a = net.topo.router_by_name("n0").unwrap();
         let c = net.topo.router_by_name("n2").unwrap();
-        net.add_cbr_flow(a, c, 500, SimTime::from_ms(1), SimTime::ZERO, Some(SimTime::from_ms(1)));
+        net.add_cbr_flow(
+            a,
+            c,
+            500,
+            SimTime::from_ms(1),
+            SimTime::ZERO,
+            Some(SimTime::from_ms(1)),
+        );
         let mut kinds = Vec::new();
         net.run_until(SimTime::from_secs(1), |ev| {
             kinds.push(std::mem::discriminant(ev));
@@ -736,21 +922,34 @@ mod tests {
     #[test]
     fn bottleneck_queue_drops_by_congestion() {
         // Source link 10x faster than bottleneck; blast packets.
-        let topo = builtin::fan_in(2, fatih_topology::LinkParams {
-            bandwidth_bps: 8_000_000, // 1 kB/ms
-            queue_limit_bytes: 5_000,
-            ..fatih_topology::LinkParams::default()
-        });
+        let topo = builtin::fan_in(
+            2,
+            fatih_topology::LinkParams {
+                bandwidth_bps: 8_000_000, // 1 kB/ms
+                queue_limit_bytes: 5_000,
+                ..fatih_topology::LinkParams::default()
+            },
+        );
         let mut net = Network::new(topo, 1);
         let r = net.topo.router_by_name("r").unwrap();
         let rd = net.topo.router_by_name("rd").unwrap();
         for i in 0..2 {
             let s = net.topo.router_by_name(&format!("s{i}")).unwrap();
-            net.add_cbr_flow(s, rd, 1000, SimTime::from_us(300), SimTime::ZERO, Some(SimTime::from_ms(200)));
+            net.add_cbr_flow(
+                s,
+                rd,
+                1000,
+                SimTime::from_us(300),
+                SimTime::ZERO,
+                Some(SimTime::from_ms(200)),
+            );
         }
         net.run_until(SimTime::from_secs(2), |_| {});
         let t = net.ground_truth();
-        assert!(t.congestive_drops > 0, "expected overflow at the bottleneck");
+        assert!(
+            t.congestive_drops > 0,
+            "expected overflow at the bottleneck"
+        );
         assert_eq!(t.malicious_drops, 0);
         assert_eq!(net.queue_len(r, rd), 0, "queue drains by the end");
         assert_eq!(t.injected, t.delivered + t.congestive_drops);
@@ -762,13 +961,23 @@ mod tests {
         let a = net.topo.router_by_name("n0").unwrap();
         let b = net.topo.router_by_name("n1").unwrap();
         let d = net.topo.router_by_name("n3").unwrap();
-        let flow = net.add_cbr_flow(a, d, 1000, SimTime::from_ms(1), SimTime::ZERO, Some(SimTime::from_ms(1000)));
+        let flow = net.add_cbr_flow(
+            a,
+            d,
+            1000,
+            SimTime::from_ms(1),
+            SimTime::ZERO,
+            Some(SimTime::from_ms(1000)),
+        );
         net.set_attacks(b, vec![Attack::drop_flows([flow], 0.2)]);
         net.run_until(SimTime::from_secs(3), |_| {});
         let t = net.ground_truth();
         assert_eq!(t.injected, 1000);
-        assert!(t.malicious_drops > 120 && t.malicious_drops < 280,
-                "~20% of 1000 expected, got {}", t.malicious_drops);
+        assert!(
+            t.malicious_drops > 120 && t.malicious_drops < 280,
+            "~20% of 1000 expected, got {}",
+            t.malicious_drops
+        );
         assert_eq!(t.delivered + t.malicious_drops, 1000);
     }
 
@@ -783,7 +992,14 @@ mod tests {
 
         // Default route goes through Kansas City.
         let mut via_kc = 0;
-        net.add_cbr_flow(sun, ny, 500, SimTime::from_ms(10), SimTime::ZERO, Some(SimTime::from_ms(100)));
+        net.add_cbr_flow(
+            sun,
+            ny,
+            500,
+            SimTime::from_ms(10),
+            SimTime::ZERO,
+            Some(SimTime::from_ms(100)),
+        );
         net.run_until(SimTime::from_ms(500), |ev| {
             if let TapEvent::Arrived { router, .. } = ev {
                 if *router == kc {
@@ -804,7 +1020,14 @@ mod tests {
         );
         let detour = av.path(sun, ny).unwrap();
         net.set_route_override(sun, ny, detour);
-        net.add_cbr_flow(sun, ny, 500, SimTime::from_ms(10), net.now(), Some(net.now() + SimTime::from_ms(100)));
+        net.add_cbr_flow(
+            sun,
+            ny,
+            500,
+            SimTime::from_ms(10),
+            net.now(),
+            Some(net.now() + SimTime::from_ms(100)),
+        );
         let mut via_kc2 = 0;
         let mut via_la = 0;
         net.run_until(net.now() + SimTime::from_ms(500), |ev| {
@@ -827,7 +1050,14 @@ mod tests {
         let a = net.topo.router_by_name("n0").unwrap();
         let b = net.topo.router_by_name("n1").unwrap();
         let c = net.topo.router_by_name("n2").unwrap();
-        let flow = net.add_cbr_flow(a, c, 500, SimTime::from_ms(1), SimTime::ZERO, Some(SimTime::from_ms(10)));
+        let flow = net.add_cbr_flow(
+            a,
+            c,
+            500,
+            SimTime::from_ms(1),
+            SimTime::ZERO,
+            Some(SimTime::from_ms(10)),
+        );
         net.set_attacks(
             b,
             vec![Attack {
@@ -841,10 +1071,10 @@ mod tests {
             TapEvent::Injected { packet, .. } => {
                 injected_tags.insert(packet.id, packet.payload_tag);
             }
-            TapEvent::Delivered { packet, .. } => {
-                if injected_tags[&packet.id] != packet.payload_tag {
-                    delivered_modified += 1;
-                }
+            TapEvent::Delivered { packet, .. }
+                if injected_tags[&packet.id] != packet.payload_tag =>
+            {
+                delivered_modified += 1;
             }
             _ => {}
         });
@@ -858,7 +1088,14 @@ mod tests {
         let a = net.topo.router_by_name("n0").unwrap();
         let b = net.topo.router_by_name("n1").unwrap();
         let c = net.topo.router_by_name("n2").unwrap();
-        let flow = net.add_cbr_flow(a, c, 500, SimTime::from_ms(5), SimTime::ZERO, Some(SimTime::from_ms(50)));
+        let flow = net.add_cbr_flow(
+            a,
+            c,
+            500,
+            SimTime::from_ms(5),
+            SimTime::ZERO,
+            Some(SimTime::from_ms(50)),
+        );
         net.set_attacks(
             b,
             vec![Attack {
@@ -886,13 +1123,177 @@ mod tests {
             let a = net.topo.router_by_name("n0").unwrap();
             let b = net.topo.router_by_name("n1").unwrap();
             let d = net.topo.router_by_name("n3").unwrap();
-            let f = net.add_cbr_flow(a, d, 1000, SimTime::from_ms(1), SimTime::ZERO, Some(SimTime::from_ms(200)));
+            let f = net.add_cbr_flow(
+                a,
+                d,
+                1000,
+                SimTime::from_ms(1),
+                SimTime::ZERO,
+                Some(SimTime::from_ms(200)),
+            );
             net.set_attacks(b, vec![Attack::drop_flows([f], 0.3)]);
             net.run_until(SimTime::from_secs(1), |_| {});
             net.ground_truth()
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9).malicious_drops, run(10).malicious_drops);
+    }
+
+    #[test]
+    fn control_messages_are_routed_and_delivered() {
+        let mut net = Network::new(builtin::line(4), 1);
+        let a = net.topo.router_by_name("n0").unwrap();
+        let d = net.topo.router_by_name("n3").unwrap();
+        net.send_control(a, d, 200, 0xABCD);
+        net.run_until(SimTime::from_secs(1), |_| {});
+        let deliveries = net.take_control_deliveries();
+        assert_eq!(deliveries.len(), 1);
+        let m = deliveries[0];
+        assert_eq!((m.from, m.to, m.seq), (a, d, 0xABCD));
+        assert!(m.intact);
+        assert!(m.at > SimTime::ZERO, "control crosses real links");
+        assert!(net.take_control_deliveries().is_empty(), "drained");
+    }
+
+    #[test]
+    fn fault_loss_drops_control_but_not_data() {
+        let mut net = Network::new(builtin::line(3), 1);
+        let a = net.topo.router_by_name("n0").unwrap();
+        let b = net.topo.router_by_name("n1").unwrap();
+        let c = net.topo.router_by_name("n2").unwrap();
+        net.set_fault_plan(Some(FaultPlan::new(9).with_link_faults(
+            a,
+            b,
+            crate::fault::LinkFaults {
+                loss: 1.0,
+                ..Default::default()
+            },
+        )));
+        net.add_cbr_flow(
+            a,
+            c,
+            500,
+            SimTime::from_ms(1),
+            SimTime::ZERO,
+            Some(SimTime::from_ms(10)),
+        );
+        for i in 0..10 {
+            net.send_control(a, c, 100, i);
+        }
+        net.run_until(SimTime::from_secs(1), |_| {});
+        assert!(net.take_control_deliveries().is_empty());
+        let t = net.ground_truth();
+        assert_eq!(t.fault_drops, 10, "all control lost");
+        assert_eq!(t.delivered, 10, "data untouched by control faults");
+    }
+
+    #[test]
+    fn fault_duplication_and_corruption_of_control() {
+        let mut net = Network::new(builtin::line(2), 1);
+        let a = net.topo.router_by_name("n0").unwrap();
+        let b = net.topo.router_by_name("n1").unwrap();
+        net.set_fault_plan(Some(FaultPlan::new(3).with_link_faults(
+            a,
+            b,
+            crate::fault::LinkFaults {
+                duplicate: 1.0,
+                corrupt: 1.0,
+                ..Default::default()
+            },
+        )));
+        net.send_control(a, b, 100, 7);
+        net.run_until(SimTime::from_secs(1), |_| {});
+        let deliveries = net.take_control_deliveries();
+        assert_eq!(deliveries.len(), 2, "original + ghost copy");
+        assert_eq!(deliveries[0].id, deliveries[1].id, "same message twice");
+        assert!(deliveries.iter().all(|d| !d.intact), "corruption flagged");
+        let t = net.ground_truth();
+        assert_eq!(t.fault_duplicated, 1);
+        assert_eq!(t.fault_corrupted, 1);
+    }
+
+    #[test]
+    fn link_flap_downs_all_traffic_then_recovers() {
+        let mut net = Network::new(builtin::line(2), 1);
+        let a = net.topo.router_by_name("n0").unwrap();
+        let b = net.topo.router_by_name("n1").unwrap();
+        net.set_fault_plan(Some(FaultPlan::new(1).with_link_flap(
+            a,
+            b,
+            SimTime::ZERO,
+            SimTime::from_ms(50),
+        )));
+        // One packet per ms for 100 ms: first ~50 die, the rest deliver.
+        net.add_cbr_flow(
+            a,
+            b,
+            100,
+            SimTime::from_ms(1),
+            SimTime::ZERO,
+            Some(SimTime::from_ms(100)),
+        );
+        net.run_until(SimTime::from_secs(1), |_| {});
+        let t = net.ground_truth();
+        assert_eq!(t.injected, 100);
+        assert_eq!(t.fault_drops, 50);
+        assert_eq!(t.delivered, 50);
+    }
+
+    #[test]
+    fn crashed_router_loses_transit_traffic_until_restart() {
+        let mut net = Network::new(builtin::line(3), 1);
+        let a = net.topo.router_by_name("n0").unwrap();
+        let b = net.topo.router_by_name("n1").unwrap();
+        let c = net.topo.router_by_name("n2").unwrap();
+        net.set_fault_plan(Some(FaultPlan::new(1).with_crash(
+            b,
+            SimTime::from_ms(10),
+            SimTime::from_ms(60),
+        )));
+        net.add_cbr_flow(
+            a,
+            c,
+            100,
+            SimTime::from_ms(1),
+            SimTime::ZERO,
+            Some(SimTime::from_ms(100)),
+        );
+        net.run_until(SimTime::from_secs(1), |_| {});
+        let t = net.ground_truth();
+        assert_eq!(t.injected, 100);
+        assert!(t.fault_drops >= 49 && t.fault_drops <= 51, "{t:?}");
+        assert_eq!(t.delivered + t.fault_drops, 100);
+        assert!(!net.router_crashed(b), "restarted by the end");
+    }
+
+    #[test]
+    fn fault_rng_does_not_perturb_traffic_stream() {
+        let run = |faults: bool| {
+            let mut net = Network::new(builtin::line(4), 5);
+            let a = net.topo.router_by_name("n0").unwrap();
+            let b = net.topo.router_by_name("n1").unwrap();
+            let d = net.topo.router_by_name("n3").unwrap();
+            if faults {
+                net.set_fault_plan(Some(FaultPlan::new(77).with_default_link_faults(
+                    crate::fault::LinkFaults {
+                        loss: 0.5,
+                        ..Default::default()
+                    },
+                )));
+            }
+            let f = net.add_cbr_flow(
+                a,
+                d,
+                1000,
+                SimTime::from_ms(1),
+                SimTime::ZERO,
+                Some(SimTime::from_ms(500)),
+            );
+            net.set_attacks(b, vec![Attack::drop_flows([f], 0.3)]);
+            net.run_until(SimTime::from_secs(2), |_| {});
+            net.ground_truth().malicious_drops
+        };
+        assert_eq!(run(false), run(true), "attack RNG stream unchanged");
     }
 
     #[test]

@@ -1,0 +1,343 @@
+//! Deterministic control-plane fault injection.
+//!
+//! The dissertation's threat model (§2.1.3, §5.1.1) has protocol traffic —
+//! summaries, acknowledgments, alerts — traverse the *same adversarial
+//! network* it polices. A [`FaultPlan`] makes that concrete: per-link
+//! probabilities of control-message loss, duplication, reordering and
+//! corruption, plus scheduled link flaps and router crash–restart windows.
+//!
+//! Faults are *benign* in the §2.2.1 taxonomy: they are environmental, not
+//! attributable misbehaviour, so the detectors must tolerate them without
+//! accusing anyone. They compose with the [`crate::attack`] machinery — a
+//! run may have both a compromised router and a lossy control plane.
+//!
+//! Structural faults (flaps, crashes) affect **every** packet crossing the
+//! affected element. The probabilistic faults apply only to
+//! [`PacketKind::Control`](crate::packet::PacketKind::Control) packets: the
+//! data plane already has congestion and attacks for loss, while the
+//! control plane needs its own adversary to exercise retry, dedup and
+//! timeout-as-accusation logic. All decisions come from a dedicated RNG
+//! seeded from the plan, so a run is reproducible from `(topology seed,
+//! fault seed)` alone.
+
+use crate::time::SimTime;
+use fatih_topology::{RouterId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Per-link control-message fault probabilities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFaults {
+    /// Probability a control packet is silently lost on the link.
+    pub loss: f64,
+    /// Probability a control packet is delivered twice.
+    pub duplicate: f64,
+    /// Probability a control packet's payload is corrupted in flight
+    /// (receivers see a failed integrity check, as with a MAC mismatch).
+    pub corrupt: f64,
+    /// Probability a control packet is held back and overtaken by later
+    /// traffic (delivered out of order).
+    pub reorder: f64,
+    /// Maximum extra latency a held-back packet experiences.
+    pub reorder_delay: SimTime,
+}
+
+impl Default for LinkFaults {
+    fn default() -> Self {
+        Self {
+            loss: 0.0,
+            duplicate: 0.0,
+            corrupt: 0.0,
+            reorder: 0.0,
+            reorder_delay: SimTime::from_ms(10),
+        }
+    }
+}
+
+impl LinkFaults {
+    /// A link with no probabilistic faults.
+    pub const NONE: LinkFaults = LinkFaults {
+        loss: 0.0,
+        duplicate: 0.0,
+        corrupt: 0.0,
+        reorder: 0.0,
+        reorder_delay: SimTime::from_ms(10),
+    };
+
+    /// Whether any probabilistic fault can fire.
+    pub fn is_none(&self) -> bool {
+        self.loss == 0.0 && self.duplicate == 0.0 && self.corrupt == 0.0 && self.reorder == 0.0
+    }
+}
+
+/// A scheduled full outage of one directional link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkFlap {
+    /// Link tail.
+    pub from: RouterId,
+    /// Link head.
+    pub to: RouterId,
+    /// Outage start (inclusive).
+    pub down_at: SimTime,
+    /// Outage end (exclusive).
+    pub up_at: SimTime,
+}
+
+/// A scheduled crash–restart window of one router. While down, the router
+/// forwards nothing and loses everything addressed to or through it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashWindow {
+    /// The crashing router.
+    pub router: RouterId,
+    /// Crash time (inclusive).
+    pub down_at: SimTime,
+    /// Restart time (exclusive).
+    pub up_at: SimTime,
+}
+
+/// A deterministic, seed-driven fault schedule for one simulation run.
+///
+/// # Examples
+///
+/// ```
+/// use fatih_sim::{FaultPlan, LinkFaults, SimTime};
+///
+/// let plan = FaultPlan::new(7).with_default_link_faults(LinkFaults {
+///     loss: 0.10,
+///     duplicate: 0.05,
+///     ..LinkFaults::default()
+/// });
+/// assert_eq!(plan.seed(), 7);
+/// assert!(plan.quiesced_after() == SimTime::ZERO);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    default_link: LinkFaults,
+    per_link: BTreeMap<(RouterId, RouterId), LinkFaults>,
+    flaps: Vec<LinkFlap>,
+    crashes: Vec<CrashWindow>,
+    probabilistic_until: Option<SimTime>,
+}
+
+impl FaultPlan {
+    /// An empty plan whose fault RNG is seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// The fault RNG seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Sets the fault probabilities applied to links without an explicit
+    /// per-link entry.
+    pub fn with_default_link_faults(mut self, faults: LinkFaults) -> Self {
+        self.default_link = faults;
+        self
+    }
+
+    /// Sets the fault probabilities of one directional link.
+    pub fn with_link_faults(mut self, from: RouterId, to: RouterId, faults: LinkFaults) -> Self {
+        self.per_link.insert((from, to), faults);
+        self
+    }
+
+    /// Schedules a full outage of `from → to` during `[down_at, up_at)`.
+    pub fn with_link_flap(
+        mut self,
+        from: RouterId,
+        to: RouterId,
+        down_at: SimTime,
+        up_at: SimTime,
+    ) -> Self {
+        self.flaps.push(LinkFlap {
+            from,
+            to,
+            down_at,
+            up_at,
+        });
+        self
+    }
+
+    /// Schedules a crash–restart of `router` during `[down_at, up_at)`.
+    pub fn with_crash(mut self, router: RouterId, down_at: SimTime, up_at: SimTime) -> Self {
+        self.crashes.push(CrashWindow {
+            router,
+            down_at,
+            up_at,
+        });
+        self
+    }
+
+    /// Stops all probabilistic link faults from `t` on (exclusive). A plan
+    /// with this horizon set is *transient*: after
+    /// [`quiesced_after`](Self::quiesced_after) the control plane is clean.
+    pub fn with_probabilistic_until(mut self, t: SimTime) -> Self {
+        self.probabilistic_until = Some(t);
+        self
+    }
+
+    /// The fault probabilities in force on `from → to` at time `at`.
+    pub fn link_faults(&self, from: RouterId, to: RouterId, at: SimTime) -> LinkFaults {
+        if let Some(until) = self.probabilistic_until {
+            if at >= until {
+                return LinkFaults::NONE;
+            }
+        }
+        self.per_link
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(self.default_link)
+    }
+
+    /// Whether `from → to` is flapped down at `at`.
+    pub fn link_down(&self, from: RouterId, to: RouterId, at: SimTime) -> bool {
+        self.flaps
+            .iter()
+            .any(|f| f.from == from && f.to == to && f.down_at <= at && at < f.up_at)
+    }
+
+    /// Whether `router` is crashed at `at`.
+    pub fn router_down(&self, router: RouterId, at: SimTime) -> bool {
+        self.crashes
+            .iter()
+            .any(|c| c.router == router && c.down_at <= at && at < c.up_at)
+    }
+
+    /// The time after which no fault is active: the last flap or crash
+    /// recovery, or the probabilistic horizon if later. Plans without a
+    /// probabilistic horizon never quiesce their link faults; only the
+    /// structural end is reported.
+    pub fn quiesced_after(&self) -> SimTime {
+        let flap_end = self.flaps.iter().map(|f| f.up_at).max();
+        let crash_end = self.crashes.iter().map(|c| c.up_at).max();
+        flap_end
+            .max(crash_end)
+            .max(self.probabilistic_until)
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Scheduled link flaps.
+    pub fn flaps(&self) -> &[LinkFlap] {
+        &self.flaps
+    }
+
+    /// Scheduled crash windows.
+    pub fn crashes(&self) -> &[CrashWindow] {
+        &self.crashes
+    }
+
+    /// Draws a randomized *transient* plan over `topo`: every link gets
+    /// moderate control-fault probabilities (loss ≤ 0.15, duplication and
+    /// reordering ≤ 0.10, corruption ≤ 0.05), a few links flap and at most
+    /// one non-terminal router crash–restarts, all strictly before
+    /// `horizon`. Identical `(seed, topo, horizon)` yield identical plans.
+    ///
+    /// The loss bound is chosen so a transport with a ≥ 6-attempt retry
+    /// budget exhausts with probability ≤ 0.15⁶ ≈ 1.1 × 10⁻⁵ per message,
+    /// preserving the accuracy guarantee the chaos harness asserts.
+    pub fn random_transient(seed: u64, topo: &Topology, horizon: SimTime) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFA17_F1A6);
+        let mut plan = FaultPlan::new(seed);
+        for link in topo.links() {
+            plan = plan.with_link_faults(
+                link.from,
+                link.to,
+                LinkFaults {
+                    loss: rng.gen_range(0.0..0.15),
+                    duplicate: rng.gen_range(0.0..0.10),
+                    corrupt: rng.gen_range(0.0..0.05),
+                    reorder: rng.gen_range(0.0..0.10),
+                    reorder_delay: SimTime::from_ms(rng.gen_range(1u64..20)),
+                },
+            );
+        }
+        let links: Vec<_> = topo.links().map(|l| (l.from, l.to)).collect();
+        let half = horizon.as_ns() / 2;
+        for _ in 0..rng.gen_range(1usize..4) {
+            let (from, to) = links[rng.gen_range(0..links.len())];
+            let down = SimTime::from_ns(rng.gen_range(0..half.max(1)));
+            let up = down + SimTime::from_ns(rng.gen_range(1..half.max(2)));
+            plan = plan.with_link_flap(from, to, down, up.min(horizon));
+        }
+        if rng.gen_bool(0.5) && topo.router_count() > 2 {
+            let router = RouterId::from(rng.gen_range(0u32..topo.router_count() as u32));
+            let down = SimTime::from_ns(rng.gen_range(0..half.max(1)));
+            let up = down + SimTime::from_ns(rng.gen_range(1..half.max(2)));
+            plan = plan.with_crash(router, down, up.min(horizon));
+        }
+        plan.with_probabilistic_until(horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fatih_topology::builtin;
+
+    #[test]
+    fn per_link_overrides_default() {
+        let a = RouterId::from(0);
+        let b = RouterId::from(1);
+        let plan = FaultPlan::new(1)
+            .with_default_link_faults(LinkFaults {
+                loss: 0.1,
+                ..LinkFaults::default()
+            })
+            .with_link_faults(
+                a,
+                b,
+                LinkFaults {
+                    loss: 0.5,
+                    ..LinkFaults::default()
+                },
+            );
+        assert_eq!(plan.link_faults(a, b, SimTime::ZERO).loss, 0.5);
+        assert_eq!(plan.link_faults(b, a, SimTime::ZERO).loss, 0.1);
+        let transient = plan.with_probabilistic_until(SimTime::from_secs(1));
+        assert_eq!(transient.link_faults(a, b, SimTime::from_ms(999)).loss, 0.5);
+        assert!(transient.link_faults(a, b, SimTime::from_secs(1)).is_none());
+    }
+
+    #[test]
+    fn flap_and_crash_windows_are_half_open() {
+        let a = RouterId::from(0);
+        let b = RouterId::from(1);
+        let plan = FaultPlan::new(1)
+            .with_link_flap(a, b, SimTime::from_ms(10), SimTime::from_ms(20))
+            .with_crash(b, SimTime::from_ms(5), SimTime::from_ms(15));
+        assert!(!plan.link_down(a, b, SimTime::from_ms(9)));
+        assert!(plan.link_down(a, b, SimTime::from_ms(10)));
+        assert!(plan.link_down(a, b, SimTime::from_ms(19)));
+        assert!(!plan.link_down(a, b, SimTime::from_ms(20)));
+        assert!(!plan.link_down(b, a, SimTime::from_ms(15)));
+        assert!(plan.router_down(b, SimTime::from_ms(5)));
+        assert!(!plan.router_down(b, SimTime::from_ms(15)));
+        assert!(!plan.router_down(a, SimTime::from_ms(10)));
+        assert_eq!(plan.quiesced_after(), SimTime::from_ms(20));
+    }
+
+    #[test]
+    fn random_transient_is_deterministic_and_bounded() {
+        let topo = builtin::abilene();
+        let horizon = SimTime::from_secs(20);
+        let p1 = FaultPlan::random_transient(42, &topo, horizon);
+        let p2 = FaultPlan::random_transient(42, &topo, horizon);
+        assert_eq!(p1, p2);
+        let p3 = FaultPlan::random_transient(43, &topo, horizon);
+        assert_ne!(p1, p3);
+        for link in topo.links() {
+            let f = p1.link_faults(link.from, link.to, SimTime::ZERO);
+            assert!(f.loss < 0.15 && f.duplicate < 0.10 && f.corrupt < 0.05);
+            assert!(p1.link_faults(link.from, link.to, horizon).is_none());
+        }
+        assert!(p1.quiesced_after() <= horizon);
+        assert!(!p1.flaps().is_empty());
+    }
+}

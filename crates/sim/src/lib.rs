@@ -14,6 +14,9 @@
 //! * [`attack`] — the §2.2.1 adversary: selective/percentage drops,
 //!   queue-conditional drops, SYN targeting, modification, delay,
 //!   misrouting;
+//! * [`fault`] — the benign half of §2.2.1: seed-driven control-plane
+//!   loss/duplication/reordering/corruption, link flaps and router
+//!   crash–restart windows;
 //! * [`tap`] — the observation stream detectors consume, with
 //!   ground-truth drop causes for evaluation only.
 //!
@@ -48,6 +51,7 @@
 mod agent;
 pub mod attack;
 pub mod engine;
+pub mod fault;
 pub mod packet;
 pub mod queue;
 pub mod tap;
@@ -55,7 +59,8 @@ pub mod tcp;
 pub mod time;
 
 pub use attack::{Attack, AttackKind, VictimFilter};
-pub use engine::Network;
+pub use engine::{ControlDelivery, Network};
+pub use fault::{CrashWindow, FaultPlan, LinkFaults, LinkFlap};
 pub use packet::{FlowId, Packet, PacketId, PacketKind};
 pub use queue::{QueueDiscipline, RedParams};
 pub use tap::{DropReason, GroundTruth, TapEvent};

@@ -47,6 +47,9 @@ pub enum PacketKind {
     Ping,
     /// Echo reply.
     Pong,
+    /// Protocol control message (summaries, acks, alerts): the traffic the
+    /// detection protocols themselves send, carried in-band (§5.1.1).
+    Control,
 }
 
 /// A simulated packet.
@@ -79,6 +82,18 @@ impl Packet {
     /// Default TTL, ample for any simulated topology.
     pub const DEFAULT_TTL: u8 = 64;
 
+    /// The payload tag a packet with this id carries when uncorrupted: a
+    /// pure function of the id, so receivers can check integrity without a
+    /// side table (modelling a MAC check on real payload bytes).
+    pub fn expected_tag(id: PacketId) -> u64 {
+        id.0.wrapping_mul(0x9E3779B97F4A7C15)
+    }
+
+    /// Whether the payload survived transit unmodified.
+    pub fn intact(&self) -> bool {
+        self.payload_tag == Self::expected_tag(self.id)
+    }
+
     /// The invariant bytes a traffic fingerprint covers: everything except
     /// the mutable TTL and timestamps.
     pub fn invariant_bytes(&self) -> [u8; 40] {
@@ -95,11 +110,11 @@ impl Packet {
             PacketKind::TcpData => 4,
             PacketKind::Ping => 5,
             PacketKind::Pong => 6,
+            PacketKind::Control => 7,
         };
         out[21..25].copy_from_slice(&self.size.to_le_bytes());
         out[25..33].copy_from_slice(&self.seq.to_le_bytes());
-        out[33..]
-            .copy_from_slice(&self.payload_tag.to_le_bytes()[..7]);
+        out[33..].copy_from_slice(&self.payload_tag.to_le_bytes()[..7]);
         out
     }
 

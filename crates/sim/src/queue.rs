@@ -190,10 +190,14 @@ impl OutputQueueState {
                     };
                 }
                 self.count_since_drop += 1;
-                let pb = p.max_p * (self.avg - p.min_threshold)
-                    / (p.max_threshold - p.min_threshold);
+                let pb =
+                    p.max_p * (self.avg - p.min_threshold) / (p.max_threshold - p.min_threshold);
                 let denom = 1.0 - self.count_since_drop as f64 * pb;
-                let pa = if denom <= 0.0 { 1.0 } else { (pb / denom).min(1.0) };
+                let pa = if denom <= 0.0 {
+                    1.0
+                } else {
+                    (pb / denom).min(1.0)
+                };
                 if rng.gen_bool(pa) {
                     self.count_since_drop = 0;
                     Verdict::CongestionDrop {
@@ -213,8 +217,7 @@ impl OutputQueueState {
                 // Age the average as if m small packets had drained during
                 // the idle period.
                 let idle_ns = now.since(idle_start).as_ns();
-                let drain_ns_per_pkt =
-                    p.mean_packet_size * 8.0 * 1e9 / self.bandwidth_bps as f64;
+                let drain_ns_per_pkt = p.mean_packet_size * 8.0 * 1e9 / self.bandwidth_bps as f64;
                 let m = (idle_ns as f64 / drain_ns_per_pkt).floor().min(1e6) as i32;
                 self.avg *= (1.0 - p.weight).powi(m);
             }

@@ -28,6 +28,10 @@ pub enum DropReason {
     TtlExpired,
     /// No route toward the destination (partition or total exclusion).
     NoRoute,
+    /// Lost to an injected environmental fault — link flap, router crash,
+    /// or probabilistic control-plane loss (benign per §2.2.1, never
+    /// attributable to a router's misbehaviour).
+    Fault,
 }
 
 impl DropReason {
@@ -155,10 +159,17 @@ pub struct GroundTruth {
     pub ttl_drops: u64,
     /// Losses for lack of a route.
     pub no_route_drops: u64,
+    /// Losses to injected environmental faults (flaps, crashes,
+    /// control-plane loss).
+    pub fault_drops: u64,
     /// Packets whose payload a compromised router modified.
     pub modified: u64,
     /// Packets a compromised router misrouted.
     pub misrouted: u64,
+    /// Control packets corrupted in flight by an injected fault.
+    pub fault_corrupted: u64,
+    /// Control packets duplicated in flight by an injected fault.
+    pub fault_duplicated: u64,
 }
 
 #[cfg(test)]
@@ -201,5 +212,6 @@ mod tests {
         }
         .is_malicious());
         assert!(!DropReason::TtlExpired.is_malicious());
+        assert!(!DropReason::Fault.is_malicious());
     }
 }

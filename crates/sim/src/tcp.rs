@@ -133,7 +133,10 @@ impl Network {
         start: SimTime,
         total_segments: u64,
     ) -> FlowId {
-        assert!(total_segments > 0, "transfer must move at least one segment");
+        assert!(
+            total_segments > 0,
+            "transfer must move at least one segment"
+        );
         let idx = self.agents.len();
         let flow = self.register_flow(idx);
         self.agents
@@ -160,7 +163,13 @@ impl Network {
                 stats: TcpStats::default(),
             })));
         let at = start.max(self.now());
-        self.schedule(at, EventKind::AgentTimer { agent: idx, token: 0 });
+        self.schedule(
+            at,
+            EventKind::AgentTimer {
+                agent: idx,
+                token: 0,
+            },
+        );
         flow
     }
 
@@ -251,13 +260,11 @@ impl Network {
                 );
             }
             // --- sender side (packets that arrived back at src) ---
-            PacketKind::TcpSynAck => {
-                if t.phase == Phase::SynSent {
-                    t.phase = Phase::Established;
-                    t.stats.connected_at = Some(self.now());
-                    t.rto = t.cfg.min_rto.max(SimTime::from_ms(500));
-                    self.send_window(t, idx);
-                }
+            PacketKind::TcpSynAck if t.phase == Phase::SynSent => {
+                t.phase = Phase::Established;
+                t.stats.connected_at = Some(self.now());
+                t.rto = t.cfg.min_rto.max(SimTime::from_ms(500));
+                self.send_window(t, idx);
             }
             PacketKind::TcpAck => {
                 if t.phase != Phase::Established {
@@ -470,7 +477,10 @@ mod tests {
         let s = net.tcp_stats(flow);
         // 3 s initial SYN timeout (plus backoff) before eventual success.
         let connected = s.connected_at.expect("finally connected");
-        assert!(connected >= SimTime::from_secs(3), "connected at {connected}");
+        assert!(
+            connected >= SimTime::from_secs(3),
+            "connected at {connected}"
+        );
         assert!(s.syn_retries >= 1);
         assert_eq!(s.acked_segments, 10);
     }

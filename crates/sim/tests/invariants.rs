@@ -1,27 +1,34 @@
 //! Simulator invariants under randomized configurations.
+//!
+//! Formerly proptest-based; now plain seeded loops so the workspace builds
+//! offline. Each case derives its configuration from a deterministic RNG,
+//! so failures reproduce exactly from the printed case seed.
 
 use fatih_sim::{Attack, Network, SimTime, TapEvent, TcpConfig};
 use fatih_topology::{builtin, LinkParams, RouterId};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Packet conservation: every injected packet is eventually delivered
+/// or dropped (with a recorded cause) once the network drains.
+#[test]
+fn packet_conservation() {
+    for case in 0u64..24 {
+        let mut cfg = StdRng::seed_from_u64(0xC0_0000 + case);
+        let seed = cfg.gen_range(0u64..1000);
+        let sources = cfg.gen_range(1usize..5);
+        let q_limit = cfg.gen_range(2_000u32..32_000);
+        let interval_us = cfg.gen_range(500u64..4_000);
+        let drop_pct = cfg.gen_range(0u32..50);
 
-    /// Packet conservation: every injected packet is eventually delivered
-    /// or dropped (with a recorded cause) once the network drains.
-    #[test]
-    fn packet_conservation(
-        seed in 0u64..1000,
-        sources in 1usize..5,
-        q_limit in 2_000u32..32_000,
-        interval_us in 500u64..4_000,
-        drop_pct in 0u32..50,
-    ) {
-        let topo = builtin::fan_in(sources, LinkParams {
-            bandwidth_bps: 8_000_000,
-            queue_limit_bytes: q_limit,
-            ..LinkParams::default()
-        });
+        let topo = builtin::fan_in(
+            sources,
+            LinkParams {
+                bandwidth_bps: 8_000_000,
+                queue_limit_bytes: q_limit,
+                ..LinkParams::default()
+            },
+        );
         let r = topo.router_by_name("r").unwrap();
         let rd = topo.router_by_name("rd").unwrap();
         let mut net = Network::new(topo, seed);
@@ -29,7 +36,9 @@ proptest! {
         for i in 0..sources {
             let s = net.topology().router_by_name(&format!("s{i}")).unwrap();
             flows.push(net.add_cbr_flow(
-                s, rd, 1000,
+                s,
+                rd,
+                1000,
                 SimTime::from_us(interval_us),
                 SimTime::ZERO,
                 Some(SimTime::from_secs(2)),
@@ -41,25 +50,36 @@ proptest! {
         // Far enough that everything drains.
         net.run_until(SimTime::from_secs(60), |_| {});
         let t = net.ground_truth();
-        prop_assert_eq!(
+        assert_eq!(
             t.injected,
-            t.delivered + t.congestive_drops + t.malicious_drops
-                + t.ttl_drops + t.no_route_drops,
-            "{:?}", t
+            t.delivered + t.congestive_drops + t.malicious_drops + t.ttl_drops + t.no_route_drops,
+            "case {case}: {t:?}"
         );
-        prop_assert_eq!(net.queue_len(r, rd), 0, "queue did not drain");
+        assert_eq!(net.queue_len(r, rd), 0, "case {case}: queue did not drain");
     }
+}
 
-    /// Tap events balance: every delivered packet was Injected, and every
-    /// Enqueued packet is eventually Transmitted.
-    #[test]
-    fn tap_event_balance(seed in 0u64..500, n in 3usize..7) {
+/// Tap events balance: every delivered packet was Injected, and every
+/// Enqueued packet is eventually Transmitted.
+#[test]
+fn tap_event_balance() {
+    for case in 0u64..24 {
+        let mut cfg = StdRng::seed_from_u64(0xBA_0000 + case);
+        let seed = cfg.gen_range(0u64..500);
+        let n = cfg.gen_range(3usize..7);
+
         let topo = builtin::line(n);
         let a = topo.router_by_name("n0").unwrap();
         let z = topo.router_by_name(&format!("n{}", n - 1)).unwrap();
         let mut net = Network::new(topo, seed);
-        net.add_cbr_flow(a, z, 800, SimTime::from_ms(1), SimTime::ZERO,
-                         Some(SimTime::from_ms(500)));
+        net.add_cbr_flow(
+            a,
+            z,
+            800,
+            SimTime::from_ms(1),
+            SimTime::ZERO,
+            Some(SimTime::from_ms(500)),
+        );
         let mut enq = 0i64;
         let mut tx = 0i64;
         let mut injected = std::collections::BTreeSet::new();
@@ -75,15 +95,25 @@ proptest! {
             }
             _ => {}
         });
-        prop_assert_eq!(enq, tx, "enqueued vs transmitted");
-        prop_assert!(delivered.is_subset(&injected));
-        prop_assert_eq!(delivered.len(), injected.len(), "clean line loses nothing");
+        assert_eq!(enq, tx, "case {case}: enqueued vs transmitted");
+        assert!(delivered.is_subset(&injected), "case {case}");
+        assert_eq!(
+            delivered.len(),
+            injected.len(),
+            "case {case}: clean line loses nothing"
+        );
     }
+}
 
-    /// TCP always completes a short transfer despite random loss rates up
-    /// to 20% at a transit router.
-    #[test]
-    fn tcp_completes_under_random_loss(seed in 0u64..200, loss_pct in 0u32..20) {
+/// TCP always completes a short transfer despite random loss rates up
+/// to 20% at a transit router.
+#[test]
+fn tcp_completes_under_random_loss() {
+    for case in 0u64..24 {
+        let mut cfg = StdRng::seed_from_u64(0x7C_0000 + case);
+        let seed = cfg.gen_range(0u64..200);
+        let loss_pct = cfg.gen_range(0u32..20);
+
         let topo = builtin::line(4);
         let a = topo.router_by_name("n0").unwrap();
         let b = topo.router_by_name("n1").unwrap();
@@ -95,25 +125,33 @@ proptest! {
         }
         net.run_until(SimTime::from_secs(300), |_| {});
         let s = net.tcp_stats(flow);
-        prop_assert_eq!(s.acked_segments, 50, "{:?}", s);
-        prop_assert!(s.completed_at.is_some());
+        assert_eq!(s.acked_segments, 50, "case {case}: {s:?}");
+        assert!(s.completed_at.is_some(), "case {case}");
     }
+}
 
-    /// Determinism: identical seeds and configurations produce identical
-    /// ground truth; the event stream length matches too.
-    #[test]
-    fn determinism(seed in 0u64..300) {
+/// Determinism: identical seeds and configurations produce identical
+/// ground truth; the event stream length matches too.
+#[test]
+fn determinism() {
+    for seed in [0u64, 7, 42, 128, 299] {
         let run = || {
             let topo = builtin::ring(6);
             let ids: Vec<RouterId> = topo.routers().collect();
             let mut net = Network::new(topo, seed);
-            let f = net.add_cbr_flow(ids[0], ids[3], 900, SimTime::from_ms(2),
-                                     SimTime::ZERO, Some(SimTime::from_secs(1)));
+            let f = net.add_cbr_flow(
+                ids[0],
+                ids[3],
+                900,
+                SimTime::from_ms(2),
+                SimTime::ZERO,
+                Some(SimTime::from_secs(1)),
+            );
             net.set_attacks(ids[1], vec![Attack::drop_flows([f], 0.25)]);
             let mut events = 0u64;
             net.run_until(SimTime::from_secs(3), |_| events += 1);
             (net.ground_truth(), events)
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run(), "seed {seed}");
     }
 }

@@ -35,7 +35,26 @@ impl Summary {
     /// # Panics
     ///
     /// Panics if any value is NaN or infinite.
+    // Inherent convenience alias; the real implementation lives in the
+    // `FromIterator` impl below.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<I: IntoIterator<Item = f64>>(values: I) -> Self {
+        values.into_iter().collect()
+    }
+
+    /// Builds a summary from a slice.
+    pub fn from_slice(values: &[f64]) -> Self {
+        Self::from_iter(values.iter().copied())
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    /// Collects values into a summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is NaN or infinite (see [`Summary::from_iter`]).
+    fn from_iter<I: IntoIterator<Item = f64>>(values: I) -> Self {
         let mut sorted: Vec<f64> = values.into_iter().collect();
         assert!(
             sorted.iter().all(|v| v.is_finite()),
@@ -51,12 +70,9 @@ impl Summary {
         }
         Self { sorted, mean, m2 }
     }
+}
 
-    /// Builds a summary from a slice.
-    pub fn from_slice(values: &[f64]) -> Self {
-        Self::from_iter(values.iter().copied())
-    }
-
+impl Summary {
     /// Number of observations.
     pub fn len(&self) -> usize {
         self.sorted.len()

@@ -6,8 +6,8 @@
 //! modified Lentz algorithm). Both pieces are classical, stable evaluation
 //! schemes; see Abramowitz & Stegun 7.1.5 / 7.1.14.
 
-const TWO_OVER_SQRT_PI: f64 = 1.128_379_167_095_512_57; // 2/sqrt(pi)
-const SQRT_PI_INV: f64 = 0.564_189_583_547_756_28; // 1/sqrt(pi)
+const TWO_OVER_SQRT_PI: f64 = std::f64::consts::FRAC_2_SQRT_PI;
+const SQRT_PI_INV: f64 = TWO_OVER_SQRT_PI / 2.0; // 1/sqrt(pi)
 
 /// Series erf(x) = 2x e^{-x²}/√π · Σ_{n≥0} (2x²)^n / (1·3·5···(2n+1)).
 ///
@@ -146,10 +146,7 @@ mod tests {
     fn erf_matches_reference_values() {
         for &(x, want) in REFS {
             let got = erf(x);
-            assert!(
-                (got - want).abs() < 5e-13,
-                "erf({x}) = {got}, want {want}"
-            );
+            assert!((got - want).abs() < 5e-13, "erf({x}) = {got}, want {want}");
         }
     }
 
@@ -185,11 +182,10 @@ mod tests {
 
     #[test]
     fn erfc_complements_erf() {
-        for x in [-3.5, -3.0, -1.0, -0.3, 0.0, 0.2, 0.7, 1.3, 2.5, 2.9999, 3.0, 3.9] {
-            assert!(
-                (erf(x) + erfc(x) - 1.0).abs() < 1e-12,
-                "erf+erfc at {x}"
-            );
+        for x in [
+            -3.5, -3.0, -1.0, -0.3, 0.0, 0.2, 0.7, 1.3, 2.5, 2.9999, 3.0, 3.9,
+        ] {
+            assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12, "erf+erfc at {x}");
         }
     }
 

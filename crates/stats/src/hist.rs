@@ -147,8 +147,7 @@ impl Histogram {
         let mean = self.mean();
         let sd = {
             // population sd for moment standardization
-            let var: f64 =
-                self.raw.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+            let var: f64 = self.raw.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
             var.sqrt()
         };
         if sd == 0.0 {

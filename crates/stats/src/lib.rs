@@ -34,8 +34,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod erf_impl;
 pub mod descriptive;
+mod erf_impl;
 pub mod ewma;
 pub mod hist;
 pub mod normal;

@@ -136,7 +136,10 @@ mod tests {
     #[test]
     fn full_queue_drops_look_benign() {
         let c = combined_loss_confidence(10_000.0, 9_800.0, 500.0, 0.0, 800.0, 5);
-        assert!(c < 0.5, "drops at a full queue must not look malicious, c={c}");
+        assert!(
+            c < 0.5,
+            "drops at a full queue must not look malicious, c={c}"
+        );
     }
 
     #[test]

@@ -205,7 +205,9 @@ pub fn ring(n: usize) -> Topology {
     assert!(n >= 3, "a ring needs at least three routers");
     let mut t = line(n);
     let first = t.router_by_name("n0").expect("line names");
-    let last = t.router_by_name(&format!("n{}", n - 1)).expect("line names");
+    let last = t
+        .router_by_name(&format!("n{}", n - 1))
+        .expect("line names");
     t.add_duplex_link(first, last, LinkParams::default());
     t
 }
@@ -314,7 +316,14 @@ mod tests {
         let names: Vec<&str> = p.routers().iter().map(|&id| t.name(id)).collect();
         assert_eq!(
             names,
-            ["Sunnyvale", "Denver", "KansasCity", "Indianapolis", "Chicago", "NewYork"]
+            [
+                "Sunnyvale",
+                "Denver",
+                "KansasCity",
+                "Indianapolis",
+                "Chicago",
+                "NewYork"
+            ]
         );
         assert_eq!(r.cost(by("Sunnyvale"), by("NewYork")), Some(25));
     }
@@ -337,7 +346,14 @@ mod tests {
         let names: Vec<&str> = p.routers().iter().map(|&id| t.name(id)).collect();
         assert_eq!(
             names,
-            ["Sunnyvale", "LosAngeles", "Houston", "Atlanta", "WashingtonDC", "NewYork"]
+            [
+                "Sunnyvale",
+                "LosAngeles",
+                "Houston",
+                "Atlanta",
+                "WashingtonDC",
+                "NewYork"
+            ]
         );
     }
 

@@ -47,7 +47,11 @@ pub fn vertex_disjoint_paths(
     let add_edge = |graph: &mut Vec<Vec<Edge>>, a: usize, b: usize, cap: u32| {
         let rev_a = graph[b].len();
         let rev_b = graph[a].len();
-        graph[a].push(Edge { to: b, cap, rev: rev_a });
+        graph[a].push(Edge {
+            to: b,
+            cap,
+            rev: rev_a,
+        });
         graph[b].push(Edge {
             to: a,
             cap: 0,
@@ -56,7 +60,11 @@ pub fn vertex_disjoint_paths(
     };
     for r in topo.routers() {
         let i = r.index();
-        let cap = if r == src || r == dst { u32::MAX / 2 } else { 1 };
+        let cap = if r == src || r == dst {
+            u32::MAX / 2
+        } else {
+            1
+        };
         add_edge(&mut graph, 2 * i, 2 * i + 1, cap);
     }
     for l in topo.links() {
@@ -121,7 +129,7 @@ pub fn vertex_disjoint_paths(
                     // Also consume one unit of the reverse bookkeeping so a
                     // second path extraction doesn't reuse it.
                     at = e.to;
-                    if at % 2 == 0 {
+                    if at.is_multiple_of(2) {
                         // arrived at some v_in: record v on the path, hop
                         // to v_out next (via its internal edge).
                         let rid = RouterId::from((at / 2) as u32);
@@ -142,9 +150,9 @@ pub fn vertex_disjoint_paths(
 /// same node or u_out→w_in of different nodes.
 fn is_forward(a: usize, b: usize) -> bool {
     if a / 2 == b / 2 {
-        a % 2 == 0 && b % 2 == 1
+        a.is_multiple_of(2) && b % 2 == 1
     } else {
-        a % 2 == 1 && b % 2 == 0
+        a % 2 == 1 && b.is_multiple_of(2)
     }
 }
 

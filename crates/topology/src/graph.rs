@@ -151,10 +151,7 @@ impl Topology {
         assert_ne!(from, to, "self-loop on {from}");
         assert!(from.index() < self.names.len(), "unknown router {from}");
         assert!(to.index() < self.names.len(), "unknown router {to}");
-        assert!(
-            !self.has_link(from, to),
-            "duplicate link {from} -> {to}"
-        );
+        assert!(!self.has_link(from, to), "duplicate link {from} -> {to}");
         self.adjacency[from.index()].push((to, params));
         self.directed_links += 1;
     }

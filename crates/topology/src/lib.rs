@@ -44,6 +44,6 @@ pub use avoidance::AvoidingRoutes;
 pub use graph::{Link, LinkParams, RouterId, Topology};
 pub use routing::{Path, Routes};
 pub use segments::{
-    pi2_segment_counts, pi2_segments, pik2_segment_counts, pik2_segments,
-    pik2_segments_from_paths, PathSegment, SegmentSets,
+    pi2_segment_counts, pi2_segments, pik2_segment_counts, pik2_segments, pik2_segments_from_paths,
+    PathSegment, SegmentSets,
 };

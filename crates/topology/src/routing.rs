@@ -62,6 +62,11 @@ impl Path {
         self.0.len()
     }
 
+    /// Always false: a path has at least one router by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
     /// Whether the path is the trivial single-router path.
     pub fn is_trivial(&self) -> bool {
         self.0.len() == 1

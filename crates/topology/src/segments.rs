@@ -367,8 +367,7 @@ mod tests {
         }
         // Interior router monitors segments of lengths 3 and 4 where it is
         // an end.
-        let lens: BTreeSet<usize> =
-            sets.for_router(rs[2]).iter().map(|s| s.len()).collect();
+        let lens: BTreeSet<usize> = sets.for_router(rs[2]).iter().map(|s| s.len()).collect();
         assert_eq!(lens, BTreeSet::from([3, 4]));
     }
 

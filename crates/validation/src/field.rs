@@ -51,7 +51,7 @@ impl Fe {
         let mut acc = Fe::ONE;
         while e > 0 {
             if e & 1 == 1 {
-                acc = acc * base;
+                acc *= base;
             }
             base = base * base;
             e >>= 1;
@@ -69,14 +69,23 @@ impl Fe {
         self.pow(P - 2)
     }
 
-    /// Additive inverse.
+    /// Additive inverse (also available as the unary `-` operator).
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Fe {
         if self.0 == 0 {
             self
         } else {
             Fe(P - self.0)
         }
+    }
+}
+
+impl std::ops::Neg for Fe {
+    type Output = Fe;
+    #[inline]
+    fn neg(self) -> Fe {
+        Fe::neg(self)
     }
 }
 
@@ -104,7 +113,7 @@ impl std::ops::Sub for Fe {
     type Output = Fe;
     #[inline]
     fn sub(self, rhs: Fe) -> Fe {
-        self + rhs.neg()
+        Fe(fatih_crypto::uhash::add_mod(self.0, rhs.neg().0))
     }
 }
 
@@ -120,7 +129,7 @@ impl std::ops::Div for Fe {
     type Output = Fe;
     #[inline]
     fn div(self, rhs: Fe) -> Fe {
-        self * rhs.inv()
+        Fe(fatih_crypto::uhash::mul_mod(self.0, rhs.inv().0))
     }
 }
 
@@ -196,7 +205,7 @@ mod tests {
         let mut acc = Fe::ONE;
         for e in 0..20u64 {
             assert_eq!(a.pow(e), acc);
-            acc = acc * a;
+            acc *= a;
         }
     }
 

@@ -412,7 +412,7 @@ mod tests {
         // Find a non-residue by Euler's criterion.
         let mut n = fe(2);
         while n.pow((P - 1) / 2) == Fe::ONE {
-            n = n + Fe::ONE;
+            n += Fe::ONE;
         }
         let p = Poly::from_coeffs(vec![n.neg(), Fe::ZERO, Fe::ONE]);
         assert_eq!(p.roots(&mut rng), None);

@@ -100,9 +100,7 @@ impl std::fmt::Display for ReconcileError {
         match self {
             Self::CapacityMismatch => f.write_str("sketch capacities differ"),
             Self::BoundExceeded => f.write_str("set difference exceeds sketch capacity"),
-            Self::EvalPointCollision => {
-                f.write_str("set element collided with a sample point")
-            }
+            Self::EvalPointCollision => f.write_str("set element collided with a sample point"),
         }
     }
 }
@@ -130,7 +128,7 @@ impl SetSketch {
         for x in elements {
             size += 1;
             for (i, e) in evals.iter_mut().enumerate() {
-                *e = *e * (sample_point(i) - x);
+                *e *= sample_point(i) - x;
             }
         }
         Self {
@@ -219,14 +217,14 @@ pub fn reconcile<R: Rng>(
         let z = sample_point(row);
         let f = ratio[row];
         let mut zj = Fe::ONE;
-        for col in 0..deg_num {
-            mrow[col] = zj;
-            zj = zj * z;
+        for cell in mrow.iter_mut().take(deg_num) {
+            *cell = zj;
+            zj *= z;
         }
         let mut zj = Fe::ONE;
-        for col in 0..deg_den {
-            mrow[deg_num + col] = (f * zj).neg();
-            zj = zj * z;
+        for cell in mrow.iter_mut().skip(deg_num).take(deg_den) {
+            *cell = (f * zj).neg();
+            zj *= z;
         }
         mrow[unknowns] = f * z.pow(deg_den as u64) - z.pow(deg_num as u64);
     }
@@ -281,14 +279,14 @@ fn solve(mut matrix: Vec<Vec<Fe>>, unknowns: usize) -> Vec<Fe> {
         matrix.swap(r, p_row);
         let inv = matrix[r][c].inv();
         for v in matrix[r].iter_mut() {
-            *v = *v * inv;
+            *v *= inv;
         }
-        for i in 0..rows {
-            if i != r && !matrix[i][c].is_zero() {
-                let factor = matrix[i][c];
-                for j in 0..=unknowns {
-                    let sub = factor * matrix[r][j];
-                    matrix[i][j] -= sub;
+        let pivot_row = matrix[r].clone();
+        for (i, row) in matrix.iter_mut().enumerate() {
+            if i != r && !row[c].is_zero() {
+                let factor = row[c];
+                for (v, &p) in row.iter_mut().zip(pivot_row.iter()) {
+                    *v -= factor * p;
                 }
             }
         }

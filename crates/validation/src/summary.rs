@@ -250,7 +250,13 @@ mod tests {
         b.observe(200);
         b.observe(300);
         a.merge(&b);
-        assert_eq!(a, FlowCounter { packets: 3, bytes: 600 });
+        assert_eq!(
+            a,
+            FlowCounter {
+                packets: 3,
+                bytes: 600
+            }
+        );
     }
 
     #[test]

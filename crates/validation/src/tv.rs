@@ -335,7 +335,7 @@ mod tests {
         sent.observe(fp(3), 100, 0);
         recv.observe(fp(1), 100, 1_000); // fine
         recv.observe(fp(2), 100, 50_000); // delayed
-        // fp(3) missing entirely
+                                          // fp(3) missing entirely
         let v = tv_timeliness(&sent, &recv, 10_000);
         assert_eq!(v.violations.len(), 1);
         assert_eq!(v.violations[0].fingerprint, fp(2));

@@ -30,7 +30,10 @@ fn main() {
 
     // 20 clean seconds.
     system.run(&mut net, SimTime::from_secs(20));
-    println!("t=20s: {} timeline events (expect 0)", system.timeline().len());
+    println!(
+        "t=20s: {} timeline events (expect 0)",
+        system.timeline().len()
+    );
 
     // Compromise Kansas City.
     net.set_attacks(

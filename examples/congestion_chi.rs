@@ -29,8 +29,14 @@ fn scenario(attack_fraction: f64, congested: bool) {
     }
     let r = topo.router_by_name("r").unwrap();
     let rd = topo.router_by_name("rd").unwrap();
-    let mut validator =
-        QueueValidator::new(&topo, &ks, r, rd, QueueModel::DropTail, ChiConfig::default());
+    let mut validator = QueueValidator::new(
+        &topo,
+        &ks,
+        r,
+        rd,
+        QueueModel::DropTail,
+        ChiConfig::default(),
+    );
 
     let mut net = Network::new(topo, 17);
     // Offered load: 3 × 1000 B per interval; 1.1 ms ≈ 2.7× capacity
@@ -54,7 +60,10 @@ fn scenario(attack_fraction: f64, congested: bool) {
     if attack_fraction > 0.0 {
         net.set_attacks(
             r,
-            vec![Attack::drop_flows([victim.expect("victim flow")], attack_fraction)],
+            vec![Attack::drop_flows(
+                [victim.expect("victim flow")],
+                attack_fraction,
+            )],
         );
     }
 
@@ -62,7 +71,9 @@ fn scenario(attack_fraction: f64, congested: bool) {
     let end = SimTime::from_secs(12);
     net.run_until(end, |ev| {
         validator.observe(ev, |p| {
-            routes.path(p.src, p.dst).and_then(|path| path.next_after(r))
+            routes
+                .path(p.src, p.dst)
+                .and_then(|path| path.next_after(r))
         })
     });
     let verdict = validator.end_round(end);

@@ -15,7 +15,11 @@ use std::collections::BTreeSet;
 fn main() {
     // 1. A five-router line: n0 — n1 — n2 — n3 — n4.
     let topo = builtin::line(5);
-    println!("topology: {} routers, {} duplex links", topo.router_count(), topo.duplex_link_count());
+    println!(
+        "topology: {} routers, {} duplex links",
+        topo.router_count(),
+        topo.duplex_link_count()
+    );
 
     // 2. The key infrastructure of §2.1.5: every router gets signing and
     //    pairwise keys.
@@ -60,7 +64,12 @@ fn main() {
     //    suspected segment contains a faulty router), with precision k+2.
     let faulty: BTreeSet<_> = [evil].into_iter().collect();
     let check = SpecCheck::evaluate(&suspicions, &faulty);
-    println!("\ncomplete: {} | accurate(3): {} | precision: {}", check.is_complete(), check.is_accurate(3), check.max_precision);
+    println!(
+        "\ncomplete: {} | accurate(3): {} | precision: {}",
+        check.is_complete(),
+        check.is_accurate(3),
+        check.max_precision
+    );
     let truth = net.ground_truth();
     println!(
         "ground truth: {} injected, {} delivered, {} maliciously dropped",

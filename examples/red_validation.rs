@@ -32,7 +32,10 @@ fn main() {
     let r = topo.router_by_name("r").unwrap();
     let rd = topo.router_by_name("rd").unwrap();
 
-    for (label, attacked) in [("RED early drops only", false), ("plus an avg-queue-triggered attack", true)] {
+    for (label, attacked) in [
+        ("RED early drops only", false),
+        ("plus an avg-queue-triggered attack", true),
+    ] {
         let mut validator = QueueValidator::new(
             &topo,
             &ks,
@@ -77,7 +80,9 @@ fn main() {
         let end = SimTime::from_secs(12);
         net.run_until(end, |ev| {
             validator.observe(ev, |p| {
-                routes.path(p.src, p.dst).and_then(|path| path.next_after(r))
+                routes
+                    .path(p.src, p.dst)
+                    .and_then(|path| path.next_after(r))
             })
         });
         let verdict = validator.end_round(end);

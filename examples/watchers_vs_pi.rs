@@ -57,7 +57,10 @@ fn main() {
     let w_check = SpecCheck::evaluate(&w_sus, &faulty);
     let p_check = SpecCheck::evaluate(&p_sus, &faulty);
 
-    println!("attack: router {} modifies 50% of transit packets\n", ids[2]);
+    println!(
+        "attack: router {} modifies 50% of transit packets\n",
+        ids[2]
+    );
     println!(
         "WATCHERS (conservation of flow):    {} suspicions — modifier caught: {}",
         w_sus.len(),

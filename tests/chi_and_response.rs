@@ -54,7 +54,9 @@ fn chi_and_threshold_see_the_same_traffic_but_judge_differently() {
     let end = SimTime::from_secs(10);
     net.run_until(end, |ev| {
         let nh = |p: &fatih::sim::Packet| {
-            routes.path(p.src, p.dst).and_then(|path| path.next_after(r))
+            routes
+                .path(p.src, p.dst)
+                .and_then(|path| path.next_after(r))
         };
         chi.observe(ev, nh);
         th.observe(ev, nh);
@@ -96,7 +98,9 @@ fn chi_survives_many_short_rounds_under_attack_onset() {
         let end = SimTime::from_secs(round * 2);
         net.run_until(end, |ev| {
             chi.observe(ev, |p| {
-                routes.path(p.src, p.dst).and_then(|path| path.next_after(r))
+                routes
+                    .path(p.src, p.dst)
+                    .and_then(|path| path.next_after(r))
             })
         });
         let v = chi.end_round(end);
@@ -128,8 +132,22 @@ fn fatih_response_survives_two_compromised_routers() {
     let path = routes.path(corner_a, corner_b).unwrap();
     let evil1 = path.routers()[path.len() / 2];
     let mut net = Network::new(topo, 13);
-    net.add_cbr_flow(corner_a, corner_b, 1000, SimTime::from_ms(4), SimTime::ZERO, None);
-    net.add_cbr_flow(corner_b, corner_a, 1000, SimTime::from_ms(5), SimTime::ZERO, None);
+    net.add_cbr_flow(
+        corner_a,
+        corner_b,
+        1000,
+        SimTime::from_ms(4),
+        SimTime::ZERO,
+        None,
+    );
+    net.add_cbr_flow(
+        corner_b,
+        corner_a,
+        1000,
+        SimTime::from_ms(5),
+        SimTime::ZERO,
+        None,
+    );
     net.set_attacks(
         evil1,
         vec![Attack {

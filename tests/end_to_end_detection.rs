@@ -62,12 +62,20 @@ fn both_protocols_catch_a_dropper_on_random_topologies() {
         let sus2 = pi2.end_round(end);
         let check2 = SpecCheck::evaluate(&sus2, &faulty);
         assert!(check2.is_complete(), "seed {seed}: Π2 missed the dropper");
-        assert!(check2.is_accurate(2), "seed {seed}: Π2 inaccurate: {:?}", check2.false_positives);
+        assert!(
+            check2.is_accurate(2),
+            "seed {seed}: Π2 inaccurate: {:?}",
+            check2.false_positives
+        );
 
         let susk = pik2.end_round(end);
         let checkk = SpecCheck::evaluate(&susk, &faulty);
         assert!(checkk.is_complete(), "seed {seed}: Πk+2 missed the dropper");
-        assert!(checkk.is_accurate(3), "seed {seed}: Πk+2 inaccurate: {:?}", checkk.false_positives);
+        assert!(
+            checkk.is_accurate(3),
+            "seed {seed}: Πk+2 inaccurate: {:?}",
+            checkk.false_positives
+        );
     }
 }
 
@@ -84,7 +92,14 @@ fn no_attack_means_no_suspicion_on_random_topologies() {
             let s = ids[(i * 3) % ids.len()];
             let d = ids[(i * 5 + 7) % ids.len()];
             if s != d {
-                net.add_cbr_flow(s, d, 800, SimTime::from_ms(3 + i as u64), SimTime::ZERO, None);
+                net.add_cbr_flow(
+                    s,
+                    d,
+                    800,
+                    SimTime::from_ms(3 + i as u64),
+                    SimTime::ZERO,
+                    None,
+                );
             }
         }
         let end = SimTime::from_secs(5);
@@ -103,7 +118,14 @@ fn misrouting_is_detected_as_content_violation() {
     let ks = keystore_for(&topo);
     let mut net = Network::new(topo, 3);
     let mut det = Pik2Detector::new(net.routes(), ks, Pik2Config::default());
-    let flow = net.add_cbr_flow(ids[0], ids[2], 1000, SimTime::from_ms(2), SimTime::ZERO, None);
+    let flow = net.add_cbr_flow(
+        ids[0],
+        ids[2],
+        1000,
+        SimTime::from_ms(2),
+        SimTime::ZERO,
+        None,
+    );
     net.set_attacks(
         ids[1],
         vec![Attack {
@@ -133,11 +155,21 @@ fn delay_attack_needs_timeliness_tolerant_policy() {
         ks,
         Pik2Config {
             policy: Policy::Order,
-            thresholds: Thresholds { loss: 1_000_000, reorder: 0 },
+            thresholds: Thresholds {
+                loss: 1_000_000,
+                reorder: 0,
+            },
             ..Pik2Config::default()
         },
     );
-    let flow = net.add_cbr_flow(ids[0], ids[3], 1000, SimTime::from_ms(2), SimTime::ZERO, None);
+    let flow = net.add_cbr_flow(
+        ids[0],
+        ids[3],
+        1000,
+        SimTime::from_ms(2),
+        SimTime::ZERO,
+        None,
+    );
     net.set_attacks(
         ids[1],
         vec![Attack {
@@ -165,7 +197,14 @@ fn multi_round_operation_stays_clean_then_detects() {
     let ks = keystore_for(&topo);
     let mut net = Network::new(topo, 5);
     let mut det = Pik2Detector::new(net.routes(), ks, Pik2Config::default());
-    let flow = net.add_cbr_flow(ids[0], ids[4], 1000, SimTime::from_ms(2), SimTime::ZERO, None);
+    let flow = net.add_cbr_flow(
+        ids[0],
+        ids[4],
+        1000,
+        SimTime::from_ms(2),
+        SimTime::ZERO,
+        None,
+    );
 
     let mut detected_round = None;
     for round in 1..=8u64 {
@@ -183,5 +222,9 @@ fn multi_round_operation_stays_clean_then_detects() {
             assert!(SpecCheck::evaluate(&sus, &faulty).is_accurate(3));
         }
     }
-    assert_eq!(detected_round, Some(4), "attack not caught in its first round");
+    assert_eq!(
+        detected_round,
+        Some(4),
+        "attack not caught in its first round"
+    );
 }
