@@ -33,11 +33,16 @@ const ACK_BIT: u64 = 1 << 63;
 /// Tuning knobs for the reliable transport.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TransportConfig {
-    /// Initial retransmission timeout; doubles per retry.
+    /// Initial retransmission timeout; doubles per retry up to
+    /// [`max_backoff`](Self::max_backoff).
     pub rto: SimTime,
     /// Maximum transmission attempts (first send included) before the
     /// message is declared [`TransportEvent::Exhausted`].
     pub max_attempts: u32,
+    /// Ceiling on the retransmission delay: the exponential backoff is
+    /// computed with saturating arithmetic and clamped here, so a large
+    /// retry count (or an absurd `rto`) can never overflow the delay.
+    pub max_backoff: SimTime,
     /// Wire size of a data-bearing control message, bytes.
     pub msg_size: u32,
     /// Wire size of an acknowledgment, bytes.
@@ -49,9 +54,24 @@ impl Default for TransportConfig {
         Self {
             rto: SimTime::from_ms(50),
             max_attempts: 6,
+            max_backoff: SimTime::from_secs(5),
             msg_size: 256,
             ack_size: 64,
         }
+    }
+}
+
+impl TransportConfig {
+    /// The retransmission delay after `attempts` transmissions:
+    /// `min(rto · 2^(attempts−1), max_backoff)`, computed with saturating
+    /// arithmetic so no retry count can overflow.
+    pub fn backoff(&self, attempts: u32) -> SimTime {
+        // 2^63 ns already exceeds any u64 time span, so the shift itself
+        // is clamped before the saturating multiply.
+        let doublings = attempts.saturating_sub(1).min(63);
+        self.rto
+            .saturating_mul(1u64 << doublings)
+            .min(self.max_backoff)
     }
 }
 
@@ -241,9 +261,9 @@ impl ReliableTransport {
             }
             net.send_control(o.src, o.dst, self.config.msg_size, msg);
             o.attempts += 1;
-            // Exponential backoff: rto, 2·rto, 4·rto, …
-            let backoff = self.config.rto * (1u64 << (o.attempts - 1).min(16));
-            o.next_retry = now + backoff;
+            // Exponential backoff: rto, 2·rto, 4·rto, … capped at
+            // max_backoff (saturating — see TransportConfig::backoff).
+            o.next_retry = now.saturating_add(self.config.backoff(o.attempts));
         }
     }
 
@@ -492,6 +512,72 @@ mod tests {
                 assert!(
                     at >= SimTime::from_ms(1500) && at <= SimTime::from_ms(1600),
                     "exhaustion at {at}"
+                );
+            }
+            ref other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing() {
+        // Regression: the delay used to be `rto * (1 << min(attempts-1, 16))`
+        // with plain arithmetic, so a large rto (or an attempt counter past
+        // the shift clamp) overflowed the multiply in debug builds. The
+        // computation must now saturate and respect the ceiling for *any*
+        // attempt count.
+        let cfg = TransportConfig {
+            rto: SimTime::from_secs(400_000), // absurd, but must not panic
+            max_backoff: SimTime::from_secs(30),
+            ..TransportConfig::default()
+        };
+        for attempts in [1, 2, 16, 17, 63, 64, 1000, u32::MAX] {
+            let b = cfg.backoff(attempts);
+            assert!(b <= cfg.max_backoff, "attempts {attempts}: {b}");
+            assert!(b > SimTime::ZERO);
+        }
+        // The cap engages exactly where doubling would first exceed it.
+        let cfg = TransportConfig {
+            rto: SimTime::from_ms(100),
+            max_backoff: SimTime::from_ms(450),
+            ..TransportConfig::default()
+        };
+        assert_eq!(cfg.backoff(1), SimTime::from_ms(100));
+        assert_eq!(cfg.backoff(2), SimTime::from_ms(200));
+        assert_eq!(cfg.backoff(3), SimTime::from_ms(400));
+        assert_eq!(cfg.backoff(4), SimTime::from_ms(450));
+        assert_eq!(cfg.backoff(40), SimTime::from_ms(450));
+    }
+
+    #[test]
+    fn capped_backoff_keeps_retrying_on_dead_link() {
+        // With a low ceiling, a big retry budget completes in bounded time
+        // instead of stretching exponentially (8 retries at ≤200 ms each).
+        let (mut net, ids) = net_line(2);
+        net.set_fault_plan(Some(FaultPlan::new(1).with_link_flap(
+            ids[0],
+            ids[1],
+            SimTime::ZERO,
+            SimTime::from_secs(3600),
+        )));
+        let cfg = TransportConfig {
+            rto: SimTime::from_ms(100),
+            max_backoff: SimTime::from_ms(200),
+            max_attempts: 9,
+            ..TransportConfig::default()
+        };
+        let mut t = ReliableTransport::new(cfg);
+        t.send(&mut net, ids[0], ids[1], vec![]);
+        drive(&mut t, &mut net, 10);
+        let events = t.take_events();
+        match events[..] {
+            [TransportEvent::Exhausted { at, attempts, .. }] => {
+                assert_eq!(attempts, 9);
+                // Final attempt at 100 + 200·7 = 1500 ms, exhaustion one
+                // capped backoff later (modulo pump slices); uncapped
+                // doubling would have needed 25.5 s.
+                assert!(
+                    at <= SimTime::from_ms(1800),
+                    "cap not applied: exhausted at {at}"
                 );
             }
             ref other => panic!("{other:?}"),

@@ -1,0 +1,97 @@
+//! MAC-over-frame helpers: sealing and opening length-delimited wire
+//! frames with an HMAC-SHA256 trailer.
+//!
+//! The `fatih-net` wire protocol authenticates every control frame by
+//! appending a 32-byte HMAC over the entire preceding frame (header
+//! included), so a forged, truncated or bit-flipped frame is rejected
+//! before any field is interpreted. These helpers centralise that
+//! convention so the codec, the benchmarks and the tests all agree on the
+//! byte layout.
+
+use crate::hmac::hmac_sha256;
+use crate::sha256::Digest;
+
+/// Length in bytes of the MAC trailer appended by [`seal_frame`].
+pub const MAC_LEN: usize = 32;
+
+/// Appends an HMAC-SHA256 trailer over the current frame contents.
+///
+/// # Examples
+///
+/// ```
+/// use fatih_crypto::frame::{open_frame, seal_frame};
+/// let key = [7u8; 32];
+/// let mut frame = b"header+body".to_vec();
+/// seal_frame(&key, &mut frame);
+/// assert_eq!(open_frame(&key, &frame), Some(&b"header+body"[..]));
+/// ```
+pub fn seal_frame(key: &[u8; 32], frame: &mut Vec<u8>) {
+    let mac = hmac_sha256(key, frame);
+    frame.extend_from_slice(&mac.0);
+}
+
+/// Verifies and strips the trailer appended by [`seal_frame`], returning
+/// the authenticated frame contents, or `None` if the frame is too short
+/// or the MAC does not verify. Comparison is constant-time.
+pub fn open_frame<'a>(key: &[u8; 32], sealed: &'a [u8]) -> Option<&'a [u8]> {
+    if sealed.len() < MAC_LEN {
+        return None;
+    }
+    let (body, trailer) = sealed.split_at(sealed.len() - MAC_LEN);
+    let mut mac = [0u8; MAC_LEN];
+    mac.copy_from_slice(trailer);
+    crate::hmac::verify(&hmac_sha256(key, body), &Digest(mac)).then_some(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seal_open_round_trip() {
+        let key = [3u8; 32];
+        let mut f = vec![1, 2, 3, 4];
+        seal_frame(&key, &mut f);
+        assert_eq!(f.len(), 4 + MAC_LEN);
+        assert_eq!(open_frame(&key, &f), Some(&[1u8, 2, 3, 4][..]));
+    }
+
+    #[test]
+    fn empty_body_seals() {
+        let key = [9u8; 32];
+        let mut f = Vec::new();
+        seal_frame(&key, &mut f);
+        assert_eq!(open_frame(&key, &f), Some(&[][..]));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let mut f = b"x".to_vec();
+        seal_frame(&[1u8; 32], &mut f);
+        assert_eq!(open_frame(&[2u8; 32], &f), None);
+    }
+
+    #[test]
+    fn every_bit_flip_rejected() {
+        let key = [5u8; 32];
+        let mut f = b"frame".to_vec();
+        seal_frame(&key, &mut f);
+        for i in 0..f.len() {
+            for bit in 0..8 {
+                let mut bad = f.clone();
+                bad[i] ^= 1 << bit;
+                assert_eq!(open_frame(&key, &bad), None, "flip at {i}.{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let key = [5u8; 32];
+        let mut f = b"frame".to_vec();
+        seal_frame(&key, &mut f);
+        for n in 0..f.len() {
+            assert_eq!(open_frame(&key, &f[..n]), None, "prefix {n}");
+        }
+    }
+}

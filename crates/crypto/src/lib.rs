@@ -16,7 +16,9 @@
 //! * [`keys`] — a simulated key infrastructure ([`KeyStore`]): per-router
 //!   broadcast authentication keys standing in for DSA signatures, and
 //!   pairwise keys standing in for IKE/Diffie–Hellman session keys
-//!   (substitution documented in `DESIGN.md`).
+//!   (substitution documented in `DESIGN.md`);
+//! * [`frame`] — MAC-over-frame helpers sealing wire frames with an
+//!   HMAC-SHA256 trailer (the `fatih-net` frame authenticity convention).
 //!
 //! # Examples
 //!
@@ -36,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod frame;
 pub mod hmac;
 pub mod keys;
 pub mod sha256;

@@ -1,0 +1,658 @@
+//! The fatih wire format: binary frames for data and control messages.
+//!
+//! Every frame is laid out as
+//!
+//! ```text
+//! offset  size  field
+//! 0       1     magic (0xF7)
+//! 1       1     version (0x01)
+//! 2       1     message type (Data/Summary/Ack/Alert/Accusation)
+//! 3       4     source router id, u32 LE
+//! 7       4     destination router id, u32 LE
+//! 11      8     frame sequence number, u64 LE
+//! 19      4     body length in bytes, u32 LE
+//! 23      n     tagged body (fatih_core::wire::WireEncoder layout)
+//! [23+n]  32    HMAC-SHA256 trailer — control frames only
+//! ```
+//!
+//! Control frames (everything except [`MsgType::Data`]) are sealed with an
+//! HMAC-SHA256 trailer under the **pairwise key** of the frame's source
+//! and destination (`fatih_crypto::frame`), computed over the entire
+//! preceding frame, header included. A forged, truncated, or bit-flipped
+//! control frame is therefore rejected before any field is interpreted.
+//! Data frames are not MAC'd — exactly as in the simulator, transit
+//! traffic is instead covered by the keyed per-segment fingerprints and
+//! the packet's own integrity tag ([`Packet::intact`]), so a modification
+//! in flight surfaces as a traffic-validation failure, not a codec error.
+//!
+//! Alerts additionally carry an **inner signature** by their origin router
+//! over the alert's semantic content ([`alert_sign_bytes`]), so an alert
+//! relayed by a third party is still attributable to its origin.
+
+use fatih_core::monitor::Report;
+use fatih_core::spec::Interval;
+use fatih_core::wire::{WireEncoder, WireError, WireReader};
+use fatih_crypto::frame::{open_frame, seal_frame, MAC_LEN};
+use fatih_crypto::{KeyStore, Signature};
+#[cfg(test)]
+use fatih_sim::SimTime;
+use fatih_sim::{FlowId, Packet, PacketId, PacketKind};
+use fatih_topology::{PathSegment, RouterId};
+
+/// First byte of every fatih frame.
+pub const MAGIC: u8 = 0xF7;
+/// Wire-format version this codec speaks.
+pub const VERSION: u8 = 0x01;
+/// Fixed header length in bytes (before the tagged body).
+pub const HEADER_LEN: usize = 23;
+/// Largest frame this codec will emit or accept — fits one UDP datagram.
+pub const MAX_FRAME: usize = 65_000;
+
+/// Message type discriminant, third byte of the header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MsgType {
+    /// A transit data packet (hop-by-hop forwarded, not MAC'd).
+    Data,
+    /// A per-segment traffic summary `info(r, π, τ)` for one round.
+    Summary,
+    /// Acknowledgment of a reliable control frame.
+    Ack,
+    /// A signed alert: the raiser's suspicion, attributable to its origin.
+    Alert,
+    /// A timeout accusation: the peer's summary never arrived.
+    Accusation,
+}
+
+impl MsgType {
+    /// The header byte for this type.
+    pub fn as_byte(self) -> u8 {
+        match self {
+            MsgType::Data => 1,
+            MsgType::Summary => 2,
+            MsgType::Ack => 3,
+            MsgType::Alert => 4,
+            MsgType::Accusation => 5,
+        }
+    }
+
+    /// Parses a header byte.
+    pub fn from_byte(b: u8) -> Option<MsgType> {
+        match b {
+            1 => Some(MsgType::Data),
+            2 => Some(MsgType::Summary),
+            3 => Some(MsgType::Ack),
+            4 => Some(MsgType::Alert),
+            5 => Some(MsgType::Accusation),
+            _ => None,
+        }
+    }
+
+    /// Whether frames of this type carry a MAC trailer.
+    pub fn is_control(self) -> bool {
+        self != MsgType::Data
+    }
+}
+
+/// The payload of a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireMessage {
+    /// A transit data packet.
+    Data(Packet),
+    /// One end's traffic record for a segment and round.
+    Summary {
+        /// Round index the summary closes.
+        round: u64,
+        /// The monitored segment.
+        segment: PathSegment,
+        /// The sender's cumulative record for the segment.
+        report: Report,
+    },
+    /// Acknowledges the reliable control frame with sequence `msg_id`.
+    Ack {
+        /// Sequence number of the acknowledged frame.
+        msg_id: u64,
+    },
+    /// A suspicion, signed by its origin so relays stay attributable.
+    Alert {
+        /// Router that raised the suspicion.
+        origin: RouterId,
+        /// The suspected segment.
+        segment: PathSegment,
+        /// The measurement interval the suspicion covers.
+        interval: Interval,
+        /// `origin`'s signature over [`alert_sign_bytes`].
+        sig: Signature,
+    },
+    /// Timeout-as-accusation: the sender never received its peer's
+    /// summary for this segment and interval.
+    Accusation {
+        /// The segment whose exchange timed out.
+        segment: PathSegment,
+        /// The measurement interval of the missing summary.
+        interval: Interval,
+    },
+}
+
+impl WireMessage {
+    /// This message's wire type.
+    pub fn msg_type(&self) -> MsgType {
+        match self {
+            WireMessage::Data(_) => MsgType::Data,
+            WireMessage::Summary { .. } => MsgType::Summary,
+            WireMessage::Ack { .. } => MsgType::Ack,
+            WireMessage::Alert { .. } => MsgType::Alert,
+            WireMessage::Accusation { .. } => MsgType::Accusation,
+        }
+    }
+}
+
+/// One addressed frame: what a [`crate::transport::Transport`] carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Sending router (the MAC key is the (src, dst) pairwise key).
+    pub src: RouterId,
+    /// Receiving router.
+    pub dst: RouterId,
+    /// Per-sender frame sequence number (acked by reliable control).
+    pub seq: u64,
+    /// The payload.
+    pub msg: WireMessage,
+}
+
+/// Why a byte string was rejected by [`decode_frame`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// Shorter than the fixed header.
+    TooShort,
+    /// First byte is not [`MAGIC`].
+    BadMagic,
+    /// Unsupported version byte.
+    BadVersion(u8),
+    /// Unknown message-type byte.
+    UnknownType(u8),
+    /// The header's body length disagrees with the frame length.
+    BadLength,
+    /// A control frame's MAC trailer failed to verify.
+    BadMac,
+    /// The frame names a router the key store has never registered.
+    UnknownRouter(u32),
+    /// A tagged body field failed to decode.
+    Field(WireError),
+    /// A summary's embedded report was malformed.
+    BadReport,
+    /// A decoded value violates its invariants (backwards interval,
+    /// unknown packet kind, frame too large to emit).
+    Invalid,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::TooShort => write!(f, "frame shorter than the header"),
+            CodecError::BadMagic => write!(f, "bad magic byte"),
+            CodecError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            CodecError::UnknownType(t) => write!(f, "unknown message type {t}"),
+            CodecError::BadLength => write!(f, "body length disagrees with frame length"),
+            CodecError::BadMac => write!(f, "control frame MAC rejected"),
+            CodecError::UnknownRouter(r) => write!(f, "unregistered router {r}"),
+            CodecError::Field(e) => write!(f, "body field: {e}"),
+            CodecError::BadReport => write!(f, "malformed embedded report"),
+            CodecError::Invalid => write!(f, "decoded value violates invariants"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<WireError> for CodecError {
+    fn from(e: WireError) -> Self {
+        CodecError::Field(e)
+    }
+}
+
+fn kind_code(kind: PacketKind) -> u32 {
+    match kind {
+        PacketKind::Data => 0,
+        PacketKind::TcpSyn => 1,
+        PacketKind::TcpSynAck => 2,
+        PacketKind::TcpAck => 3,
+        PacketKind::TcpData => 4,
+        PacketKind::Ping => 5,
+        PacketKind::Pong => 6,
+        PacketKind::Control => 7,
+    }
+}
+
+fn kind_from_code(code: u32) -> Option<PacketKind> {
+    Some(match code {
+        0 => PacketKind::Data,
+        1 => PacketKind::TcpSyn,
+        2 => PacketKind::TcpSynAck,
+        3 => PacketKind::TcpAck,
+        4 => PacketKind::TcpData,
+        5 => PacketKind::Ping,
+        6 => PacketKind::Pong,
+        7 => PacketKind::Control,
+        _ => return None,
+    })
+}
+
+/// The bytes an alert's origin signs: its semantic content, independent of
+/// which hop-by-hop frame carries it.
+pub fn alert_sign_bytes(origin: RouterId, segment: &PathSegment, interval: Interval) -> Vec<u8> {
+    let mut e = WireEncoder::new();
+    e.router(origin)
+        .segment(segment)
+        .time(interval.start)
+        .time(interval.end);
+    e.into_bytes()
+}
+
+/// Signs an alert on behalf of `origin`.
+pub fn sign_alert(
+    keys: &KeyStore,
+    origin: RouterId,
+    segment: &PathSegment,
+    interval: Interval,
+) -> Signature {
+    keys.sign(origin.into(), &alert_sign_bytes(origin, segment, interval))
+}
+
+/// Verifies an alert's inner origin signature.
+pub fn verify_alert(
+    keys: &KeyStore,
+    origin: RouterId,
+    segment: &PathSegment,
+    interval: Interval,
+    sig: &Signature,
+) -> bool {
+    keys.verify(
+        origin.into(),
+        &alert_sign_bytes(origin, segment, interval),
+        sig,
+    )
+}
+
+fn encode_body(msg: &WireMessage) -> Vec<u8> {
+    let mut e = WireEncoder::new();
+    match msg {
+        WireMessage::Data(p) => {
+            e.u64(p.id.0)
+                .router(p.src)
+                .router(p.dst)
+                .u32(p.flow.0)
+                .u32(kind_code(p.kind))
+                .u32(p.size)
+                .u64(p.seq)
+                .u64(p.payload_tag)
+                .u32(p.ttl as u32)
+                .time(p.created_at);
+        }
+        WireMessage::Summary {
+            round,
+            segment,
+            report,
+        } => {
+            e.u64(*round).segment(segment).bytes(&report.encode());
+        }
+        WireMessage::Ack { msg_id } => {
+            e.u64(*msg_id);
+        }
+        WireMessage::Alert {
+            origin,
+            segment,
+            interval,
+            sig,
+        } => {
+            e.router(*origin)
+                .segment(segment)
+                .time(interval.start)
+                .time(interval.end)
+                .bytes(&sig.0 .0);
+        }
+        WireMessage::Accusation { segment, interval } => {
+            e.segment(segment).time(interval.start).time(interval.end);
+        }
+    }
+    e.into_bytes()
+}
+
+/// Encodes (and for control frames, seals) one frame for the wire.
+///
+/// Fails with [`CodecError::Invalid`] if the frame would exceed
+/// [`MAX_FRAME`], and with [`CodecError::UnknownRouter`] if a control
+/// frame's endpoints are not both registered with the key store.
+pub fn encode_frame(frame: &Frame, keys: &KeyStore) -> Result<Vec<u8>, CodecError> {
+    let body = encode_body(&frame.msg);
+    let ty = frame.msg.msg_type();
+    let total = HEADER_LEN + body.len() + if ty.is_control() { MAC_LEN } else { 0 };
+    if total > MAX_FRAME {
+        return Err(CodecError::Invalid);
+    }
+    let mut out = Vec::with_capacity(total);
+    out.push(MAGIC);
+    out.push(VERSION);
+    out.push(ty.as_byte());
+    out.extend_from_slice(&u32::from(frame.src).to_le_bytes());
+    out.extend_from_slice(&u32::from(frame.dst).to_le_bytes());
+    out.extend_from_slice(&frame.seq.to_le_bytes());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    if ty.is_control() {
+        let (src, dst) = (u32::from(frame.src), u32::from(frame.dst));
+        if !keys.contains(src) {
+            return Err(CodecError::UnknownRouter(src));
+        }
+        if !keys.contains(dst) {
+            return Err(CodecError::UnknownRouter(dst));
+        }
+        seal_frame(&keys.pairwise_key(src, dst), &mut out);
+    }
+    Ok(out)
+}
+
+/// Peeks a frame's message type without decoding it (used by the chaos
+/// shim to fault only control traffic). `None` if the bytes are not even
+/// a plausible frame header.
+pub fn peek_type(bytes: &[u8]) -> Option<MsgType> {
+    if bytes.len() < HEADER_LEN || bytes[0] != MAGIC || bytes[1] != VERSION {
+        return None;
+    }
+    MsgType::from_byte(bytes[2])
+}
+
+/// Decodes (and for control frames, authenticates) one frame.
+///
+/// Never panics: arbitrary, truncated or bit-flipped input yields a
+/// [`CodecError`].
+pub fn decode_frame(bytes: &[u8], keys: &KeyStore) -> Result<Frame, CodecError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(CodecError::TooShort);
+    }
+    if bytes[0] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    if bytes[1] != VERSION {
+        return Err(CodecError::BadVersion(bytes[1]));
+    }
+    let ty = MsgType::from_byte(bytes[2]).ok_or(CodecError::UnknownType(bytes[2]))?;
+    let src_raw = u32::from_le_bytes(bytes[3..7].try_into().expect("4 bytes"));
+    let dst_raw = u32::from_le_bytes(bytes[7..11].try_into().expect("4 bytes"));
+    let seq = u64::from_le_bytes(bytes[11..19].try_into().expect("8 bytes"));
+    let body_len = u32::from_le_bytes(bytes[19..23].try_into().expect("4 bytes")) as usize;
+
+    let body = if ty.is_control() {
+        // Authenticate before interpreting a single body field.
+        if !keys.contains(src_raw) {
+            return Err(CodecError::UnknownRouter(src_raw));
+        }
+        if !keys.contains(dst_raw) {
+            return Err(CodecError::UnknownRouter(dst_raw));
+        }
+        let key = keys.pairwise_key(src_raw, dst_raw);
+        let authed = open_frame(&key, bytes).ok_or(CodecError::BadMac)?;
+        if authed.len() != HEADER_LEN + body_len {
+            return Err(CodecError::BadLength);
+        }
+        &authed[HEADER_LEN..]
+    } else {
+        if bytes.len() != HEADER_LEN + body_len {
+            return Err(CodecError::BadLength);
+        }
+        &bytes[HEADER_LEN..]
+    };
+
+    let mut rd = WireReader::new(body);
+    let msg = match ty {
+        MsgType::Data => {
+            let id = PacketId(rd.u64()?);
+            let src = rd.router()?;
+            let dst = rd.router()?;
+            let flow = FlowId(rd.u32()?);
+            let kind = kind_from_code(rd.u32()?).ok_or(CodecError::Invalid)?;
+            let size = rd.u32()?;
+            let pseq = rd.u64()?;
+            let payload_tag = rd.u64()?;
+            let ttl = u8::try_from(rd.u32()?).map_err(|_| CodecError::Invalid)?;
+            let created_at = rd.time()?;
+            WireMessage::Data(Packet {
+                id,
+                src,
+                dst,
+                flow,
+                kind,
+                size,
+                seq: pseq,
+                payload_tag,
+                ttl,
+                created_at,
+            })
+        }
+        MsgType::Summary => {
+            let round = rd.u64()?;
+            let segment = rd.segment()?;
+            let report = Report::decode(rd.bytes()?).ok_or(CodecError::BadReport)?;
+            WireMessage::Summary {
+                round,
+                segment,
+                report,
+            }
+        }
+        MsgType::Ack => WireMessage::Ack { msg_id: rd.u64()? },
+        MsgType::Alert => {
+            let origin = rd.router()?;
+            let segment = rd.segment()?;
+            let interval = read_interval(&mut rd)?;
+            let sig_bytes = rd.bytes()?;
+            let digest: [u8; 32] = sig_bytes.try_into().map_err(|_| CodecError::Invalid)?;
+            WireMessage::Alert {
+                origin,
+                segment,
+                interval,
+                sig: Signature(fatih_crypto::Digest(digest)),
+            }
+        }
+        MsgType::Accusation => {
+            let segment = rd.segment()?;
+            let interval = read_interval(&mut rd)?;
+            WireMessage::Accusation { segment, interval }
+        }
+    };
+    rd.done()?;
+    Ok(Frame {
+        src: RouterId::from(src_raw),
+        dst: RouterId::from(dst_raw),
+        seq,
+        msg,
+    })
+}
+
+fn read_interval(rd: &mut WireReader<'_>) -> Result<Interval, CodecError> {
+    let start = rd.time()?;
+    let end = rd.time()?;
+    if end < start {
+        // Interval::new panics on a backwards interval; reject instead.
+        return Err(CodecError::Invalid);
+    }
+    Ok(Interval::new(start, end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fatih_core::monitor::ReportEntry;
+    use fatih_crypto::Fingerprint;
+
+    fn keystore() -> KeyStore {
+        let mut ks = KeyStore::with_seed(11);
+        for r in 0..8 {
+            ks.register(r);
+        }
+        ks
+    }
+
+    fn sample_packet() -> Packet {
+        Packet {
+            id: PacketId(99),
+            src: RouterId::from(0),
+            dst: RouterId::from(5),
+            flow: FlowId(2),
+            kind: PacketKind::Data,
+            size: 1000,
+            seq: 17,
+            payload_tag: Packet::expected_tag(PacketId(99)),
+            ttl: 61,
+            created_at: SimTime::from_ms(42),
+        }
+    }
+
+    #[test]
+    fn data_frame_round_trips_without_mac() {
+        let ks = keystore();
+        let f = Frame {
+            src: RouterId::from(1),
+            dst: RouterId::from(2),
+            seq: 7,
+            msg: WireMessage::Data(sample_packet()),
+        };
+        let bytes = encode_frame(&f, &ks).unwrap();
+        assert_eq!(peek_type(&bytes), Some(MsgType::Data));
+        assert_eq!(decode_frame(&bytes, &ks).unwrap(), f);
+    }
+
+    #[test]
+    fn summary_frame_round_trips_and_authenticates() {
+        let ks = keystore();
+        let report = Report {
+            entries: vec![ReportEntry {
+                fingerprint: Fingerprint::new(5),
+                size: 900,
+                time: SimTime::from_ms(3),
+            }],
+        };
+        let f = Frame {
+            src: RouterId::from(3),
+            dst: RouterId::from(4),
+            seq: 1,
+            msg: WireMessage::Summary {
+                round: 2,
+                segment: PathSegment::new(vec![
+                    RouterId::from(3),
+                    RouterId::from(6),
+                    RouterId::from(4),
+                ]),
+                report,
+            },
+        };
+        let bytes = encode_frame(&f, &ks).unwrap();
+        assert_eq!(peek_type(&bytes), Some(MsgType::Summary));
+        assert_eq!(decode_frame(&bytes, &ks).unwrap(), f);
+
+        // A bit flip anywhere in a control frame is caught by the MAC.
+        let mut bad = bytes.clone();
+        bad[HEADER_LEN + 2] ^= 0x40;
+        assert_eq!(decode_frame(&bad, &ks), Err(CodecError::BadMac));
+    }
+
+    #[test]
+    fn alert_inner_signature_is_attributable() {
+        let ks = keystore();
+        let seg = PathSegment::new(vec![
+            RouterId::from(1),
+            RouterId::from(2),
+            RouterId::from(3),
+        ]);
+        let iv = Interval::new(SimTime::ZERO, SimTime::from_secs(1));
+        let origin = RouterId::from(1);
+        let sig = sign_alert(&ks, origin, &seg, iv);
+        assert!(verify_alert(&ks, origin, &seg, iv, &sig));
+        // Not attributable to anyone else, and tamper-evident.
+        assert!(!verify_alert(&ks, RouterId::from(2), &seg, iv, &sig));
+        let other = PathSegment::new(vec![RouterId::from(1), RouterId::from(4)]);
+        assert!(!verify_alert(&ks, origin, &other, iv, &sig));
+
+        // And it survives the frame round trip.
+        let f = Frame {
+            src: RouterId::from(1),
+            dst: RouterId::from(3),
+            seq: 9,
+            msg: WireMessage::Alert {
+                origin,
+                segment: seg.clone(),
+                interval: iv,
+                sig,
+            },
+        };
+        let bytes = encode_frame(&f, &ks).unwrap();
+        match decode_frame(&bytes, &ks).unwrap().msg {
+            WireMessage::Alert {
+                origin: o,
+                segment: s,
+                interval,
+                sig,
+            } => assert!(verify_alert(&ks, o, &s, interval, &sig)),
+            other => panic!("wrong message: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_pairwise_key_rejected() {
+        let ks = keystore();
+        let f = Frame {
+            src: RouterId::from(1),
+            dst: RouterId::from(2),
+            seq: 3,
+            msg: WireMessage::Ack { msg_id: 8 },
+        };
+        let mut bytes = encode_frame(&f, &ks).unwrap();
+        // Redirect the frame to a different destination: the MAC no longer
+        // matches the claimed (src, dst) pair.
+        bytes[7..11].copy_from_slice(&3u32.to_le_bytes());
+        assert_eq!(decode_frame(&bytes, &ks), Err(CodecError::BadMac));
+    }
+
+    #[test]
+    fn unregistered_endpoints_rejected() {
+        let ks = keystore();
+        let f = Frame {
+            src: RouterId::from(100),
+            dst: RouterId::from(2),
+            seq: 0,
+            msg: WireMessage::Ack { msg_id: 1 },
+        };
+        assert_eq!(encode_frame(&f, &ks), Err(CodecError::UnknownRouter(100)));
+    }
+
+    #[test]
+    fn garbage_and_header_errors() {
+        let ks = keystore();
+        assert_eq!(decode_frame(b"short", &ks), Err(CodecError::TooShort));
+        let mut bytes = encode_frame(
+            &Frame {
+                src: RouterId::from(0),
+                dst: RouterId::from(1),
+                seq: 0,
+                msg: WireMessage::Data(sample_packet()),
+            },
+            &ks,
+        )
+        .unwrap();
+        let good = bytes.clone();
+        bytes[0] = 0x00;
+        assert_eq!(decode_frame(&bytes, &ks), Err(CodecError::BadMagic));
+        bytes = good.clone();
+        bytes[1] = 0x09;
+        assert_eq!(decode_frame(&bytes, &ks), Err(CodecError::BadVersion(0x09)));
+        bytes = good.clone();
+        bytes[2] = 0xEE;
+        assert_eq!(
+            decode_frame(&bytes, &ks),
+            Err(CodecError::UnknownType(0xEE))
+        );
+        // Truncated data frame: length disagreement.
+        assert_eq!(
+            decode_frame(&good[..good.len() - 1], &ks),
+            Err(CodecError::BadLength)
+        );
+    }
+}

@@ -1,0 +1,271 @@
+//! Reliable control-plane delivery over a lossy datagram transport.
+//!
+//! The live twin of `fatih_core::transport::ReliableTransport`: every
+//! reliable control frame is retransmitted on an exponential backoff —
+//! capped, saturating, never overflowing — until acked or the attempt
+//! budget is exhausted. Exhaustion is surfaced to the caller, whose
+//! protocol semantics turn it into a timeout accusation. Receivers
+//! suppress duplicates by (source, sequence), so retransmissions and
+//! chaos-duplicated frames are processed exactly once.
+
+use crate::transport::Transport;
+use fatih_topology::RouterId;
+use std::collections::{HashMap, HashSet};
+use std::time::Duration;
+
+/// Retransmission policy.
+#[derive(Debug, Clone, Copy)]
+pub struct ReliableConfig {
+    /// Initial retransmission timeout.
+    pub rto: Duration,
+    /// Ceiling on the backed-off interval.
+    pub max_backoff: Duration,
+    /// Attempts (first send included) before giving up.
+    pub max_attempts: u32,
+}
+
+impl Default for ReliableConfig {
+    fn default() -> Self {
+        Self {
+            rto: Duration::from_millis(25),
+            max_backoff: Duration::from_millis(100),
+            max_attempts: 8,
+        }
+    }
+}
+
+impl ReliableConfig {
+    /// Backoff before retry number `attempts` (1-based): `rto·2^(n−1)`,
+    /// saturating and capped at `max_backoff`.
+    pub fn backoff(&self, attempts: u32) -> Duration {
+        let doublings = attempts.saturating_sub(1).min(31);
+        self.rto
+            .saturating_mul(1u32 << doublings)
+            .min(self.max_backoff)
+    }
+}
+
+#[derive(Debug)]
+struct Outstanding {
+    dst: RouterId,
+    frame: Vec<u8>,
+    attempts: u32,
+    next_retry_ns: u64,
+}
+
+/// A message whose delivery could not be confirmed within the attempt
+/// budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exhausted {
+    /// Sequence number of the abandoned frame.
+    pub seq: u64,
+    /// Destination that never acked.
+    pub dst: RouterId,
+    /// Attempts made.
+    pub attempts: u32,
+}
+
+/// Sender-side retransmission state plus receiver-side deduplication.
+#[derive(Debug, Default)]
+pub struct ReliableLayer {
+    cfg: ReliableConfig,
+    outstanding: HashMap<u64, Outstanding>,
+    seen: HashSet<(RouterId, u64)>,
+    /// Retransmissions performed (for the runtime's counters).
+    pub retransmits: u64,
+}
+
+impl ReliableLayer {
+    /// A layer with the given policy.
+    pub fn new(cfg: ReliableConfig) -> Self {
+        Self {
+            cfg,
+            ..Self::default()
+        }
+    }
+
+    /// Registers an already-sent frame for retransmission tracking.
+    /// `now_ns` is the send time on the caller's clock axis.
+    pub fn track(&mut self, seq: u64, dst: RouterId, frame: Vec<u8>, now_ns: u64) {
+        let next = now_ns.saturating_add(self.cfg.backoff(1).as_nanos() as u64);
+        self.outstanding.insert(
+            seq,
+            Outstanding {
+                dst,
+                frame,
+                attempts: 1,
+                next_retry_ns: next,
+            },
+        );
+    }
+
+    /// Processes an ack; returns whether it matched an outstanding frame.
+    pub fn on_ack(&mut self, seq: u64) -> bool {
+        self.outstanding.remove(&seq).is_some()
+    }
+
+    /// Whether a received control frame `(src, seq)` is new. The first
+    /// call for a pair returns true; duplicates (retransmissions, chaos
+    /// duplication) return false.
+    pub fn accept(&mut self, src: RouterId, seq: u64) -> bool {
+        self.seen.insert((src, seq))
+    }
+
+    /// Messages awaiting acks.
+    pub fn in_flight(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Earliest pending retry deadline on the caller's clock axis.
+    pub fn next_deadline_ns(&self) -> Option<u64> {
+        self.outstanding.values().map(|o| o.next_retry_ns).min()
+    }
+
+    /// Retransmits everything due at `now_ns` and returns the messages
+    /// whose attempt budget ran out (removed from tracking).
+    pub fn pump<T: Transport + ?Sized>(
+        &mut self,
+        now_ns: u64,
+        transport: &mut T,
+    ) -> Vec<Exhausted> {
+        let mut exhausted = Vec::new();
+        let due: Vec<u64> = self
+            .outstanding
+            .iter()
+            .filter(|(_, o)| o.next_retry_ns <= now_ns)
+            .map(|(&seq, _)| seq)
+            .collect();
+        for seq in due {
+            let o = self.outstanding.get_mut(&seq).expect("just listed");
+            if o.attempts >= self.cfg.max_attempts {
+                exhausted.push(Exhausted {
+                    seq,
+                    dst: o.dst,
+                    attempts: o.attempts,
+                });
+                self.outstanding.remove(&seq);
+                continue;
+            }
+            o.attempts += 1;
+            let _ = transport.send(o.dst, &o.frame); // best-effort resend
+            self.retransmits += 1;
+            o.next_retry_ns = now_ns.saturating_add(self.cfg.backoff(o.attempts).as_nanos() as u64);
+        }
+        exhausted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::NetError;
+
+    /// Transport that records sends and optionally drops everything.
+    struct MockNet {
+        local: RouterId,
+        sent: Vec<(RouterId, Vec<u8>)>,
+    }
+
+    impl Transport for MockNet {
+        fn local(&self) -> RouterId {
+            self.local
+        }
+        fn send(&mut self, dst: RouterId, frame: &[u8]) -> Result<(), NetError> {
+            self.sent.push((dst, frame.to_vec()));
+            Ok(())
+        }
+        fn recv_timeout(&mut self, _: Duration) -> Result<Option<Vec<u8>>, NetError> {
+            Ok(None)
+        }
+    }
+
+    fn rid(v: u32) -> RouterId {
+        RouterId::from(v)
+    }
+
+    #[test]
+    fn backoff_doubles_then_caps_without_overflow() {
+        let cfg = ReliableConfig {
+            rto: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(45),
+            max_attempts: 100,
+        };
+        assert_eq!(cfg.backoff(1), Duration::from_millis(10));
+        assert_eq!(cfg.backoff(2), Duration::from_millis(20));
+        assert_eq!(cfg.backoff(3), Duration::from_millis(40));
+        assert_eq!(cfg.backoff(4), Duration::from_millis(45));
+        for attempts in [5, 31, 32, 33, 64, u32::MAX] {
+            assert_eq!(cfg.backoff(attempts), Duration::from_millis(45));
+        }
+    }
+
+    #[test]
+    fn ack_stops_retransmission() {
+        let mut layer = ReliableLayer::new(ReliableConfig::default());
+        let mut net = MockNet {
+            local: rid(0),
+            sent: vec![],
+        };
+        layer.track(7, rid(1), b"frame".to_vec(), 0);
+        assert_eq!(layer.in_flight(), 1);
+        assert!(layer.on_ack(7));
+        assert!(!layer.on_ack(7), "second ack is stale");
+        let ex = layer.pump(u64::MAX, &mut net);
+        assert!(ex.is_empty());
+        assert!(net.sent.is_empty());
+    }
+
+    #[test]
+    fn dead_peer_exhausts_after_max_attempts() {
+        let cfg = ReliableConfig {
+            rto: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(20),
+            max_attempts: 4,
+        };
+        let mut layer = ReliableLayer::new(cfg);
+        let mut net = MockNet {
+            local: rid(0),
+            sent: vec![],
+        };
+        layer.track(1, rid(2), b"m".to_vec(), 0);
+        let mut now = 0;
+        let mut exhausted = Vec::new();
+        for _ in 0..20 {
+            now += 10_000_000; // 10ms steps
+            exhausted.extend(layer.pump(now, &mut net));
+        }
+        // Attempts 2, 3, 4 are retransmissions; the 5th pump exhausts.
+        assert_eq!(net.sent.len(), 3);
+        assert_eq!(
+            exhausted,
+            vec![Exhausted {
+                seq: 1,
+                dst: rid(2),
+                attempts: 4
+            }]
+        );
+        assert_eq!(layer.in_flight(), 0);
+    }
+
+    #[test]
+    fn duplicate_suppression_by_source_and_seq() {
+        let mut layer = ReliableLayer::new(ReliableConfig::default());
+        assert!(layer.accept(rid(1), 5));
+        assert!(!layer.accept(rid(1), 5));
+        assert!(layer.accept(rid(2), 5), "same seq, different source");
+        assert!(layer.accept(rid(1), 6));
+    }
+
+    #[test]
+    fn next_deadline_tracks_earliest_retry() {
+        let cfg = ReliableConfig {
+            rto: Duration::from_millis(10),
+            ..ReliableConfig::default()
+        };
+        let mut layer = ReliableLayer::new(cfg);
+        assert_eq!(layer.next_deadline_ns(), None);
+        layer.track(1, rid(1), vec![], 5_000_000);
+        layer.track(2, rid(1), vec![], 0);
+        assert_eq!(layer.next_deadline_ns(), Some(10_000_000));
+    }
+}

@@ -1,0 +1,375 @@
+//! Datagram transports for the wire runtime.
+//!
+//! A [`Transport`] moves encoded frames between routers. Three
+//! implementations:
+//!
+//! * [`LoopbackHub`] / [`LoopbackNet`] — in-memory channels, zero
+//!   configuration, used by unit tests and the in-process benchmarks;
+//! * [`UdpNet`] — real UDP sockets bound to `127.0.0.1:0`, one per
+//!   router, so the full runtime exercises the operating system's
+//!   network stack;
+//! * [`ChaosTransport`] — a shim that injects seeded, probabilistic
+//!   loss and duplication on send. By default it faults **control
+//!   frames only**, mirroring the simulator's `FaultPlan` semantics:
+//!   faulting data frames would make an honest router look like a
+//!   dropper, turning an environmental fault into a false accusation.
+
+use crate::codec::{peek_type, MsgType, MAX_FRAME};
+use fatih_topology::RouterId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::net::UdpSocket;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A transport failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The destination router has no known address.
+    UnknownPeer(RouterId),
+    /// The frame exceeds the transport's datagram limit.
+    Oversize(usize),
+    /// An operating-system level I/O failure.
+    Io(String),
+    /// The transport has been shut down.
+    Closed,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::UnknownPeer(r) => write!(f, "no address for router {r}"),
+            NetError::Oversize(n) => write!(f, "frame of {n} bytes exceeds the datagram limit"),
+            NetError::Io(e) => write!(f, "i/o: {e}"),
+            NetError::Closed => write!(f, "transport closed"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Moves encoded frames between routers.
+///
+/// Implementations are datagram-oriented: a send either delivers the whole
+/// frame or nothing, and frames may be lost, duplicated or reordered —
+/// the runtime's reliable layer handles control-plane delivery on top.
+pub trait Transport: Send {
+    /// The router this endpoint belongs to.
+    fn local(&self) -> RouterId;
+
+    /// Sends one frame to `dst`. Best-effort: a satisfied return means
+    /// the frame was handed to the underlying medium, not delivered.
+    fn send(&mut self, dst: RouterId, frame: &[u8]) -> Result<(), NetError>;
+
+    /// Receives the next frame, waiting up to `timeout`. `Ok(None)` on
+    /// timeout.
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, NetError>;
+
+    /// Largest frame this transport can carry.
+    fn max_datagram(&self) -> usize {
+        MAX_FRAME
+    }
+}
+
+// ---------------------------------------------------------------------
+// Loopback
+// ---------------------------------------------------------------------
+
+/// Factory for a group of in-memory transports that can reach each other.
+#[derive(Debug)]
+pub struct LoopbackHub;
+
+impl LoopbackHub {
+    /// Creates one connected [`LoopbackNet`] per router id.
+    pub fn group(ids: &[RouterId]) -> Vec<LoopbackNet> {
+        let mut senders = HashMap::new();
+        let mut receivers = Vec::new();
+        for &id in ids {
+            let (tx, rx) = mpsc::channel();
+            senders.insert(id, tx);
+            receivers.push((id, rx));
+        }
+        let senders = Arc::new(senders);
+        receivers
+            .into_iter()
+            .map(|(id, rx)| LoopbackNet {
+                local: id,
+                peers: Arc::clone(&senders),
+                rx,
+            })
+            .collect()
+    }
+}
+
+/// One router's endpoint on an in-memory [`LoopbackHub`] group.
+#[derive(Debug)]
+pub struct LoopbackNet {
+    local: RouterId,
+    peers: Arc<HashMap<RouterId, mpsc::Sender<Vec<u8>>>>,
+    rx: mpsc::Receiver<Vec<u8>>,
+}
+
+impl Transport for LoopbackNet {
+    fn local(&self) -> RouterId {
+        self.local
+    }
+
+    fn send(&mut self, dst: RouterId, frame: &[u8]) -> Result<(), NetError> {
+        if frame.len() > self.max_datagram() {
+            return Err(NetError::Oversize(frame.len()));
+        }
+        let tx = self.peers.get(&dst).ok_or(NetError::UnknownPeer(dst))?;
+        // A hung-up receiver models a crashed router: the datagram is
+        // silently lost, exactly as UDP would lose it.
+        let _ = tx.send(frame.to_vec());
+        Ok(())
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, NetError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(f) => Ok(Some(f)),
+            Err(mpsc::RecvTimeoutError::Timeout) => Ok(None),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(NetError::Closed),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// UDP over localhost
+// ---------------------------------------------------------------------
+
+/// One router's endpoint on a group of real UDP loopback sockets.
+#[derive(Debug)]
+pub struct UdpNet {
+    local: RouterId,
+    socket: UdpSocket,
+    peers: Arc<HashMap<RouterId, std::net::SocketAddr>>,
+    /// Cached read timeout, to skip redundant setsockopt calls.
+    current_timeout: Option<Duration>,
+}
+
+impl UdpNet {
+    /// Binds one `127.0.0.1:0` socket per router and wires up the shared
+    /// address map, so every endpoint can reach every other.
+    pub fn bind_group(ids: &[RouterId]) -> std::io::Result<Vec<UdpNet>> {
+        let mut sockets = Vec::with_capacity(ids.len());
+        let mut addrs = HashMap::new();
+        for &id in ids {
+            let socket = UdpSocket::bind("127.0.0.1:0")?;
+            addrs.insert(id, socket.local_addr()?);
+            sockets.push((id, socket));
+        }
+        let addrs = Arc::new(addrs);
+        Ok(sockets
+            .into_iter()
+            .map(|(id, socket)| UdpNet {
+                local: id,
+                socket,
+                peers: Arc::clone(&addrs),
+                current_timeout: None,
+            })
+            .collect())
+    }
+}
+
+impl Transport for UdpNet {
+    fn local(&self) -> RouterId {
+        self.local
+    }
+
+    fn send(&mut self, dst: RouterId, frame: &[u8]) -> Result<(), NetError> {
+        if frame.len() > self.max_datagram() {
+            return Err(NetError::Oversize(frame.len()));
+        }
+        let addr = self.peers.get(&dst).ok_or(NetError::UnknownPeer(dst))?;
+        self.socket
+            .send_to(frame, addr)
+            .map_err(|e| NetError::Io(e.to_string()))?;
+        Ok(())
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, NetError> {
+        // set_read_timeout(Some(0)) is an error; clamp to 1µs.
+        let timeout = timeout.max(Duration::from_micros(1));
+        if self.current_timeout != Some(timeout) {
+            self.socket
+                .set_read_timeout(Some(timeout))
+                .map_err(|e| NetError::Io(e.to_string()))?;
+            self.current_timeout = Some(timeout);
+        }
+        let mut buf = vec![0u8; MAX_FRAME];
+        match self.socket.recv_from(&mut buf) {
+            Ok((n, _)) => {
+                buf.truncate(n);
+                Ok(Some(buf))
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(NetError::Io(e.to_string())),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Chaos shim
+// ---------------------------------------------------------------------
+
+/// Wraps any transport, injecting seeded probabilistic loss and
+/// duplication on send.
+///
+/// With `control_only` (the default via [`ChaosTransport::control`]),
+/// data frames pass through untouched and only control frames are
+/// faulted — the live mirror of the simulator's `FaultPlan`, which
+/// faults `Control` packets so that environmental faults stress the
+/// protocol's delivery machinery without framing honest forwarders.
+#[derive(Debug)]
+pub struct ChaosTransport<T: Transport> {
+    inner: T,
+    loss: f64,
+    duplicate: f64,
+    control_only: bool,
+    rng: StdRng,
+}
+
+impl<T: Transport> ChaosTransport<T> {
+    /// Chaos over control frames only (the standard configuration).
+    pub fn control(inner: T, loss: f64, duplicate: f64, seed: u64) -> Self {
+        Self {
+            inner,
+            loss,
+            duplicate,
+            control_only: true,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Chaos over every frame, data included. Only meaningful for
+    /// transport-level tests: data loss is indistinguishable from a
+    /// malicious dropper by design.
+    pub fn all_frames(inner: T, loss: f64, duplicate: f64, seed: u64) -> Self {
+        Self {
+            control_only: false,
+            ..Self::control(inner, loss, duplicate, seed)
+        }
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: Transport> Transport for ChaosTransport<T> {
+    fn local(&self) -> RouterId {
+        self.inner.local()
+    }
+
+    fn send(&mut self, dst: RouterId, frame: &[u8]) -> Result<(), NetError> {
+        if self.control_only && peek_type(frame) == Some(MsgType::Data) {
+            return self.inner.send(dst, frame);
+        }
+        if self.rng.gen_bool(self.loss) {
+            return Ok(()); // swallowed by the network
+        }
+        self.inner.send(dst, frame)?;
+        if self.rng.gen_bool(self.duplicate) {
+            self.inner.send(dst, frame)?;
+        }
+        Ok(())
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, NetError> {
+        self.inner.recv_timeout(timeout)
+    }
+
+    fn max_datagram(&self) -> usize {
+        self.inner.max_datagram()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rid(v: u32) -> RouterId {
+        RouterId::from(v)
+    }
+
+    #[test]
+    fn loopback_delivers_between_endpoints() {
+        let mut group = LoopbackHub::group(&[rid(0), rid(1)]);
+        let mut b = group.pop().unwrap();
+        let mut a = group.pop().unwrap();
+        a.send(rid(1), b"hello").unwrap();
+        let got = b.recv_timeout(Duration::from_millis(200)).unwrap();
+        assert_eq!(got.as_deref(), Some(&b"hello"[..]));
+        assert_eq!(
+            b.recv_timeout(Duration::from_millis(1)).unwrap(),
+            None,
+            "no further frames"
+        );
+    }
+
+    #[test]
+    fn udp_delivers_over_real_sockets() {
+        let mut group = UdpNet::bind_group(&[rid(0), rid(1)]).unwrap();
+        let mut b = group.pop().unwrap();
+        let mut a = group.pop().unwrap();
+        a.send(rid(1), b"over the kernel").unwrap();
+        let got = b.recv_timeout(Duration::from_millis(500)).unwrap();
+        assert_eq!(got.as_deref(), Some(&b"over the kernel"[..]));
+        assert_eq!(b.recv_timeout(Duration::from_millis(1)).unwrap(), None);
+    }
+
+    #[test]
+    fn unknown_peer_and_oversize_rejected() {
+        let mut group = LoopbackHub::group(&[rid(0)]);
+        let mut a = group.pop().unwrap();
+        assert_eq!(a.send(rid(9), b"x"), Err(NetError::UnknownPeer(rid(9))));
+        let big = vec![0u8; MAX_FRAME + 1];
+        assert_eq!(a.send(rid(0), &big), Err(NetError::Oversize(big.len())));
+    }
+
+    #[test]
+    fn chaos_loss_rate_is_approximately_p() {
+        let mut group = LoopbackHub::group(&[rid(0), rid(1)]);
+        let mut b = group.pop().unwrap();
+        let a = group.pop().unwrap();
+        let mut chaotic = ChaosTransport::all_frames(a, 0.5, 0.0, 42);
+        let n = 2000;
+        for _ in 0..n {
+            chaotic.send(rid(1), b"f").unwrap();
+        }
+        let mut received = 0;
+        while b.recv_timeout(Duration::from_millis(1)).unwrap().is_some() {
+            received += 1;
+        }
+        let rate = received as f64 / n as f64;
+        assert!((rate - 0.5).abs() < 0.05, "survival rate {rate}");
+    }
+
+    #[test]
+    fn chaos_duplication_produces_extras() {
+        let mut group = LoopbackHub::group(&[rid(0), rid(1)]);
+        let mut b = group.pop().unwrap();
+        let a = group.pop().unwrap();
+        let mut chaotic = ChaosTransport::all_frames(a, 0.0, 0.5, 7);
+        let n = 1000;
+        for _ in 0..n {
+            chaotic.send(rid(1), b"f").unwrap();
+        }
+        let mut received = 0;
+        while b.recv_timeout(Duration::from_millis(1)).unwrap().is_some() {
+            received += 1;
+        }
+        assert!(received > n, "expected duplicates, got {received}");
+        let dup_rate = (received - n) as f64 / n as f64;
+        assert!((dup_rate - 0.5).abs() < 0.06, "duplication rate {dup_rate}");
+    }
+}

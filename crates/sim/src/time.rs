@@ -69,6 +69,17 @@ impl SimTime {
         SimTime(self.0.saturating_sub(earlier.0))
     }
 
+    /// Saturating multiplication — `u64::MAX` ns instead of overflow, so
+    /// unbounded retry/backoff arithmetic cannot wrap or panic.
+    pub const fn saturating_mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0.saturating_mul(rhs))
+    }
+
+    /// Saturating addition.
+    pub const fn saturating_add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+
     /// Applies a signed skew, saturating at zero (how a router with a slow
     /// clock timestamps an observation).
     pub fn with_skew(self, skew_ns: i64) -> SimTime {
@@ -128,6 +139,17 @@ mod tests {
         assert_eq!(a.since(b), SimTime::from_ms(7));
         assert_eq!(b.since(a), SimTime::ZERO);
         assert_eq!(SimTime::from_ms(2) * 3, SimTime::from_ms(6));
+    }
+
+    #[test]
+    fn saturating_arithmetic_never_wraps() {
+        let huge = SimTime::from_ns(u64::MAX / 2);
+        assert_eq!(huge.saturating_mul(u64::MAX), SimTime::from_ns(u64::MAX));
+        assert_eq!(
+            huge.saturating_add(huge).saturating_add(huge),
+            SimTime::from_ns(u64::MAX)
+        );
+        assert_eq!(SimTime::from_ms(3).saturating_mul(4), SimTime::from_ms(12));
     }
 
     #[test]

@@ -19,7 +19,10 @@
 //!   RED queues, TCP, and attack injection;
 //! * [`protocols`] — the detectors themselves: Protocol Π2, Protocol Πk+2,
 //!   Protocol χ, the WATCHERS and static-threshold baselines, and the Fatih
-//!   system orchestration.
+//!   system orchestration;
+//! * [`net`] — a real wire-protocol runtime: binary codec, UDP/loopback
+//!   transports, per-router event loops running the protocol against
+//!   wall-clock time.
 //!
 //! # Quick start
 //!
@@ -43,6 +46,7 @@
 
 pub use fatih_core as protocols;
 pub use fatih_crypto as crypto;
+pub use fatih_net as net;
 pub use fatih_sim as sim;
 pub use fatih_stats as stats;
 pub use fatih_topology as topology;

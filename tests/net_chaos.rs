@@ -1,0 +1,77 @@
+//! Chaos testing of the live runtime over real loopback UDP sockets.
+//!
+//! Every router's transport is wrapped in a seeded chaos shim that drops
+//! and duplicates control frames (summaries, acks, alerts) on the wire.
+//! The reliable-delivery layer must absorb that — retransmitting until
+//! acked, deduplicating by (source, sequence) — so that across many seeds
+//! the live deployment reaches exactly the verdicts the simulator reaches
+//! under the same fault plan: the dropper's segments suspected
+//! (completeness), no correct-only segment accused (accuracy).
+
+use fatih::net::runtime::{DropperSpec, FlowSpec, LiveConfig, LiveDeployment, LiveSpec};
+use fatih::net::{ChaosTransport, UdpNet};
+use fatih::protocols::spec::SpecCheck;
+use fatih::topology::{builtin, RouterId};
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+/// Ten seeds of control-plane chaos over real UDP: same accuracy and
+/// completeness as the in-sim chaos runs (tests/chaos_control_plane.rs).
+#[test]
+fn udp_chaos_seeds_keep_verdicts() {
+    let topo = builtin::line(6);
+    let ids: Vec<RouterId> = topo.routers().collect();
+    let faulty: BTreeSet<RouterId> = [ids[3]].into_iter().collect();
+
+    for seed in 0u64..10 {
+        // Same fault-rate schedule as the simulator's chaos suite.
+        let loss = 0.02 + (seed % 7) as f64 * 0.02;
+        let duplicate = (seed % 5) as f64 * 0.02;
+
+        let spec = LiveSpec {
+            flows: vec![FlowSpec::new(
+                ids[0],
+                ids[5],
+                1000,
+                Duration::from_millis(2),
+            )],
+            droppers: vec![DropperSpec {
+                router: ids[3],
+                rate: 0.3,
+                seed,
+            }],
+            monitor_pairs: vec![],
+        };
+        let cfg = LiveConfig {
+            tau: Duration::from_millis(200),
+            exchange_budget: Duration::from_millis(120),
+            maturity_lag: Duration::from_millis(50),
+            rounds: 2,
+            ..LiveConfig::default()
+        };
+        let transports: Vec<_> = UdpNet::bind_group(&ids)
+            .expect("bind loopback sockets")
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| ChaosTransport::control(t, loss, duplicate, seed * 1000 + i as u64))
+            .collect();
+
+        let outcome = LiveDeployment::run(&topo, &spec, &cfg, transports);
+        assert!(
+            outcome.stats.data_delivered > 0,
+            "seed {seed}: no traffic delivered"
+        );
+        let check = SpecCheck::evaluate(&outcome.suspicions, &faulty);
+        assert!(
+            check.is_complete(),
+            "seed {seed} (loss {loss:.2}, dup {duplicate:.2}): dropper escaped; \
+             suspicions: {:?}",
+            outcome.suspicions
+        );
+        assert!(
+            check.is_accurate(cfg.k + 2),
+            "seed {seed} (loss {loss:.2}, dup {duplicate:.2}): false positives: {:?}",
+            check.false_positives
+        );
+    }
+}
