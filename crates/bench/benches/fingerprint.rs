@@ -1,10 +1,12 @@
 //! §7.1 "Computing fingerprints": the per-packet cost of the UHASH-style
 //! universal hash (what Fatih uses on the forwarding path) versus a full
 //! cryptographic hash (SHA-256) and HMAC-SHA256 — the reason the
-//! prototype chose UHASH.
+//! prototype chose UHASH — plus the fast-path kernel variants: the scalar
+//! Horner baseline, the 4-lane one-shot kernel, the cross-message batch
+//! path, and the streaming hasher.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use fatih_crypto::{hmac::hmac_sha256, Sha256, UhashKey};
+use fatih_crypto::{hmac::hmac_sha256, FingerprintHasher, Sha256, UhashKey};
 
 fn bench_fingerprints(c: &mut Criterion) {
     let key = UhashKey::from_seed(7);
@@ -12,8 +14,18 @@ fn bench_fingerprints(c: &mut Criterion) {
         let packet: Vec<u8> = (0..size).map(|i| i as u8).collect();
         let mut g = c.benchmark_group(format!("fingerprint/{size}B"));
         g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function("uhash_scalar", |b| {
+            b.iter(|| black_box(key.fingerprint_scalar(black_box(&packet))))
+        });
         g.bench_function("uhash", |b| {
             b.iter(|| black_box(key.fingerprint(black_box(&packet))))
+        });
+        g.bench_function("uhash_streaming", |b| {
+            b.iter(|| {
+                let mut h = FingerprintHasher::new(&key);
+                h.update(black_box(&packet));
+                black_box(h.finalize())
+            })
         });
         g.bench_function("sha256", |b| {
             b.iter(|| black_box(Sha256::digest(black_box(&packet))))
@@ -25,5 +37,33 @@ fn bench_fingerprints(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_fingerprints);
+fn bench_batch(c: &mut Criterion) {
+    let key = UhashKey::from_seed(7);
+    const GROUP: usize = 64;
+    for size in [40usize, 1500] {
+        let packets: Vec<Vec<u8>> = (0..GROUP)
+            .map(|p| (0..size).map(|i| (i + p) as u8).collect())
+            .collect();
+        let msgs: Vec<&[u8]> = packets.iter().map(|p| &p[..]).collect();
+        let mut g = c.benchmark_group(format!("fingerprint_batch/{size}B"));
+        g.throughput(Throughput::Bytes((size * GROUP) as u64));
+        g.bench_function("one_shot_x64", |b| {
+            b.iter(|| {
+                for m in &msgs {
+                    black_box(key.fingerprint(black_box(m)));
+                }
+            })
+        });
+        g.bench_function("batch_x64", |b| {
+            let mut out = Vec::with_capacity(GROUP);
+            b.iter(|| {
+                key.fingerprint_batch_into(black_box(&msgs), &mut out);
+                black_box(out.last().copied())
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_fingerprints, bench_batch);
 criterion_main!(benches);

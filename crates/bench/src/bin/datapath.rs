@@ -1,0 +1,241 @@
+//! datapath — load harness for the traffic-validation fast path.
+//!
+//! Measures, on this machine:
+//!
+//! * **fingerprint kernel** — bytes/sec through the 4-lane batched
+//!   Mersenne kernel vs the scalar Horner baseline on 1500-byte packets
+//!   (the MTU-sized worst case for per-byte cost);
+//! * **validation pipeline** — packets/sec through the full data path on
+//!   the Abilene backbone: batched monitor ingest → per-end reports →
+//!   content summarization → `tv_content` verdicts.
+//!
+//! Writes `BENCH_datapath.json` to the current directory and fails
+//! (exit ≠ 0) if the batched kernel is less than 3× the scalar baseline
+//! or the pipeline drops below 1M packets/sec.
+//!
+//! Run with `cargo run --release -p fatih-bench --bin datapath`
+//! (`-- --smoke` for a seconds-scale CI run).
+
+use fatih_core::monitor::{MonitorMode, PathOracle, SegmentMonitorSet};
+use fatih_crypto::{KeyStore, UhashKey};
+use fatih_sim::{FlowId, Packet, PacketId, PacketKind, SimTime, TapEvent};
+use fatih_topology::{builtin, Path, PathSegment};
+use fatih_validation::tv_content;
+use std::time::Instant;
+
+/// The batched kernel must beat the scalar baseline by this factor on
+/// MTU-sized packets.
+const KERNEL_FLOOR: f64 = 3.0;
+
+/// Packets/sec floor for the monitor → summary → verdict pipeline.
+const PIPELINE_FLOOR: f64 = 1_000_000.0;
+
+/// Scalar-baseline fingerprint throughput in bytes/sec.
+fn scalar_rate(key: &UhashKey, msg: &[u8], iters: u64) -> f64 {
+    let mut sink = 0u64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        sink ^= key.fingerprint_scalar(msg).value();
+    }
+    let secs = start.elapsed().as_secs_f64();
+    assert!(sink != u64::MAX, "keep the checksum live");
+    (iters as f64 * msg.len() as f64) / secs
+}
+
+/// Batched-kernel fingerprint throughput in bytes/sec.
+fn batch_rate(key: &UhashKey, msg: &[u8], iters: u64) -> f64 {
+    const GROUP: u64 = 64;
+    let msgs: Vec<&[u8]> = (0..GROUP).map(|_| msg).collect();
+    let mut out = Vec::new();
+    let mut sink = 0u64;
+    let start = Instant::now();
+    for _ in 0..iters / GROUP {
+        key.fingerprint_batch_into(&msgs, &mut out);
+        sink ^= out[0].value();
+    }
+    let secs = start.elapsed().as_secs_f64();
+    assert!(sink != u64::MAX, "keep the checksum live");
+    ((iters / GROUP * GROUP) as f64 * msg.len() as f64) / secs
+}
+
+/// The Abilene workload: end-to-end monitored paths and a pre-generated
+/// tap-event tape (source enqueue + sink arrival per packet), so the timed
+/// region measures the validation pipeline and not traffic generation.
+struct Workload {
+    segments: Vec<PathSegment>,
+    oracle: PathOracle,
+    events: Vec<TapEvent>,
+    packets: usize,
+}
+
+fn build_workload(packets: usize) -> Workload {
+    let topo = builtin::abilene();
+    let routes = topo.link_state_routes();
+    // Monitor routed paths end-to-end (Πk+2 ends-only style); spread the
+    // packet budget round-robin across them. Only *maximal* paths are
+    // kept — a shortest path's subpath is itself a routed path, and a
+    // nested segment would be fed by the tape's source events but not its
+    // sink events (the tape carries end events only, not per-hop ones).
+    let all: Vec<Path> = routes
+        .all_paths()
+        .filter(|p| p.routers().len() >= 3)
+        .collect();
+    let paths: Vec<Path> = all
+        .iter()
+        .filter(|p| {
+            !all.iter()
+                .any(|q| q.routers().len() > p.routers().len() && q.contains_segment(p.routers()))
+        })
+        .cloned()
+        .collect();
+    let segments: Vec<PathSegment> = paths
+        .iter()
+        .map(|p| PathSegment::new(p.routers().to_vec()))
+        .collect();
+    let oracle = PathOracle::from_routes(&routes);
+    let mut events = Vec::with_capacity(packets * 2);
+    for i in 0..packets {
+        let path = &paths[i % paths.len()];
+        let routers = path.routers();
+        let id = PacketId(i as u64 + 1);
+        let packet = Packet {
+            id,
+            src: routers[0],
+            dst: routers[routers.len() - 1],
+            flow: FlowId((i % paths.len()) as u32),
+            kind: PacketKind::Data,
+            size: 1500,
+            seq: i as u64,
+            payload_tag: Packet::expected_tag(id),
+            ttl: Packet::DEFAULT_TTL,
+            created_at: SimTime::from_ns(i as u64 * 100),
+        };
+        events.push(TapEvent::Enqueued {
+            router: routers[0],
+            next_hop: routers[1],
+            packet,
+            time: SimTime::from_ns(i as u64 * 100),
+            queue_len_after: 0,
+        });
+        events.push(TapEvent::Arrived {
+            router: routers[routers.len() - 1],
+            from: Some(routers[routers.len() - 2]),
+            packet,
+            time: SimTime::from_ns(i as u64 * 100 + 50),
+        });
+    }
+    Workload {
+        segments,
+        oracle,
+        events,
+        packets,
+    }
+}
+
+/// Packets/sec through ingest → reports → summaries → verdicts.
+fn pipeline_rate(w: &Workload, ks: &KeyStore) -> f64 {
+    let mut mon = SegmentMonitorSet::new(
+        w.segments.clone(),
+        w.oracle.clone(),
+        ks,
+        MonitorMode::EndsOnly,
+        None,
+    );
+    let start = Instant::now();
+    for chunk in w.events.chunks(512) {
+        mon.observe_batch(chunk);
+    }
+    let mut lost = 0usize;
+    let mut fabricated = 0usize;
+    for (i, seg) in w.segments.iter().enumerate() {
+        let routers = seg.routers();
+        let up = mon.report(routers[0], i).to_content();
+        let down = mon.report(routers[routers.len() - 1], i).to_content();
+        let verdict = tv_content(&up, &down);
+        lost += verdict.lost.len();
+        fabricated += verdict.fabricated.len();
+    }
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(
+        (lost, fabricated),
+        (0, 0),
+        "clean workload must validate clean"
+    );
+    w.packets as f64 / secs
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (fp_iters, packets) = if smoke {
+        (200_000, 200_000)
+    } else {
+        (2_000_000, 1_000_000)
+    };
+
+    println!("datapath ({})", if smoke { "smoke" } else { "full" });
+
+    let key = UhashKey::from_seed(0xDA7A);
+    let msg = vec![0xA5u8; 1500];
+    // Warm up both paths before timing.
+    let _ = scalar_rate(&key, &msg, 1_000);
+    let _ = batch_rate(&key, &msg, 1_000);
+    let scalar_bps = scalar_rate(&key, &msg, fp_iters);
+    let batch_bps = batch_rate(&key, &msg, fp_iters);
+    let speedup = batch_bps / scalar_bps;
+    println!(
+        "  fingerprint scalar : {:>8.0} MB/s  (1500 B packets)",
+        scalar_bps / 1e6
+    );
+    println!(
+        "  fingerprint batch  : {:>8.0} MB/s  ({speedup:.2}x scalar)",
+        batch_bps / 1e6
+    );
+
+    let mut ks = KeyStore::with_seed(0xDA7A);
+    let topo = builtin::abilene();
+    for r in topo.routers() {
+        ks.register(u32::from(r));
+    }
+    let w = build_workload(packets);
+    println!(
+        "  workload           : {} packets over {} Abilene paths",
+        w.packets,
+        w.segments.len()
+    );
+    let pipeline_pps = pipeline_rate(&w, &ks);
+    println!(
+        "  pipeline           : {:>8.2}M pkts/sec (ingest + summarize + tv_content)",
+        pipeline_pps / 1e6
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"datapath\",\n  \"mode\": \"{}\",\n  \
+         \"fingerprint_scalar_bytes_per_sec\": {:.0},\n  \
+         \"fingerprint_batch_bytes_per_sec\": {:.0},\n  \
+         \"fingerprint_speedup\": {:.3},\n  \
+         \"pipeline_pkts_per_sec\": {:.0},\n  \
+         \"packets\": {},\n  \"paths\": {}\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        scalar_bps,
+        batch_bps,
+        speedup,
+        pipeline_pps,
+        w.packets,
+        w.segments.len()
+    );
+    std::fs::write("BENCH_datapath.json", &json).expect("write BENCH_datapath.json");
+    println!("\nwrote BENCH_datapath.json");
+
+    assert!(
+        speedup >= KERNEL_FLOOR,
+        "batched kernel is only {speedup:.2}x the scalar baseline \
+         (floor {KERNEL_FLOOR}x)"
+    );
+    println!("kernel speedup gate (>= {KERNEL_FLOOR}x scalar): ok");
+    assert!(
+        pipeline_pps >= PIPELINE_FLOOR,
+        "pipeline throughput {pipeline_pps:.0} pkts/sec is below the \
+         {PIPELINE_FLOOR:.0} floor"
+    );
+    println!("pipeline throughput gate (>= {PIPELINE_FLOOR:.0} pkts/sec): ok");
+}

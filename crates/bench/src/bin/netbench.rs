@@ -25,6 +25,11 @@ use std::time::{Duration, Instant};
 /// Floor on Data-frame codec throughput (msgs/sec) before the run fails.
 const CODEC_FLOOR: f64 = 100_000.0;
 
+/// Floor on sealed Summary-frame throughput (msgs/sec): the control plane
+/// must seal+open summaries fast enough that round bookkeeping never
+/// competes with forwarding (measured ~144k on the reference machine).
+const CONTROL_FLOOR: f64 = 50_000.0;
+
 fn rid(v: u32) -> RouterId {
     RouterId::from(v)
 }
@@ -212,4 +217,10 @@ fn main() {
          {CODEC_FLOOR:.0} floor"
     );
     println!("codec throughput gate (>= {CODEC_FLOOR:.0} msgs/sec): ok");
+    assert!(
+        control_rate >= CONTROL_FLOOR,
+        "Summary-frame throughput {control_rate:.0} msgs/sec is below the \
+         {CONTROL_FLOOR:.0} floor"
+    );
+    println!("control throughput gate (>= {CONTROL_FLOOR:.0} msgs/sec): ok");
 }

@@ -12,11 +12,11 @@
 //! secret trajectory-sampling pattern, §5.2.1).
 
 use fatih_crypto::{Fingerprint, KeyStore, UhashKey};
-use fatih_sim::{Packet, SimTime, TapEvent};
+use fatih_sim::{Packet, PacketId, SimTime, TapEvent};
 use fatih_topology::{Path, PathSegment, RouterId, Routes};
 use fatih_validation::sampling::SamplingPattern;
 use fatih_validation::summary::{ContentSummary, FlowCounter, OrderedSummary};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap};
 
 /// One recorded packet observation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,14 +55,20 @@ impl Report {
     }
 
     /// Entries observed at or before `cutoff`.
+    ///
+    /// Entries are appended in observation-time order (the simulator
+    /// delivers events in time order and a live node's clock is
+    /// monotonic; [`decode`](Self::decode) rejects reports that violate
+    /// it), so the cutoff is a binary search and a slice copy rather than
+    /// a full clone-and-filter.
     pub fn mature(&self, cutoff: SimTime) -> Report {
+        debug_assert!(
+            self.entries.windows(2).all(|w| w[0].time <= w[1].time),
+            "report entries out of observation-time order"
+        );
+        let n = self.entries.partition_point(|e| e.time <= cutoff);
         Report {
-            entries: self
-                .entries
-                .iter()
-                .copied()
-                .filter(|e| e.time <= cutoff)
-                .collect(),
+            entries: self.entries[..n].to_vec(),
         }
     }
 
@@ -81,21 +87,61 @@ impl Report {
     }
 
     /// Conservation-of-content view.
+    ///
+    /// Large reports are summarized in parallel: the entry list is split
+    /// into contiguous shards, each shard sort-aggregates its fingerprints
+    /// on its own thread (`std::thread::scope`), and the sorted partials
+    /// are merge-joined into one [`ContentSummary`] — the same multiset a
+    /// sequential pass builds, since summarization is order-insensitive.
     pub fn to_content(&self) -> ContentSummary {
-        let mut s = ContentSummary::default();
-        for e in &self.entries {
-            s.observe(e.fingerprint, e.size as u64);
+        /// Below this many entries the shard setup costs more than it
+        /// saves.
+        const SHARD_MIN: usize = 16 * 1024;
+        if self.entries.len() < SHARD_MIN {
+            let mut s = ContentSummary::default();
+            for e in &self.entries {
+                s.observe(e.fingerprint, e.size as u64);
+            }
+            return s;
         }
-        s
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(self.entries.len() / SHARD_MIN)
+            .clamp(1, 8);
+        let shard_len = self.entries.len().div_ceil(threads);
+        let partials: Vec<(Vec<(Fingerprint, u32)>, FlowCounter)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .entries
+                .chunks(shard_len)
+                .map(|shard| scope.spawn(move || summarize_shard(shard)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("summarizer shard panicked"))
+                .collect()
+        });
+        let mut flow = FlowCounter::default();
+        let mut merged: Vec<(Fingerprint, u32)> = Vec::new();
+        for (partial, shard_flow) in partials {
+            merged = merge_sorted_counts(merged, partial);
+            flow.merge(&shard_flow);
+        }
+        ContentSummary::from_sorted(merged, flow)
     }
 
     /// Conservation-of-order view.
     pub fn to_ordered(&self) -> OrderedSummary {
-        let mut s = OrderedSummary::default();
-        for e in &self.entries {
-            s.observe(e.fingerprint, e.size as u64);
-        }
-        s
+        let mut flow = FlowCounter::default();
+        let seq = self
+            .entries
+            .iter()
+            .map(|e| {
+                flow.observe(e.size as u64);
+                e.fingerprint
+            })
+            .collect();
+        OrderedSummary::from_sequence(seq, flow)
     }
 
     /// Canonical bytes for signing/MACing.
@@ -111,7 +157,11 @@ impl Report {
     }
 
     /// Decodes [`encode`](Self::encode)'s output; `None` on malformed
-    /// input (a garbled report from a protocol-faulty router).
+    /// input (a garbled report from a protocol-faulty router). Entries out
+    /// of observation-time order are malformed too: a correct recorder
+    /// appends monotonically, and [`mature`](Self::mature) relies on the
+    /// ordering — an adversarial permutation could otherwise smuggle
+    /// entries past the maturity cutoff.
     pub fn decode(bytes: &[u8]) -> Option<Self> {
         if bytes.len() < 8 {
             return None;
@@ -121,19 +171,92 @@ impl Report {
             return None;
         }
         let mut entries = Vec::with_capacity(n);
+        let mut prev = SimTime::ZERO;
         for i in 0..n {
             let off = 8 + i * 20;
             let fp = u64::from_le_bytes(bytes[off..off + 8].try_into().ok()?);
             let size = u32::from_le_bytes(bytes[off + 8..off + 12].try_into().ok()?);
-            let time = u64::from_le_bytes(bytes[off + 12..off + 20].try_into().ok()?);
+            let time = SimTime::from_ns(u64::from_le_bytes(
+                bytes[off + 12..off + 20].try_into().ok()?,
+            ));
+            if time < prev {
+                return None;
+            }
+            prev = time;
             entries.push(ReportEntry {
                 fingerprint: Fingerprint::new(fp),
                 size,
-                time: SimTime::from_ns(time),
+                time,
             });
         }
         Some(Self { entries })
     }
+}
+
+/// Sort-aggregates one shard of report entries into ascending
+/// `(fingerprint, multiplicity)` pairs plus the shard's flow counters.
+fn summarize_shard(shard: &[ReportEntry]) -> (Vec<(Fingerprint, u32)>, FlowCounter) {
+    let mut flow = FlowCounter::default();
+    let mut fps: Vec<Fingerprint> = shard
+        .iter()
+        .map(|e| {
+            flow.observe(e.size as u64);
+            e.fingerprint
+        })
+        .collect();
+    fps.sort_unstable();
+    let mut counts: Vec<(Fingerprint, u32)> = Vec::with_capacity(fps.len());
+    for fp in fps {
+        match counts.last_mut() {
+            Some((last, c)) if *last == fp => *c += 1,
+            _ => counts.push((fp, 1)),
+        }
+    }
+    (counts, flow)
+}
+
+/// Merges two ascending count lists, adding multiplicities of shared
+/// fingerprints.
+fn merge_sorted_counts(
+    a: Vec<(Fingerprint, u32)>,
+    b: Vec<(Fingerprint, u32)>,
+) -> Vec<(Fingerprint, u32)> {
+    if a.is_empty() {
+        return b;
+    }
+    if b.is_empty() {
+        return a;
+    }
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut ai = a.into_iter().peekable();
+    let mut bi = b.into_iter().peekable();
+    loop {
+        match (ai.peek(), bi.peek()) {
+            (Some(&(afp, ac)), Some(&(bfp, bc))) => {
+                if afp < bfp {
+                    out.push((afp, ac));
+                    ai.next();
+                } else if bfp < afp {
+                    out.push((bfp, bc));
+                    bi.next();
+                } else {
+                    out.push((afp, ac + bc));
+                    ai.next();
+                    bi.next();
+                }
+            }
+            (Some(_), None) => {
+                out.extend(ai);
+                break;
+            }
+            (None, Some(_)) => {
+                out.extend(bi);
+                break;
+            }
+            (None, None) => break,
+        }
+    }
+    out
 }
 
 /// A precomputed (source, destination) → path oracle: the global routing
@@ -186,24 +309,75 @@ pub enum MonitorMode {
     EndsOnly,
 }
 
-/// Key for one (router, segment) record.
-type Slot = (RouterId, usize);
+/// One (segment, record-slot) a monitored edge feeds.
+#[derive(Debug, Clone, Copy)]
+struct SlotRef {
+    /// Segment index.
+    seg: u32,
+    /// Index into [`SegmentMonitorSet::slots`].
+    slot: u32,
+}
+
+/// One observation waiting for its fingerprint in the batched ingest path.
+#[derive(Debug, Clone, Copy)]
+struct PendingObs {
+    seg: u32,
+    /// Arrival order within the batch (restores per-slot time order after
+    /// the per-segment grouping sort).
+    idx: u32,
+    slot: u32,
+    size: u32,
+    time: SimTime,
+    id: PacketId,
+    inv: [u8; 40],
+    fp: Option<Fingerprint>,
+}
+
+/// Reusable buffers for [`SegmentMonitorSet::observe_batch`].
+#[derive(Debug, Default)]
+struct IngestScratch {
+    pending: Vec<PendingObs>,
+    fps: Vec<Fingerprint>,
+}
+
+/// Entries in the packet-fingerprint memo before it is flushed (bounds the
+/// memory of a long run; compaction makes old ids worthless anyway).
+const FP_CACHE_MAX: usize = 1 << 16;
 
 /// Monitors a set of path segments, accumulating [`Report`]s per
 /// (router, segment) per round.
+///
+/// Record storage is a flat slot vector laid out at construction — one
+/// slot per (recording router, segment) pair — so the per-packet hot path
+/// indexes an array instead of probing an ordered map.
 #[derive(Debug)]
 pub struct SegmentMonitorSet {
     segments: Vec<PathSegment>,
     oracle: PathOracle,
     keys: Vec<UhashKey>,
     sampling: Option<Vec<SamplingPattern>>,
-    /// (router, its successor in segment) → segments where the router
-    /// records on forward.
-    forward_index: HashMap<(RouterId, RouterId), Vec<usize>>,
-    /// (sink, its predecessor) → segments where the sink records on
-    /// arrival.
-    arrival_index: HashMap<(RouterId, RouterId), Vec<usize>>,
-    data: BTreeMap<Slot, Report>,
+    /// (router, its successor in segment) → slots the router fills on
+    /// forward.
+    forward_index: HashMap<(RouterId, RouterId), Vec<SlotRef>>,
+    /// (sink, its predecessor) → slots the sink fills on arrival.
+    arrival_index: HashMap<(RouterId, RouterId), Vec<SlotRef>>,
+    /// All records, slot-indexed.
+    slots: Vec<Report>,
+    /// (router, segment) → slot, for the cold read path.
+    slot_of: HashMap<(RouterId, usize), usize>,
+    /// Slots belonging to each segment (compaction touches only these).
+    segment_slots: Vec<Vec<usize>>,
+    /// (packet, segment) → fingerprint memo: the same packet is recorded
+    /// by every member of a segment, but its fingerprint under that
+    /// segment's key never changes. The stored invariant bytes are
+    /// compared on every hit so a modified packet (same id, different
+    /// content) can never reuse a stale fingerprint.
+    fp_cache: HashMap<(PacketId, u32), ([u8; 40], Fingerprint)>,
+    /// Route-traversal memo: whether the routed (src, dst) path contains
+    /// segment `seg`. Pure function of the oracle, which is fixed at
+    /// construction.
+    traverse_cache: HashMap<(RouterId, RouterId, u32), bool>,
+    scratch: IngestScratch,
 }
 
 impl SegmentMonitorSet {
@@ -231,28 +405,46 @@ impl SegmentMonitorSet {
                 .map(|k| SamplingPattern::new(*k, rate))
                 .collect()
         });
-        let mut forward_index: HashMap<(RouterId, RouterId), Vec<usize>> = HashMap::new();
-        let mut arrival_index: HashMap<(RouterId, RouterId), Vec<usize>> = HashMap::new();
+        let mut forward_index: HashMap<(RouterId, RouterId), Vec<SlotRef>> = HashMap::new();
+        let mut arrival_index: HashMap<(RouterId, RouterId), Vec<SlotRef>> = HashMap::new();
+        let mut slots: Vec<Report> = Vec::new();
+        let mut slot_of: HashMap<(RouterId, usize), usize> = HashMap::new();
+        let mut segment_slots: Vec<Vec<usize>> = vec![Vec::new(); segments.len()];
+        let mut intern = |router: RouterId, seg: usize| -> SlotRef {
+            let slot = *slot_of.entry((router, seg)).or_insert_with(|| {
+                let s = slots.len();
+                slots.push(Report::default());
+                segment_slots[seg].push(s);
+                s
+            });
+            SlotRef {
+                seg: seg as u32,
+                slot: slot as u32,
+            }
+        };
         for (i, seg) in segments.iter().enumerate() {
             let routers = seg.routers();
             match mode {
                 MonitorMode::AllMembers => {
                     for w in routers.windows(2) {
-                        forward_index.entry((w[0], w[1])).or_default().push(i);
+                        let r = intern(w[0], i);
+                        forward_index.entry((w[0], w[1])).or_default().push(r);
                     }
                 }
                 MonitorMode::EndsOnly => {
+                    let r = intern(routers[0], i);
                     forward_index
                         .entry((routers[0], routers[1]))
                         .or_default()
-                        .push(i);
+                        .push(r);
                 }
             }
             let n = routers.len();
+            let r = intern(routers[n - 1], i);
             arrival_index
                 .entry((routers[n - 1], routers[n - 2]))
                 .or_default()
-                .push(i);
+                .push(r);
         }
         Self {
             segments,
@@ -261,7 +453,12 @@ impl SegmentMonitorSet {
             sampling,
             forward_index,
             arrival_index,
-            data: BTreeMap::new(),
+            slots,
+            slot_of,
+            segment_slots,
+            fp_cache: HashMap::new(),
+            traverse_cache: HashMap::new(),
+            scratch: IngestScratch::default(),
         }
     }
 
@@ -303,6 +500,124 @@ impl SegmentMonitorSet {
         }
     }
 
+    /// Feeds a batch of simulator observations at once.
+    ///
+    /// Equivalent to calling [`observe`](Self::observe) per event, but the
+    /// invariant fields of each packet are encoded once (not once per
+    /// matching segment), fingerprint-memo misses are grouped per segment
+    /// key and pushed through the 4-lane
+    /// [`fingerprint_batch_into`](UhashKey::fingerprint_batch_into) kernel,
+    /// and record pushes index the slot vector directly.
+    pub fn observe_batch(&mut self, events: &[TapEvent]) {
+        let mut pending = std::mem::take(&mut self.scratch.pending);
+        pending.clear();
+        // Phase 1: resolve each event's monitored edge, filter by route
+        // traversal, and take fingerprint-memo hits.
+        for ev in events {
+            if ev.packet().kind == fatih_sim::PacketKind::Control {
+                continue;
+            }
+            let (edge, packet, time, forward) = match ev {
+                TapEvent::Enqueued {
+                    router,
+                    next_hop,
+                    packet,
+                    time,
+                    ..
+                } => ((*router, *next_hop), packet, *time, true),
+                TapEvent::Arrived {
+                    router,
+                    from: Some(from),
+                    packet,
+                    time,
+                } => ((*router, *from), packet, *time, false),
+                _ => continue,
+            };
+            let index = if forward {
+                &self.forward_index
+            } else {
+                &self.arrival_index
+            };
+            let Some(refs) = index.get(&edge) else {
+                continue;
+            };
+            let inv = packet.invariant_bytes();
+            for r in refs {
+                if !Self::traverses(
+                    &self.oracle,
+                    &mut self.traverse_cache,
+                    &self.segments,
+                    packet,
+                    r.seg,
+                ) {
+                    continue;
+                }
+                let fp = match self.fp_cache.get(&(packet.id, r.seg)) {
+                    Some((cached_inv, fp)) if *cached_inv == inv => Some(*fp),
+                    _ => None,
+                };
+                pending.push(PendingObs {
+                    seg: r.seg,
+                    idx: pending.len() as u32,
+                    slot: r.slot,
+                    size: packet.size,
+                    time,
+                    id: packet.id,
+                    inv,
+                    fp,
+                });
+            }
+        }
+        // Phase 2: group by segment; the arrival index restores per-slot
+        // observation order within each group.
+        pending.sort_unstable_by_key(|p| (p.seg, p.idx));
+        // Phase 3: batch-fingerprint the memo misses, one segment key at a
+        // time (equal-length invariant encodings ride the 4-lane path).
+        let mut start = 0;
+        while start < pending.len() {
+            let seg = pending[start].seg;
+            let mut end = start;
+            while end < pending.len() && pending[end].seg == seg {
+                end += 1;
+            }
+            let miss: Vec<usize> = (start..end).filter(|&i| pending[i].fp.is_none()).collect();
+            if !miss.is_empty() {
+                let key = self.keys[seg as usize];
+                let mut fps = std::mem::take(&mut self.scratch.fps);
+                {
+                    let msgs: Vec<&[u8]> = miss.iter().map(|&i| &pending[i].inv[..]).collect();
+                    key.fingerprint_batch_into(&msgs, &mut fps);
+                }
+                for (&i, &fp) in miss.iter().zip(&fps) {
+                    pending[i].fp = Some(fp);
+                    if self.fp_cache.len() >= FP_CACHE_MAX {
+                        self.fp_cache.clear();
+                    }
+                    self.fp_cache
+                        .insert((pending[i].id, seg), (pending[i].inv, fp));
+                }
+                self.scratch.fps = fps;
+            }
+            start = end;
+        }
+        // Phase 4: sampling filter and slot-indexed record pushes.
+        for p in &pending {
+            let fp =
+                p.fp.expect("phase 3 fingerprints every pending observation");
+            if let Some(patterns) = &self.sampling {
+                if !patterns[p.seg as usize].samples_fingerprint(fp) {
+                    continue;
+                }
+            }
+            self.slots[p.slot as usize].entries.push(ReportEntry {
+                fingerprint: fp,
+                size: p.size,
+                time: p.time,
+            });
+        }
+        self.scratch.pending = pending;
+    }
+
     fn record(
         &mut self,
         edge: (RouterId, RouterId),
@@ -315,54 +630,105 @@ impl SegmentMonitorSet {
         } else {
             &self.arrival_index
         };
-        let Some(seg_ids) = index.get(&edge) else {
+        let Some(refs) = index.get(&edge) else {
             return;
         };
-        for &i in seg_ids {
-            let seg = &self.segments[i];
-            if !self.oracle.packet_traverses(packet, seg) {
+        // One invariant-field encoding per packet, shared by every segment
+        // this edge feeds.
+        let inv = packet.invariant_bytes();
+        for r in refs {
+            if !Self::traverses(
+                &self.oracle,
+                &mut self.traverse_cache,
+                &self.segments,
+                packet,
+                r.seg,
+            ) {
                 continue;
             }
-            let fp = packet.fingerprint(&self.keys[i]);
+            let fp = Self::memo_fingerprint(
+                &mut self.fp_cache,
+                &self.keys[r.seg as usize],
+                packet.id,
+                r.seg,
+                &inv,
+            );
             if let Some(patterns) = &self.sampling {
-                if !patterns[i].samples_fingerprint(fp) {
+                if !patterns[r.seg as usize].samples_fingerprint(fp) {
                     continue;
                 }
             }
-            self.data
-                .entry((edge.0, i))
-                .or_default()
-                .entries
-                .push(ReportEntry {
-                    fingerprint: fp,
-                    size: packet.size,
-                    time,
-                });
+            self.slots[r.slot as usize].entries.push(ReportEntry {
+                fingerprint: fp,
+                size: packet.size,
+                time,
+            });
         }
+    }
+
+    /// Memoized route-traversal check: the oracle is fixed at construction,
+    /// so (src, dst, segment) → bool is a pure lookup after the first miss.
+    fn traverses(
+        oracle: &PathOracle,
+        cache: &mut HashMap<(RouterId, RouterId, u32), bool>,
+        segments: &[PathSegment],
+        packet: &Packet,
+        seg: u32,
+    ) -> bool {
+        *cache
+            .entry((packet.src, packet.dst, seg))
+            .or_insert_with(|| oracle.packet_traverses(packet, &segments[seg as usize]))
+    }
+
+    /// Memoized per-(packet, segment) fingerprint. The cached invariant
+    /// bytes are compared on every hit: a packet that arrives modified
+    /// (same id, different invariant fields) is re-fingerprinted, so the
+    /// memo can never mask a modification attack.
+    fn memo_fingerprint(
+        cache: &mut HashMap<(PacketId, u32), ([u8; 40], Fingerprint)>,
+        key: &UhashKey,
+        id: PacketId,
+        seg: u32,
+        inv: &[u8; 40],
+    ) -> Fingerprint {
+        if let Some((cached_inv, fp)) = cache.get(&(id, seg)) {
+            if cached_inv == inv {
+                return *fp;
+            }
+        }
+        let fp = key.fingerprint(inv);
+        if cache.len() >= FP_CACHE_MAX {
+            cache.clear();
+        }
+        cache.insert((id, seg), (*inv, fp));
+        fp
     }
 
     /// The cumulative report of `router` for segment index `i` (empty if
     /// it saw nothing since the last compaction).
     pub fn report(&self, router: RouterId, i: usize) -> Report {
-        self.data.get(&(router, i)).cloned().unwrap_or_default()
+        self.slot_of
+            .get(&(router, i))
+            .map(|&s| self.slots[s].clone())
+            .unwrap_or_default()
     }
 
     /// Whether any record exists (for tests).
     pub fn is_idle(&self) -> bool {
-        self.data.values().all(Report::is_empty)
+        self.slots.iter().all(Report::is_empty)
     }
 
     /// Removes the given fingerprints from **every** member record of
     /// segment `i`: called once a packet is mature end-to-end (seen or
-    /// judged by all recorders), so it is never re-validated.
+    /// judged by all recorders), so it is never re-validated. The
+    /// per-segment slot index makes this O(members of segment `i`), not a
+    /// scan of every record in the set.
     pub fn compact_segment(&mut self, i: usize, fps: &BTreeSet<Fingerprint>) {
         if fps.is_empty() {
             return;
         }
-        for ((_, seg), report) in self.data.iter_mut() {
-            if *seg == i {
-                report.compact(fps);
-            }
+        for &s in &self.segment_slots[i] {
+            self.slots[s].compact(fps);
         }
     }
 }
@@ -505,6 +871,48 @@ mod tests {
         let verdict = fatih_validation::tv_content(&up.to_content(), &down.to_content());
         assert_eq!(verdict.lost.len(), 100 - down.len());
         assert!(verdict.fabricated.is_empty());
+    }
+
+    #[test]
+    fn observe_batch_matches_per_event_observe() {
+        let (mut net, ids) = setup_line4();
+        let segs = vec![
+            PathSegment::new(vec![ids[0], ids[1], ids[2], ids[3]]),
+            PathSegment::new(vec![ids[1], ids[2], ids[3]]),
+        ];
+        let oracle = PathOracle::from_routes(net.routes());
+        let ks = keystore(4);
+        let mut one = SegmentMonitorSet::new(
+            segs.clone(),
+            oracle.clone(),
+            &ks,
+            MonitorMode::AllMembers,
+            None,
+        );
+        let mut batch =
+            SegmentMonitorSet::new(segs.clone(), oracle, &ks, MonitorMode::AllMembers, None);
+        net.add_cbr_flow(
+            ids[0],
+            ids[3],
+            1000,
+            SimTime::from_ms(1),
+            SimTime::ZERO,
+            Some(SimTime::from_ms(50)),
+        );
+        let mut events: Vec<TapEvent> = Vec::new();
+        net.run_until(SimTime::from_secs(1), |ev| {
+            one.observe(ev);
+            events.push(*ev);
+        });
+        // Replay the same tape in uneven chunks through the batched path.
+        for chunk in events.chunks(7) {
+            batch.observe_batch(chunk);
+        }
+        for &r in &ids {
+            for i in 0..segs.len() {
+                assert_eq!(one.report(r, i), batch.report(r, i), "router {r} seg {i}");
+            }
+        }
     }
 
     #[test]

@@ -46,4 +46,4 @@ pub mod uhash;
 
 pub use keys::{KeyStore, Signature};
 pub use sha256::{Digest, Sha256};
-pub use uhash::{Fingerprint, UhashKey};
+pub use uhash::{Fingerprint, FingerprintHasher, UhashKey};

@@ -392,7 +392,16 @@ struct Node<T: Transport> {
     stats: LiveStats,
     next_seq: u64,
     pkt_counter: u64,
+    /// Tap events buffered for the monitors' batched ingest path: flushed
+    /// when full and before any report is read, so a round boundary always
+    /// sees every observation.
+    obs_buf: Vec<TapEvent>,
 }
+
+/// Buffered tap events before the node flushes them through
+/// [`SegmentMonitorSet::observe_batch`]. Big enough to amortize the batch
+/// setup, small enough that a flush never stalls the event loop.
+const OBS_BUF_FLUSH: usize = 128;
 
 impl<T: Transport> Node<T> {
     #[allow(clippy::too_many_arguments)]
@@ -467,6 +476,7 @@ impl<T: Transport> Node<T> {
             stats: LiveStats::default(),
             next_seq: 0,
             pkt_counter: 0,
+            obs_buf: Vec::with_capacity(OBS_BUF_FLUSH),
         }
     }
 
@@ -581,7 +591,7 @@ impl<T: Transport> Node<T> {
         };
         if let Some(next_hop) = self.routes.next_hop(self.id, spec.dst) {
             let t = self.now_st();
-            self.monitors.observe(&TapEvent::Enqueued {
+            self.tap(TapEvent::Enqueued {
                 router: self.id,
                 next_hop,
                 packet,
@@ -594,7 +604,26 @@ impl<T: Transport> Node<T> {
             .schedule(now + interval_ns, TimerEvent::FlowTick(i));
     }
 
+    /// Queues a data-plane observation for the batched monitor ingest,
+    /// flushing once the buffer amortizes the batch setup.
+    fn tap(&mut self, ev: TapEvent) {
+        self.obs_buf.push(ev);
+        if self.obs_buf.len() >= OBS_BUF_FLUSH {
+            self.flush_observations();
+        }
+    }
+
+    /// Pushes buffered observations through the batched fingerprint path.
+    fn flush_observations(&mut self) {
+        if self.obs_buf.is_empty() {
+            return;
+        }
+        self.monitors.observe_batch(&self.obs_buf);
+        self.obs_buf.clear();
+    }
+
     fn round_end(&mut self, r: u64) {
+        self.flush_observations();
         for end in self.ends.clone() {
             let report = self.monitors.report(self.id, end.seg);
             let segment = self.segments[end.seg].clone();
@@ -611,6 +640,7 @@ impl<T: Transport> Node<T> {
     }
 
     fn round_eval(&mut self, r: u64, events: &mpsc::Sender<LiveEvent>) {
+        self.flush_observations();
         let tau = self.cfg.tau.as_nanos() as u64;
         let round_start = SimTime::from_ns(r * tau);
         let round_end = SimTime::from_ns((r + 1) * tau);
@@ -761,7 +791,7 @@ impl<T: Transport> Node<T> {
 
     fn handle_data(&mut self, from: RouterId, packet: Packet) {
         let t = self.now_st();
-        self.monitors.observe(&TapEvent::Arrived {
+        self.tap(TapEvent::Arrived {
             router: self.id,
             from: Some(from),
             packet,
@@ -778,7 +808,7 @@ impl<T: Transport> Node<T> {
         let Some(next_hop) = self.routes.next_hop(self.id, packet.dst) else {
             return;
         };
-        self.monitors.observe(&TapEvent::Enqueued {
+        self.tap(TapEvent::Enqueued {
             router: self.id,
             next_hop,
             packet,

@@ -57,12 +57,18 @@ fn random_segment(rng: &mut StdRng) -> PathSegment {
 
 fn random_report(rng: &mut StdRng) -> Report {
     let n = rng.gen_range(0usize..20);
+    // Observation times ascend, as a correct recorder appends them —
+    // the codec rejects out-of-order reports as malformed.
+    let mut t = 0u64;
     Report {
         entries: (0..n)
-            .map(|_| ReportEntry {
-                fingerprint: Fingerprint::new(rng.gen::<u64>()),
-                size: rng.gen_range(40..1500),
-                time: SimTime::from_ns(rng.gen_range(0..1 << 40)),
+            .map(|_| {
+                t += rng.gen_range(0u64..1 << 30);
+                ReportEntry {
+                    fingerprint: Fingerprint::new(rng.gen::<u64>()),
+                    size: rng.gen_range(40..1500),
+                    time: SimTime::from_ns(t),
+                }
             })
             .collect(),
     }

@@ -123,6 +123,16 @@ impl Packet {
         key.fingerprint(&self.invariant_bytes())
     }
 
+    /// Fingerprints many packets under one key via the batched 4-lane
+    /// kernel. All invariant encodings share one length, so every full
+    /// group of four rides the interleaved path. Bit-identical to calling
+    /// [`fingerprint`](Self::fingerprint) per packet.
+    pub fn fingerprint_batch(packets: &[&Packet], key: &UhashKey) -> Vec<Fingerprint> {
+        let invs: Vec<[u8; 40]> = packets.iter().map(|p| p.invariant_bytes()).collect();
+        let msgs: Vec<&[u8]> = invs.iter().map(|inv| &inv[..]).collect();
+        key.fingerprint_batch(&msgs)
+    }
+
     /// Whether this is a TCP connection-establishment packet.
     pub fn is_syn(&self) -> bool {
         self.kind == PacketKind::TcpSyn

@@ -105,16 +105,93 @@ impl ContentSummary {
         self.counts.iter().map(|(&fp, &c)| (fp, c))
     }
 
-    /// Exact multiset difference `self ∖ other` (with multiplicities).
+    /// Bulk-builds a summary from fingerprints sorted ascending with no
+    /// duplicates (the output of a sharded sort-and-aggregate pass), plus
+    /// the flow counters the caller accumulated alongside. Equivalent to
+    /// calling [`observe`](Self::observe) once per underlying packet, but
+    /// one O(n) tree build instead of n logarithmic inserts.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `counts` is strictly sorted by fingerprint.
+    pub fn from_sorted(counts: Vec<(Fingerprint, u32)>, flow: FlowCounter) -> Self {
+        debug_assert!(
+            counts.windows(2).all(|w| w[0].0 < w[1].0),
+            "from_sorted needs strictly ascending fingerprints"
+        );
+        Self {
+            counts: counts.into_iter().collect(),
+            flow,
+        }
+    }
+
+    /// Merges another summary into this one (multiset union): the shard
+    /// recombination step of the parallel summarizer.
+    pub fn merge(&mut self, other: &ContentSummary) {
+        for (&fp, &c) in &other.counts {
+            *self.counts.entry(fp).or_insert(0) += c;
+        }
+        self.flow.merge(&other.flow);
+    }
+
+    /// Exact multiset difference `self ∖ other` (with multiplicities), as a
+    /// sorted merge-join over the two count maps — one linear pass instead
+    /// of a map probe per entry.
     pub fn difference(&self, other: &ContentSummary) -> Vec<Fingerprint> {
         let mut out = Vec::new();
+        let mut theirs = other.counts.iter().peekable();
         for (&fp, &count) in &self.counts {
-            let theirs = other.multiplicity(fp);
-            for _ in theirs..count {
+            while theirs.next_if(|&(&ofp, _)| ofp < fp).is_some() {}
+            let matched = match theirs.peek() {
+                Some(&(&ofp, &oc)) if ofp == fp => oc,
+                _ => 0,
+            };
+            for _ in matched..count {
                 out.push(fp);
             }
         }
         out
+    }
+
+    /// Both directions of the multiset difference in a single merge-join
+    /// pass: `(self ∖ other, other ∖ self)` — exactly what
+    /// [`tv_content`](crate::tv_content) needs for (lost, fabricated).
+    pub fn difference_pair(&self, other: &ContentSummary) -> (Vec<Fingerprint>, Vec<Fingerprint>) {
+        let mut only_self = Vec::new();
+        let mut only_other = Vec::new();
+        let mut a = self.counts.iter().peekable();
+        let mut b = other.counts.iter().peekable();
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&(&afp, &ac)), Some(&(&bfp, &bc))) => {
+                    if afp < bfp {
+                        only_self.extend(std::iter::repeat_n(afp, ac as usize));
+                        a.next();
+                    } else if bfp < afp {
+                        only_other.extend(std::iter::repeat_n(bfp, bc as usize));
+                        b.next();
+                    } else {
+                        if ac > bc {
+                            only_self.extend(std::iter::repeat_n(afp, (ac - bc) as usize));
+                        } else if bc > ac {
+                            only_other.extend(std::iter::repeat_n(bfp, (bc - ac) as usize));
+                        }
+                        a.next();
+                        b.next();
+                    }
+                }
+                (Some(&(&afp, &ac)), None) => {
+                    only_self.extend(std::iter::repeat_n(afp, ac as usize));
+                    a.next();
+                }
+                (None, Some(&(&bfp, &bc))) => {
+                    only_other.extend(std::iter::repeat_n(bfp, bc as usize));
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        (only_self, only_other)
     }
 
     /// Builds the compact polynomial sketch for bandwidth-efficient
@@ -149,6 +226,20 @@ impl OrderedSummary {
     pub fn observe(&mut self, fp: Fingerprint, size: u64) {
         self.seq.push(fp);
         self.flow.observe(size);
+    }
+
+    /// Bulk-builds from an already-ordered fingerprint sequence and its
+    /// accumulated flow counters (one move, no per-packet bookkeeping).
+    pub fn from_sequence(seq: Vec<Fingerprint>, flow: FlowCounter) -> Self {
+        Self { seq, flow }
+    }
+
+    /// Appends another summary observed *after* this one (shard
+    /// recombination: concatenating contiguous shards preserves
+    /// observation order).
+    pub fn merge(&mut self, other: &OrderedSummary) {
+        self.seq.extend_from_slice(&other.seq);
+        self.flow.merge(&other.flow);
     }
 
     /// The observation sequence.
@@ -257,6 +348,80 @@ mod tests {
                 bytes: 600
             }
         );
+    }
+
+    #[test]
+    fn difference_pair_matches_both_one_way_differences() {
+        // Pseudo-random multisets with shared, disjoint and
+        // multiplicity-skewed fingerprints.
+        let mut x = 0xDEAD_BEEFu64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut a = ContentSummary::default();
+        let mut b = ContentSummary::default();
+        for _ in 0..500 {
+            let v = next() % 64; // force collisions and multiplicities
+            if next() % 3 != 0 {
+                a.observe(fp(v), 100);
+            }
+            if next() % 3 != 0 {
+                b.observe(fp(v), 100);
+            }
+        }
+        let (lost, fabricated) = a.difference_pair(&b);
+        assert_eq!(lost, a.difference(&b));
+        assert_eq!(fabricated, b.difference(&a));
+    }
+
+    #[test]
+    fn from_sorted_and_merge_agree_with_observe() {
+        let mut by_observe = ContentSummary::default();
+        for v in [1u64, 1, 2, 5, 5, 5, 9] {
+            by_observe.observe(fp(v), 10);
+        }
+        let bulk = ContentSummary::from_sorted(
+            vec![(fp(1), 2), (fp(2), 1), (fp(5), 3), (fp(9), 1)],
+            FlowCounter {
+                packets: 7,
+                bytes: 70,
+            },
+        );
+        assert_eq!(bulk, by_observe);
+
+        let mut left = ContentSummary::default();
+        let mut right = ContentSummary::default();
+        for v in [1u64, 1, 2] {
+            left.observe(fp(v), 10);
+        }
+        for v in [5u64, 5, 5, 9] {
+            right.observe(fp(v), 10);
+        }
+        left.merge(&right);
+        assert_eq!(left, by_observe);
+    }
+
+    #[test]
+    fn ordered_merge_concatenates_in_order() {
+        let mut first = OrderedSummary::default();
+        first.observe(fp(3), 10);
+        first.observe(fp(1), 20);
+        let mut second = OrderedSummary::default();
+        second.observe(fp(2), 30);
+        first.merge(&second);
+        assert_eq!(first.sequence(), &[fp(3), fp(1), fp(2)]);
+        assert_eq!(first.flow().bytes, 60);
+        let bulk = OrderedSummary::from_sequence(
+            vec![fp(3), fp(1), fp(2)],
+            FlowCounter {
+                packets: 3,
+                bytes: 60,
+            },
+        );
+        assert_eq!(bulk, first);
     }
 
     #[test]

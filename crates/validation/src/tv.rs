@@ -85,12 +85,12 @@ impl ContentVerdict {
 }
 
 /// Conservation of content: exact multiset comparison of fingerprints
-/// (detects loss, fabrication, modification, misrouting — §2.4.1).
+/// (detects loss, fabrication, modification, misrouting — §2.4.1). Both
+/// directions come out of one merge-join pass over the two sorted
+/// summaries ([`ContentSummary::difference_pair`]).
 pub fn tv_content(sent: &ContentSummary, received: &ContentSummary) -> ContentVerdict {
-    ContentVerdict {
-        lost: sent.difference(received),
-        fabricated: received.difference(sent),
-    }
+    let (lost, fabricated) = sent.difference_pair(received);
+    ContentVerdict { lost, fabricated }
 }
 
 /// Verdict of the conservation-of-order check.
