@@ -1,11 +1,16 @@
 //! §2.4.1 / Appendix A ablation: the cost of the three set-difference
 //! mechanisms for conservation-of-content — resend every fingerprint,
 //! Bloom filters, and characteristic-polynomial set reconciliation — for
-//! a round of 1,000 packets with a handful of losses.
+//! a round of 1,000 packets with a handful of losses, plus a scaling
+//! sweep at 10,000-packet rounds over difference sizes {0, 1, 16, 256}
+//! (the regime the live runtime's reconciliation-based summary exchange
+//! operates in).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use fatih_crypto::UhashKey;
+use fatih_crypto::{Fingerprint, UhashKey};
+use fatih_validation::digest::{diff_via_digest, ContentDigest};
 use fatih_validation::field::Fe;
+use fatih_validation::summary::ContentSummary;
 use fatih_validation::{reconcile, BloomFilter, SetSketch};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -77,5 +82,54 @@ fn bench_reconcile(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_reconcile);
+/// 10k-packet rounds across difference sizes {0, 1, 16, 256}: sketch
+/// build (linear in traffic, done once per round end), the reconcile
+/// decode (cubic in capacity, independent of traffic), and the full
+/// certified digest resolution the live runtime performs per exchange.
+fn bench_reconcile_scaling(c: &mut Criterion) {
+    const BIG: usize = 10_000;
+    let key = UhashKey::from_seed(7);
+    let all: Vec<Fe> = (0..BIG as u64)
+        .map(|i| key.fingerprint(&i.to_le_bytes()).into())
+        .collect();
+
+    for &diff in &[0usize, 1, 16, 256] {
+        // Capacity sized to the diff with headroom, as a deployment would.
+        let capacity = diff + 8;
+        let received: Vec<Fe> = all[..BIG - diff].to_vec();
+        let mut g = c.benchmark_group(format!("set_difference/10000pkts_{diff}diff"));
+        g.sample_size(10);
+
+        g.bench_function("sketch_build", |b| {
+            b.iter(|| black_box(SetSketch::from_elements(all.iter().copied(), capacity)))
+        });
+
+        let sa = SetSketch::from_elements(all.iter().copied(), capacity);
+        let sb = SetSketch::from_elements(received.iter().copied(), capacity);
+        g.bench_function("reconcile_decode", |b| {
+            let mut rng = StdRng::seed_from_u64(11);
+            b.iter(|| black_box(reconcile(&sa, &sb, &mut rng).expect("within capacity")))
+        });
+
+        // The live exchange: certify the digest against the local summary
+        // and recover the exact multiset difference.
+        let mut sent_sum = ContentSummary::default();
+        for fe in &all {
+            sent_sum.observe(Fingerprint::new(fe.value()), 1000);
+        }
+        let mut recv_sum = ContentSummary::default();
+        for fe in &received {
+            recv_sum.observe(Fingerprint::new(fe.value()), 1000);
+        }
+        let digest = ContentDigest::of(&sent_sum, capacity);
+        g.bench_function("digest_certified_resolve", |b| {
+            let mut rng = StdRng::seed_from_u64(13);
+            b.iter(|| black_box(diff_via_digest(&digest, &recv_sum, &mut rng).expect("resolves")))
+        });
+
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_reconcile, bench_reconcile_scaling);
 criterion_main!(benches);

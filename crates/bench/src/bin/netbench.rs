@@ -11,8 +11,10 @@
 //! Writes `BENCH_net.json` to the current directory and fails (exit ≠ 0)
 //! if Data-frame codec throughput drops below 100k msgs/sec.
 //!
-//! Run with `cargo run --release -p fatih-bench --bin netbench`
-//! (`-- --smoke` for a seconds-scale CI run).
+//! Run with `cargo run --release -p fatih-bench --bin netbench`. The
+//! default is a seconds-scale smoke run; pass `-- --full` for the full
+//! measurement CI records (`--smoke` is still accepted as an explicit
+//! alias of the default).
 
 use fatih_core::monitor::{Report, ReportEntry};
 use fatih_crypto::{Fingerprint, KeyStore};
@@ -152,7 +154,7 @@ fn rtt_percentiles<T: Transport + 'static>(mut a: T, mut b: T, n: usize) -> (u64
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let smoke = !std::env::args().any(|a| a == "--full");
     let (codec_iters, rtt_n) = if smoke {
         (50_000, 500)
     } else {

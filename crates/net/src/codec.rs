@@ -38,6 +38,9 @@ use fatih_crypto::{KeyStore, Signature};
 use fatih_sim::SimTime;
 use fatih_sim::{FlowId, Packet, PacketId, PacketKind};
 use fatih_topology::{PathSegment, RouterId};
+use fatih_validation::digest::ContentDigest;
+use fatih_validation::reconcile::SetSketch;
+use fatih_validation::summary::FlowCounter;
 
 /// First byte of every fatih frame.
 pub const MAGIC: u8 = 0xF7;
@@ -47,6 +50,9 @@ pub const VERSION: u8 = 0x01;
 pub const HEADER_LEN: usize = 23;
 /// Largest frame this codec will emit or accept — fits one UDP datagram.
 pub const MAX_FRAME: usize = 65_000;
+/// Largest sketch capacity a decoded digest may claim, bounding the
+/// allocation a single control frame can demand.
+pub const MAX_SKETCH_CAPACITY: usize = 4_096;
 
 /// Message type discriminant, third byte of the header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -61,6 +67,11 @@ pub enum MsgType {
     Alert,
     /// A timeout accusation: the peer's summary never arrived.
     Accusation,
+    /// Fixed-size digests of a per-segment record (reconciliation first).
+    SummaryDigest,
+    /// Fallback request for the full summary after a digest failed to
+    /// reconcile.
+    SummaryPull,
 }
 
 impl MsgType {
@@ -72,6 +83,8 @@ impl MsgType {
             MsgType::Ack => 3,
             MsgType::Alert => 4,
             MsgType::Accusation => 5,
+            MsgType::SummaryDigest => 6,
+            MsgType::SummaryPull => 7,
         }
     }
 
@@ -83,6 +96,8 @@ impl MsgType {
             3 => Some(MsgType::Ack),
             4 => Some(MsgType::Alert),
             5 => Some(MsgType::Accusation),
+            6 => Some(MsgType::SummaryDigest),
+            7 => Some(MsgType::SummaryPull),
             _ => None,
         }
     }
@@ -131,6 +146,28 @@ pub enum WireMessage {
         /// The measurement interval of the missing summary.
         interval: Interval,
     },
+    /// Fixed-size digests of one end's record for a segment and round:
+    /// the Appendix A reconciliation path. Bytes are proportional to the
+    /// sketch capacity, not to the traffic summarized.
+    SummaryDigest {
+        /// Round index the digests close.
+        round: u64,
+        /// The monitored segment.
+        segment: PathSegment,
+        /// Digest of the maturity-filtered record (entries at or before
+        /// the round's maturity cutoff).
+        mature: ContentDigest,
+        /// Digest of the complete cumulative record.
+        full: ContentDigest,
+    },
+    /// Fallback request: the sender could not reconcile the peer's digest
+    /// against its own record and needs the full summary after all.
+    SummaryPull {
+        /// Round index of the digest that failed to reconcile.
+        round: u64,
+        /// The monitored segment.
+        segment: PathSegment,
+    },
 }
 
 impl WireMessage {
@@ -142,6 +179,8 @@ impl WireMessage {
             WireMessage::Ack { .. } => MsgType::Ack,
             WireMessage::Alert { .. } => MsgType::Alert,
             WireMessage::Accusation { .. } => MsgType::Accusation,
+            WireMessage::SummaryDigest { .. } => MsgType::SummaryDigest,
+            WireMessage::SummaryPull { .. } => MsgType::SummaryPull,
         }
     }
 }
@@ -313,8 +352,61 @@ fn encode_body(msg: &WireMessage) -> Vec<u8> {
         WireMessage::Accusation { segment, interval } => {
             e.segment(segment).time(interval.start).time(interval.end);
         }
+        WireMessage::SummaryDigest {
+            round,
+            segment,
+            mature,
+            full,
+        } => {
+            e.u64(*round).segment(segment);
+            encode_digest(&mut e, mature);
+            encode_digest(&mut e, full);
+        }
+        WireMessage::SummaryPull { round, segment } => {
+            e.u64(*round).segment(segment);
+        }
     }
     e.into_bytes()
+}
+
+fn encode_digest(e: &mut WireEncoder, d: &ContentDigest) {
+    e.u32(d.sketch().capacity() as u32).u64(d.sketch().len());
+    let mut evals = Vec::with_capacity(d.sketch().evals().len() * 8);
+    for fe in d.sketch().evals() {
+        evals.extend_from_slice(&fe.value().to_le_bytes());
+    }
+    let flow = d.flow();
+    e.bytes(&evals)
+        .u64(flow.packets)
+        .u64(flow.bytes)
+        .u64(d.mix_sum());
+}
+
+fn read_digest(rd: &mut WireReader<'_>) -> Result<ContentDigest, CodecError> {
+    let capacity = rd.u32()? as usize;
+    if capacity == 0 || capacity > MAX_SKETCH_CAPACITY {
+        return Err(CodecError::Invalid);
+    }
+    let size = rd.u64()?;
+    let raw = rd.bytes()?;
+    if raw.len() % 8 != 0 {
+        return Err(CodecError::Invalid);
+    }
+    let evals: Vec<fatih_validation::field::Fe> = raw
+        .chunks_exact(8)
+        .map(|c| {
+            fatih_validation::field::Fe::new(u64::from_le_bytes(c.try_into().expect("8 bytes")))
+        })
+        .collect();
+    let sketch = SetSketch::from_parts(capacity, size, evals).ok_or(CodecError::Invalid)?;
+    let packets = rd.u64()?;
+    let bytes = rd.u64()?;
+    let mix = rd.u64()?;
+    Ok(ContentDigest::from_parts(
+        sketch,
+        FlowCounter { packets, bytes },
+        mix,
+    ))
 }
 
 /// Encodes (and for control frames, seals) one frame for the wire.
@@ -457,6 +549,23 @@ pub fn decode_frame(bytes: &[u8], keys: &KeyStore) -> Result<Frame, CodecError> 
             let interval = read_interval(&mut rd)?;
             WireMessage::Accusation { segment, interval }
         }
+        MsgType::SummaryDigest => {
+            let round = rd.u64()?;
+            let segment = rd.segment()?;
+            let mature = read_digest(&mut rd)?;
+            let full = read_digest(&mut rd)?;
+            WireMessage::SummaryDigest {
+                round,
+                segment,
+                mature,
+                full,
+            }
+        }
+        MsgType::SummaryPull => {
+            let round = rd.u64()?;
+            let segment = rd.segment()?;
+            WireMessage::SummaryPull { round, segment }
+        }
     };
     rd.done()?;
     Ok(Frame {
@@ -552,6 +661,67 @@ mod tests {
         let mut bad = bytes.clone();
         bad[HEADER_LEN + 2] ^= 0x40;
         assert_eq!(decode_frame(&bad, &ks), Err(CodecError::BadMac));
+    }
+
+    #[test]
+    fn summary_digest_round_trips_and_authenticates() {
+        use fatih_validation::summary::ContentSummary;
+        let ks = keystore();
+        let mut mature = ContentSummary::default();
+        let mut full = ContentSummary::default();
+        for i in 0u64..300 {
+            full.observe(Fingerprint::new(i * 131 + 7), 900);
+            if i < 250 {
+                mature.observe(Fingerprint::new(i * 131 + 7), 900);
+            }
+        }
+        let f = Frame {
+            src: RouterId::from(2),
+            dst: RouterId::from(5),
+            seq: 4,
+            msg: WireMessage::SummaryDigest {
+                round: 3,
+                segment: PathSegment::new(vec![
+                    RouterId::from(2),
+                    RouterId::from(7),
+                    RouterId::from(5),
+                ]),
+                mature: ContentDigest::of(&mature, 16),
+                full: ContentDigest::of(&full, 16),
+            },
+        };
+        let bytes = encode_frame(&f, &ks).unwrap();
+        assert_eq!(peek_type(&bytes), Some(MsgType::SummaryDigest));
+        assert_eq!(decode_frame(&bytes, &ks).unwrap(), f);
+        // The digest frame is fixed-size: far smaller than the ~300-entry
+        // full summary it stands in for.
+        assert!(
+            bytes.len() < 300 * 20 / 2,
+            "digest frame {} bytes",
+            bytes.len()
+        );
+
+        // Digest frames are control frames: bit flips are caught.
+        let mut bad = bytes.clone();
+        bad[HEADER_LEN + 9] ^= 0x01;
+        assert_eq!(decode_frame(&bad, &ks), Err(CodecError::BadMac));
+    }
+
+    #[test]
+    fn summary_pull_round_trips() {
+        let ks = keystore();
+        let f = Frame {
+            src: RouterId::from(4),
+            dst: RouterId::from(1),
+            seq: 12,
+            msg: WireMessage::SummaryPull {
+                round: 9,
+                segment: PathSegment::new(vec![RouterId::from(1), RouterId::from(4)]),
+            },
+        };
+        let bytes = encode_frame(&f, &ks).unwrap();
+        assert_eq!(peek_type(&bytes), Some(MsgType::SummaryPull));
+        assert_eq!(decode_frame(&bytes, &ks).unwrap(), f);
     }
 
     #[test]

@@ -20,10 +20,17 @@
 //! * [`reliable`] — per-message ack/retransmission with capped exponential
 //!   backoff and duplicate suppression, the live twin of
 //!   `fatih_core::transport::ReliableTransport`;
-//! * [`runtime`] — per-router event loops (one OS thread per router)
-//!   running the Πk+2 end-to-end validation over any transport, plus the
-//!   [`LiveDeployment`](runtime::LiveDeployment) harness that deploys a
-//!   topology, injects traffic and droppers, and collects suspicions.
+//! * [`mailbox`] — lock-free cross-shard frame queues that let co-resident
+//!   routers bypass the kernel when the fastpath is enabled;
+//! * [`runtime`] — the sharded live runtime: a small pool of worker
+//!   threads, each multiplexing a shard of router event loops over
+//!   non-blocking transports with one shared timer wheel per shard, plus
+//!   the [`LiveDeployment`](runtime::LiveDeployment) harness that deploys
+//!   a topology, injects traffic and droppers, and collects suspicions.
+//!   Summary exchange optionally runs in reconciliation mode
+//!   ([`SummaryMode::Reconcile`](runtime::SummaryMode)): ends swap
+//!   fixed-size digests and decode the difference, falling back to full
+//!   summaries only when it does not fit.
 //!
 //! # Examples
 //!
@@ -51,11 +58,12 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod mailbox;
 pub mod reliable;
 pub mod runtime;
 pub mod timer;
 pub mod transport;
 
 pub use codec::{decode_frame, encode_frame, CodecError, Frame, MsgType, WireMessage};
-pub use runtime::{LiveConfig, LiveDeployment, LiveEvent, LiveOutcome, LiveSpec};
+pub use runtime::{LiveConfig, LiveDeployment, LiveEvent, LiveOutcome, LiveSpec, SummaryMode};
 pub use transport::{ChaosTransport, LoopbackHub, NetError, Transport, UdpNet};

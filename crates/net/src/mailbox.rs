@@ -1,0 +1,136 @@
+//! Lock-free cross-shard mailboxes for the sharded runtime.
+//!
+//! When two routers live in the same process but on different worker
+//! shards, a frame can skip the kernel entirely: the sender drops the
+//! encoded bytes into the destination shard's mailbox and the receiving
+//! worker drains it on its next loop iteration. The queues are std's
+//! `mpsc` channels — a lock-free linked-list MPSC under the hood — so a
+//! send never blocks on a receiver-side lock and the hot path stays
+//! allocation-plus-CAS.
+//!
+//! The mailbox is an *optimization*, not a delivery contract: the
+//! [`MailboxRouter`] only accepts frames for routers it was built over,
+//! and the runtime falls back to the real transport for anything else
+//! (or when the fastpath is disabled). Delivered bytes are exactly the
+//! encoded wire frames, so the receive path — decode, authenticate,
+//! dispatch — is identical either way.
+
+use fatih_topology::RouterId;
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+
+/// One in-flight cross-shard frame: destination router plus the encoded
+/// wire bytes, exactly as they would have crossed the transport.
+#[derive(Debug)]
+pub struct Envelope {
+    /// Destination router (a member of the receiving shard).
+    pub dst: RouterId,
+    /// Encoded wire frame.
+    pub bytes: Vec<u8>,
+}
+
+/// The sending half: routes an envelope to the destination's shard queue.
+/// Cheap to clone — one handle per shard worker.
+#[derive(Debug, Clone)]
+pub struct MailboxRouter {
+    txs: Vec<Sender<Envelope>>,
+    shard_of: Arc<HashMap<RouterId, usize>>,
+}
+
+impl MailboxRouter {
+    /// Delivers encoded bytes to `dst`'s shard. Returns `false` (frame
+    /// not taken) when `dst` is unknown or its shard has shut down; the
+    /// caller should then use the real transport.
+    pub fn deliver(&self, dst: RouterId, bytes: Vec<u8>) -> bool {
+        match self.shard_of.get(&dst) {
+            Some(&shard) => self.txs[shard].send(Envelope { dst, bytes }).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Whether `dst` is served by some shard's mailbox.
+    pub fn knows(&self, dst: RouterId) -> bool {
+        self.shard_of.contains_key(&dst)
+    }
+}
+
+/// The receiving half owned by one shard worker.
+#[derive(Debug)]
+pub struct ShardMailbox {
+    rx: Receiver<Envelope>,
+}
+
+impl ShardMailbox {
+    /// Drains up to `max` pending envelopes without blocking.
+    pub fn drain(&mut self, max: usize) -> Vec<Envelope> {
+        let mut out = Vec::new();
+        while out.len() < max {
+            match self.rx.try_recv() {
+                Ok(env) => out.push(env),
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        out
+    }
+}
+
+/// Builds the mailbox fabric for `shards` workers over a router→shard
+/// assignment: one cloneable router plus one receiving mailbox per shard.
+pub fn mailboxes(
+    shard_of: HashMap<RouterId, usize>,
+    shards: usize,
+) -> (MailboxRouter, Vec<ShardMailbox>) {
+    let mut txs = Vec::with_capacity(shards);
+    let mut rxs = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (tx, rx) = std::sync::mpsc::channel();
+        txs.push(tx);
+        rxs.push(ShardMailbox { rx });
+    }
+    (
+        MailboxRouter {
+            txs,
+            shard_of: Arc::new(shard_of),
+        },
+        rxs,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_to_the_right_shard_and_rejects_strangers() {
+        let a = RouterId::from(0u32);
+        let b = RouterId::from(1u32);
+        let stranger = RouterId::from(9u32);
+        let assignment = [(a, 0usize), (b, 1usize)].into_iter().collect();
+        let (router, mut boxes) = mailboxes(assignment, 2);
+
+        assert!(router.deliver(a, vec![1, 2, 3]));
+        assert!(router.deliver(b, vec![4]));
+        assert!(!router.deliver(stranger, vec![5]));
+        assert!(router.knows(a) && !router.knows(stranger));
+
+        let got0 = boxes[0].drain(16);
+        assert_eq!(got0.len(), 1);
+        assert_eq!((got0[0].dst, got0[0].bytes.as_slice()), (a, &[1, 2, 3][..]));
+        let got1 = boxes[1].drain(16);
+        assert_eq!(got1.len(), 1);
+        assert_eq!(got1[0].dst, b);
+        assert!(boxes[0].drain(16).is_empty());
+    }
+
+    #[test]
+    fn drain_is_bounded() {
+        let a = RouterId::from(0u32);
+        let (router, mut boxes) = mailboxes([(a, 0usize)].into_iter().collect(), 1);
+        for i in 0..10u8 {
+            assert!(router.deliver(a, vec![i]));
+        }
+        assert_eq!(boxes[0].drain(4).len(), 4);
+        assert_eq!(boxes[0].drain(100).len(), 6);
+    }
+}

@@ -73,6 +73,8 @@ pub struct ReliableLayer {
     seen: HashSet<(RouterId, u64)>,
     /// Retransmissions performed (for the runtime's counters).
     pub retransmits: u64,
+    /// Wire bytes spent on retransmissions (control-plane accounting).
+    pub retransmit_bytes: u64,
 }
 
 impl ReliableLayer {
@@ -149,6 +151,7 @@ impl ReliableLayer {
             o.attempts += 1;
             let _ = transport.send(o.dst, &o.frame); // best-effort resend
             self.retransmits += 1;
+            self.retransmit_bytes += o.frame.len() as u64;
             o.next_retry_ns = now_ns.saturating_add(self.cfg.backoff(o.attempts).as_nanos() as u64);
         }
         exhausted

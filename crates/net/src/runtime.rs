@@ -1,15 +1,33 @@
-//! Per-router event loops and the live deployment harness.
+//! The sharded live runtime and deployment harness.
 //!
-//! Each router runs on its own OS thread: an event loop multiplexing a
-//! blocking transport receive with a deadline-driven [`TimerWheel`]. The
-//! protocol machinery is the simulator's own — [`SegmentMonitorSet`]
+//! Routers no longer get one OS thread each: a small pool of **shard
+//! workers** (default `available_parallelism − 1`) each owns a shard of
+//! router event loops and multiplexes them over non-blocking transport
+//! receives, one shared [`TimerWheel`] per shard, and a lock-free
+//! cross-shard [`mailbox`](crate::mailbox) for the optional in-process
+//! frame fastpath. Round boundaries, evaluation deadlines and the
+//! retransmission pump are *batched per shard* — one timer fires and every
+//! router in the shard does its round work — so a Rocketfuel-scale
+//! deployment (hundreds of routers) costs hundreds of event loops but only
+//! a handful of threads and timer streams.
+//!
+//! The protocol machinery is the simulator's own — [`SegmentMonitorSet`]
 //! builds `info(r, π, τ)` from the router's real forwarding decisions,
 //! [`tv_pair`] judges maturity-windowed traffic validation, and a failed
 //! exchange becomes a timeout accusation — but round boundaries are
 //! wall-clock deadlines and every message crosses a real transport as
 //! encoded bytes.
 //!
-//! Time axis: all threads share one epoch `Instant`; local observation
+//! Summary exchange has two modes ([`SummaryMode`]). In `Full` mode the
+//! ends ship complete [`ContentSummary`]-bearing reports, costing control
+//! bytes proportional to the traffic volume. In `Reconcile` mode they ship
+//! fixed-size [`ContentDigest`]s (the Appendix A characteristic-polynomial
+//! sketch plus certifying checksums) and each end *decodes* the peer's
+//! summary from its own records plus the recovered difference; only when
+//! the difference exceeds the sketch capacity does it pull the full
+//! summary, and a counter records every fallback.
+//!
+//! Time axis: all shards share one epoch `Instant`; local observation
 //! times are nanoseconds since that epoch, wrapped in [`SimTime`] so the
 //! core validation code runs unchanged. The dissertation's synchronized
 //! clocks assumption (§2.1.2) holds exactly — the routers literally share
@@ -17,15 +35,17 @@
 //! tolerance.
 
 use crate::codec::{decode_frame, encode_frame, sign_alert, verify_alert, Frame, WireMessage};
+use crate::mailbox::{mailboxes, MailboxRouter, ShardMailbox};
 use crate::reliable::{ReliableConfig, ReliableLayer};
 use crate::timer::TimerWheel;
 use crate::transport::Transport;
-use fatih_core::monitor::{MonitorMode, PathOracle, Report, SegmentMonitorSet};
-use fatih_core::policy::{tv_pair, Policy, Thresholds};
+use fatih_core::monitor::{MonitorMode, PathOracle, SegmentMonitorSet};
+use fatih_core::policy::{tv_pair, PairVerdict, Policy, Thresholds};
 use fatih_core::spec::{Interval, Suspicion};
-use fatih_crypto::KeyStore;
+use fatih_crypto::{Fingerprint, KeyStore};
 use fatih_sim::{FlowId, Packet, PacketId, PacketKind, SimTime, TapEvent};
-use fatih_topology::{pik2_segments_from_paths, PathSegment, RouterId, Routes, Topology};
+use fatih_topology::{pik2_segments_from_paths, Path, PathSegment, RouterId, Routes, Topology};
+use fatih_validation::digest::{apply_diff, diff_via_digest, ContentDigest};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -82,6 +102,22 @@ pub struct LiveSpec {
     pub monitor_pairs: Vec<(RouterId, RouterId)>,
 }
 
+/// How the segment ends exchange their round summaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SummaryMode {
+    /// Ship the complete report: control bytes grow with traffic volume.
+    #[default]
+    Full,
+    /// Ship fixed-size [`ContentDigest`]s and decode the difference
+    /// against local records; pull the full summary only when the
+    /// difference exceeds the sketch `capacity` (Appendix A).
+    Reconcile {
+        /// Sketch capacity: the largest distinct-fingerprint difference
+        /// the digest can resolve without falling back.
+        capacity: usize,
+    },
+}
+
 /// Deployment-wide protocol timing and policy.
 #[derive(Debug, Clone, Copy)]
 pub struct LiveConfig {
@@ -104,6 +140,15 @@ pub struct LiveConfig {
     pub reliable: ReliableConfig,
     /// Master seed for the deployment's key infrastructure.
     pub key_seed: u64,
+    /// Worker shards multiplexing the router event loops. `0` = auto:
+    /// `available_parallelism − 1`, at least 1, never more than routers.
+    pub shards: usize,
+    /// Summary-exchange mode (full transfer vs reconciliation).
+    pub summary: SummaryMode,
+    /// Route frames between co-resident routers through the lock-free
+    /// cross-shard mailbox instead of the transport. Off by default so
+    /// the wire-byte accounting reflects real transport traffic.
+    pub mailbox_fastpath: bool,
 }
 
 impl Default for LiveConfig {
@@ -123,6 +168,9 @@ impl Default for LiveConfig {
             },
             reliable: ReliableConfig::default(),
             key_seed: 0xFA714,
+            shards: 0,
+            summary: SummaryMode::Full,
+            mailbox_fastpath: false,
         }
     }
 }
@@ -197,7 +245,7 @@ pub enum LiveEvent {
 /// Aggregate counters across all routers of a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LiveStats {
-    /// Frames handed to transports.
+    /// Frames handed to transports (or the mailbox fastpath).
     pub frames_sent: u64,
     /// Frames received (before decoding).
     pub frames_received: u64,
@@ -211,6 +259,22 @@ pub struct LiveStats {
     pub decode_failures: u64,
     /// Frames that could not be encoded (oversize).
     pub encode_failures: u64,
+    /// Encoded bytes of first-transmission data frames.
+    pub data_bytes_sent: u64,
+    /// Encoded bytes of control frames (summaries, digests, pulls, acks,
+    /// alerts, accusations), including retransmissions.
+    pub control_bytes_sent: u64,
+    /// Bytes the transports actually put on the wire (excludes the
+    /// mailbox fastpath).
+    pub wire_bytes_sent: u64,
+    /// Bytes the transports actually received off the wire.
+    pub wire_bytes_recv: u64,
+    /// Reconciliation-mode digest exchanges decoded without a full
+    /// transfer.
+    pub digests_resolved: u64,
+    /// Reconciliation-mode digest exchanges that fell back to pulling the
+    /// full summary.
+    pub digest_fallbacks: u64,
 }
 
 impl LiveStats {
@@ -222,6 +286,12 @@ impl LiveStats {
         self.retransmits += other.retransmits;
         self.decode_failures += other.decode_failures;
         self.encode_failures += other.encode_failures;
+        self.data_bytes_sent += other.data_bytes_sent;
+        self.control_bytes_sent += other.control_bytes_sent;
+        self.wire_bytes_sent += other.wire_bytes_sent;
+        self.wire_bytes_recv += other.wire_bytes_recv;
+        self.digests_resolved += other.digests_resolved;
+        self.digest_fallbacks += other.digest_fallbacks;
     }
 }
 
@@ -246,6 +316,8 @@ impl LiveDeployment {
     /// Runs `cfg.rounds` wall-clock rounds of Πk+2 end-to-end validation
     /// over the given transports (one per router, matched by
     /// [`Transport::local`]), injecting `spec`'s traffic and droppers.
+    /// The routers are partitioned round-robin across `cfg.shards` worker
+    /// threads.
     ///
     /// # Panics
     ///
@@ -279,33 +351,77 @@ impl LiveDeployment {
         } else {
             spec.monitor_pairs.clone()
         };
-        let paths = pairs
+        let mut oracle_paths: Vec<Path> = pairs
             .iter()
             .filter_map(|&(s, d)| routes.path(s, d))
-            .collect::<Vec<_>>();
+            .collect();
         let segments: Arc<Vec<PathSegment>> = Arc::new(
-            pik2_segments_from_paths(paths, topo.router_count(), cfg.k)
+            pik2_segments_from_paths(oracle_paths.clone(), topo.router_count(), cfg.k)
                 .all_segments()
                 .into_iter()
                 .collect(),
         );
+        // One shared path oracle over the monitored paths plus the flows'
+        // own paths: every packet that can exist resolves identically to a
+        // full all-pairs oracle, at a fraction of the per-router memory.
+        oracle_paths.extend(spec.flows.iter().filter_map(|f| routes.path(f.src, f.dst)));
+        let oracle = PathOracle::from_paths(oracle_paths);
+
+        let n_shards = if cfg.shards == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get().saturating_sub(1))
+                .unwrap_or(1)
+        } else {
+            cfg.shards
+        }
+        .clamp(1, ids.len().max(1));
+
+        let shard_of: HashMap<RouterId, usize> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i % n_shards))
+            .collect();
+        let (mail_router, mut mail_rx): (Option<MailboxRouter>, Vec<Option<ShardMailbox>>) =
+            if cfg.mailbox_fastpath {
+                let (r, boxes) = mailboxes(shard_of.clone(), n_shards);
+                (Some(r), boxes.into_iter().map(Some).collect())
+            } else {
+                (None, (0..n_shards).map(|_| None).collect())
+            };
+
+        // Build every node *before* fixing the epoch: monitor construction
+        // for hundreds of routers must not eat into round 0.
+        let mut shard_nodes: Vec<Vec<Node<T>>> = (0..n_shards).map(|_| Vec::new()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            let transport = by_router.remove(&id).expect("transport per router");
+            let node = Node::build(
+                id,
+                transport,
+                spec,
+                cfg,
+                &keys,
+                &routes,
+                &segments,
+                oracle.clone(),
+                mail_router.clone(),
+            );
+            shard_nodes[i % n_shards].push(node);
+        }
 
         let epoch = Instant::now() + Duration::from_millis(30);
         let shutdown = Arc::new(AtomicBool::new(false));
         let (event_tx, event_rx) = mpsc::channel::<LiveEvent>();
 
-        let mut handles = Vec::with_capacity(ids.len());
-        for &id in &ids {
-            let transport = by_router.remove(&id).expect("transport per router");
-            let node = Node::build(id, transport, spec, cfg, &keys, &routes, &segments, epoch);
+        let mut handles = Vec::with_capacity(n_shards);
+        for (s, nodes) in shard_nodes.into_iter().enumerate() {
+            let mut shard = Shard::new(nodes, *cfg, epoch, mail_rx[s].take());
             let flag = Arc::clone(&shutdown);
             let tx = event_tx.clone();
-            let name = format!("router-{id}");
             handles.push(
                 std::thread::Builder::new()
-                    .name(name)
-                    .spawn(move || node.run(flag, tx))
-                    .expect("spawn router thread"),
+                    .name(format!("shard-{s}"))
+                    .spawn(move || shard.run(&flag, &tx))
+                    .expect("spawn shard thread"),
             );
         }
         drop(event_tx);
@@ -325,8 +441,8 @@ impl LiveDeployment {
 
         let mut stats = LiveStats::default();
         for h in handles {
-            let node_stats = h.join().expect("router thread panicked");
-            stats.absorb(&node_stats);
+            let shard_stats = h.join().expect("shard thread panicked");
+            stats.absorb(&shard_stats);
         }
         let events: Vec<LiveEvent> = event_rx.iter().collect();
         let suspicions = events
@@ -345,17 +461,184 @@ impl LiveDeployment {
     }
 }
 
-/// Timer payloads of the node event loop.
+/// Timer payloads of a shard's wheel. Round work and the retransmission
+/// pump are scheduled once per shard and fan out over every resident
+/// node; only flow ticks stay per-(node, flow).
 #[derive(Debug, Clone, Copy)]
-enum TimerEvent {
-    /// Inject the next packet of local flow `i`.
-    FlowTick(usize),
-    /// A round boundary: snapshot and send summaries.
+enum ShardTimer {
+    /// Inject the next packet of `node`'s local flow `flow`.
+    FlowTick {
+        /// Index into the shard's node vector.
+        node: usize,
+        /// Index into that node's local flows.
+        flow: usize,
+    },
+    /// A round boundary: every node snapshots and sends summaries.
     RoundEnd(u64),
-    /// The exchange budget expired: validate the round.
+    /// The exchange budget expired: every node validates the round.
     RoundEval(u64),
-    /// Retransmission pump.
+    /// Retransmission pump across the shard.
     Pump,
+}
+
+/// Per-node receive sweep bound: how many frames one node may drain per
+/// loop iteration before yielding to its shard-mates.
+const RECV_SWEEP: usize = 64;
+
+/// One worker thread's shard of router event loops.
+struct Shard<T: Transport> {
+    nodes: Vec<Node<T>>,
+    index_of: HashMap<RouterId, usize>,
+    wheel: TimerWheel<ShardTimer>,
+    mailbox: Option<ShardMailbox>,
+    cfg: LiveConfig,
+    epoch: Instant,
+}
+
+impl<T: Transport> Shard<T> {
+    fn new(
+        mut nodes: Vec<Node<T>>,
+        cfg: LiveConfig,
+        epoch: Instant,
+        mailbox: Option<ShardMailbox>,
+    ) -> Self {
+        for node in &mut nodes {
+            node.epoch = epoch;
+        }
+        let index_of = nodes.iter().enumerate().map(|(i, n)| (n.id, i)).collect();
+        Self {
+            nodes,
+            index_of,
+            wheel: TimerWheel::new(),
+            mailbox,
+            cfg,
+            epoch,
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        Instant::now()
+            .saturating_duration_since(self.epoch)
+            .as_nanos() as u64
+    }
+
+    fn run(&mut self, shutdown: &AtomicBool, events: &mpsc::Sender<LiveEvent>) -> LiveStats {
+        let tau = self.cfg.tau.as_nanos() as u64;
+        let budget = self.cfg.exchange_budget.as_nanos() as u64;
+        for (ni, node) in self.nodes.iter().enumerate() {
+            for fi in 0..node.flows.len() {
+                // Stagger flow starts so sources don't burst in sync —
+                // within a node and across the shard.
+                self.wheel.schedule(
+                    2_000_000 + (fi as u64) * 500_000 + (ni as u64) * 137_000,
+                    ShardTimer::FlowTick { node: ni, flow: fi },
+                );
+            }
+        }
+        for r in 0..self.cfg.rounds {
+            self.wheel.schedule((r + 1) * tau, ShardTimer::RoundEnd(r));
+            self.wheel
+                .schedule((r + 1) * tau + budget, ShardTimer::RoundEval(r));
+        }
+        let pump_step = (self.cfg.reliable.rto.as_nanos() as u64 / 2).max(1_000_000);
+        self.wheel.schedule(pump_step, ShardTimer::Pump);
+        let single = self.nodes.len() == 1;
+
+        loop {
+            let now = self.now_ns();
+            for t in self.wheel.pop_due(now) {
+                match t {
+                    ShardTimer::FlowTick { node, flow } => {
+                        if let Some(next) = self.nodes[node].flow_tick(flow) {
+                            self.wheel
+                                .schedule(next, ShardTimer::FlowTick { node, flow });
+                        }
+                    }
+                    ShardTimer::RoundEnd(r) => {
+                        for n in &mut self.nodes {
+                            n.round_end(r);
+                        }
+                    }
+                    ShardTimer::RoundEval(r) => {
+                        for n in &mut self.nodes {
+                            n.round_eval(r, events);
+                        }
+                    }
+                    ShardTimer::Pump => {
+                        for n in &mut self.nodes {
+                            n.pump(events);
+                        }
+                        self.wheel
+                            .schedule(self.now_ns() + pump_step, ShardTimer::Pump);
+                    }
+                }
+            }
+            if shutdown.load(Ordering::Relaxed) {
+                break;
+            }
+
+            let mut handled = 0usize;
+            if let Some(mb) = &mut self.mailbox {
+                for env in mb.drain(512) {
+                    if let Some(&ni) = self.index_of.get(&env.dst) {
+                        self.nodes[ni].handle_frame(&env.bytes, events);
+                        handled += 1;
+                    }
+                }
+            }
+            for ni in 0..self.nodes.len() {
+                if !self.nodes[ni].open {
+                    continue;
+                }
+                for _ in 0..RECV_SWEEP {
+                    match self.nodes[ni].transport.try_recv() {
+                        Ok(Some(bytes)) => {
+                            self.nodes[ni].handle_frame(&bytes, events);
+                            handled += 1;
+                        }
+                        Ok(None) => break,
+                        Err(_) => {
+                            self.nodes[ni].open = false;
+                            break;
+                        }
+                    }
+                }
+            }
+
+            if handled == 0 {
+                let wait = self
+                    .wheel
+                    .next_deadline()
+                    .map(|d| d.saturating_sub(self.now_ns()))
+                    .unwrap_or(2_000_000)
+                    .clamp(1, 2_000_000);
+                if single {
+                    // A one-router shard can afford the old blocking
+                    // receive: lowest latency, no polling.
+                    match self.nodes[0]
+                        .transport
+                        .recv_timeout(Duration::from_nanos(wait))
+                    {
+                        Ok(Some(bytes)) => self.nodes[0].handle_frame(&bytes, events),
+                        Ok(None) => {}
+                        Err(_) => self.nodes[0].open = false,
+                    }
+                } else {
+                    std::thread::sleep(Duration::from_nanos(wait.min(500_000)));
+                }
+            }
+            if self.nodes.iter().all(|n| !n.open) {
+                break; // every transport closed under us
+            }
+        }
+
+        let mut stats = LiveStats::default();
+        for node in &mut self.nodes {
+            node.finish();
+            stats.absorb(&node.stats);
+        }
+        stats
+    }
 }
 
 /// One segment this router is an end of.
@@ -378,6 +661,8 @@ struct Node<T: Transport> {
     cfg: LiveConfig,
     epoch: Instant,
     transport: T,
+    /// False once the transport errored out; the shard skips dead nodes.
+    open: bool,
     keys: Arc<KeyStore>,
     routes: Arc<Routes>,
     segments: Arc<Vec<PathSegment>>,
@@ -386,9 +671,13 @@ struct Node<T: Transport> {
     flows: Vec<LocalFlow>,
     drop_rate: f64,
     rng: StdRng,
-    wheel: TimerWheel<TimerEvent>,
+    digest_rng: StdRng,
     reliable: ReliableLayer,
-    peer_summaries: HashMap<(u64, usize), Report>,
+    mailbox: Option<MailboxRouter>,
+    peer_summaries: HashMap<(u64, usize), fatih_core::monitor::Report>,
+    /// Verdicts already decoded from digest exchanges: (round, segment) →
+    /// (lost, fabricated), certified equal to the full-summary result.
+    peer_verdicts: HashMap<(u64, usize), (Vec<Fingerprint>, Vec<Fingerprint>)>,
     stats: LiveStats,
     next_seq: u64,
     pkt_counter: u64,
@@ -413,15 +702,11 @@ impl<T: Transport> Node<T> {
         keys: &Arc<KeyStore>,
         routes: &Arc<Routes>,
         segments: &Arc<Vec<PathSegment>>,
-        epoch: Instant,
+        oracle: PathOracle,
+        mailbox: Option<MailboxRouter>,
     ) -> Self {
-        let monitors = SegmentMonitorSet::new(
-            segments.to_vec(),
-            PathOracle::from_routes(routes),
-            keys,
-            MonitorMode::EndsOnly,
-            None,
-        );
+        let monitors =
+            SegmentMonitorSet::new(segments.to_vec(), oracle, keys, MonitorMode::EndsOnly, None);
         let ends = segments
             .iter()
             .enumerate()
@@ -458,8 +743,9 @@ impl<T: Transport> Node<T> {
         Self {
             id,
             cfg: *cfg,
-            epoch,
+            epoch: Instant::now(), // provisional; the shard sets the shared epoch
             transport,
+            open: true,
             keys: Arc::clone(keys),
             routes: Arc::clone(routes),
             segments: Arc::clone(segments),
@@ -470,9 +756,13 @@ impl<T: Transport> Node<T> {
             rng: StdRng::seed_from_u64(
                 dropper.map(|d| d.seed).unwrap_or(0) ^ (u64::from(u32::from(id)) << 32),
             ),
-            wheel: TimerWheel::new(),
+            digest_rng: StdRng::seed_from_u64(
+                cfg.key_seed ^ 0xD16E57 ^ (u64::from(u32::from(id)) << 16),
+            ),
             reliable: ReliableLayer::new(cfg.reliable),
+            mailbox,
             peer_summaries: HashMap::new(),
+            peer_verdicts: HashMap::new(),
             stats: LiveStats::default(),
             next_seq: 0,
             pkt_counter: 0,
@@ -490,85 +780,43 @@ impl<T: Transport> Node<T> {
         SimTime::from_ns(self.now_ns())
     }
 
-    fn run(mut self, shutdown: Arc<AtomicBool>, events: mpsc::Sender<LiveEvent>) -> LiveStats {
+    /// The maturity cutoff of round `r`.
+    fn cutoff(&self, r: u64) -> SimTime {
         let tau = self.cfg.tau.as_nanos() as u64;
-        let budget = self.cfg.exchange_budget.as_nanos() as u64;
-        for i in 0..self.flows.len() {
-            // Stagger flow starts slightly so sources don't burst in sync.
-            self.wheel
-                .schedule(2_000_000 + (i as u64) * 500_000, TimerEvent::FlowTick(i));
-        }
-        for r in 0..self.cfg.rounds {
-            self.wheel.schedule((r + 1) * tau, TimerEvent::RoundEnd(r));
-            self.wheel
-                .schedule((r + 1) * tau + budget, TimerEvent::RoundEval(r));
-        }
-        let pump_step = (self.cfg.reliable.rto.as_nanos() as u64 / 2).max(1_000_000);
-        self.wheel.schedule(pump_step, TimerEvent::Pump);
-
-        loop {
-            let now = self.now_ns();
-            for ev in self.wheel.pop_due(now) {
-                self.handle_timer(ev, pump_step, &events);
-            }
-            if shutdown.load(Ordering::Relaxed) {
-                break;
-            }
-            // Sleep until the next deadline, but never so long that a
-            // shutdown request goes unnoticed.
-            let wait = self
-                .wheel
-                .next_deadline()
-                .map(|d| d.saturating_sub(self.now_ns()))
-                .unwrap_or(2_000_000)
-                .min(2_000_000);
-            match self.transport.recv_timeout(Duration::from_nanos(wait)) {
-                Ok(Some(bytes)) => {
-                    self.handle_frame(&bytes, &events);
-                    // Drain whatever else is pending without blocking, so
-                    // a burst cannot overflow the receive buffer; bounded
-                    // so timers still fire under sustained load.
-                    for _ in 0..256 {
-                        match self.transport.recv_timeout(Duration::from_micros(1)) {
-                            Ok(Some(more)) => self.handle_frame(&more, &events),
-                            _ => break,
-                        }
-                    }
-                }
-                Ok(None) => {}
-                Err(_) => break, // transport closed under us
-            }
-        }
-        self.stats
+        SimTime::from_ns((r + 1) * tau)
+            .since(SimTime::from_ns(self.cfg.maturity_lag.as_nanos() as u64))
     }
 
-    fn handle_timer(&mut self, ev: TimerEvent, pump_step: u64, events: &mpsc::Sender<LiveEvent>) {
-        match ev {
-            TimerEvent::FlowTick(i) => self.flow_tick(i),
-            TimerEvent::RoundEnd(r) => self.round_end(r),
-            TimerEvent::RoundEval(r) => self.round_eval(r, events),
-            TimerEvent::Pump => {
-                let now = self.now_ns();
-                let transport = &mut self.transport;
-                let exhausted = self.reliable.pump(now, transport);
-                for ex in exhausted {
-                    let _ = events.send(LiveEvent::DeliveryExhausted {
-                        by: self.id,
-                        dst: ex.dst,
-                        attempts: ex.attempts,
-                    });
-                }
-                self.wheel.schedule(now + pump_step, TimerEvent::Pump);
-            }
+    /// Folds end-of-run counters (retransmissions, transport wire bytes)
+    /// into the node's stats and flushes any buffered observations.
+    fn finish(&mut self) {
+        self.flush_observations();
+        self.stats.retransmits += self.reliable.retransmits;
+        self.stats.control_bytes_sent += self.reliable.retransmit_bytes;
+        self.stats.wire_bytes_sent += self.transport.bytes_sent();
+        self.stats.wire_bytes_recv += self.transport.bytes_recv();
+    }
+
+    fn pump(&mut self, events: &mpsc::Sender<LiveEvent>) {
+        let now = self.now_ns();
+        let exhausted = self.reliable.pump(now, &mut self.transport);
+        for ex in exhausted {
+            let _ = events.send(LiveEvent::DeliveryExhausted {
+                by: self.id,
+                dst: ex.dst,
+                attempts: ex.attempts,
+            });
         }
     }
 
-    fn flow_tick(&mut self, i: usize) {
+    /// Injects the next packet of local flow `i`; returns the next tick
+    /// deadline, or `None` once the final round has closed.
+    fn flow_tick(&mut self, i: usize) -> Option<u64> {
         let tau = self.cfg.tau.as_nanos() as u64;
         let now = self.now_ns();
         // Stop injecting once the final round has closed.
         if now >= self.cfg.rounds * tau {
-            return;
+            return None;
         }
         let (spec, interval_ns) = {
             let f = &mut self.flows[i];
@@ -600,8 +848,7 @@ impl<T: Transport> Node<T> {
             });
             self.send_frame(next_hop, WireMessage::Data(packet), false);
         }
-        self.wheel
-            .schedule(now + interval_ns, TimerEvent::FlowTick(i));
+        Some(now + interval_ns)
     }
 
     /// Queues a data-plane observation for the batched monitor ingest,
@@ -624,19 +871,70 @@ impl<T: Transport> Node<T> {
 
     fn round_end(&mut self, r: u64) {
         self.flush_observations();
+        let cutoff = self.cutoff(r);
         for end in self.ends.clone() {
             let report = self.monitors.report(self.id, end.seg);
             let segment = self.segments[end.seg].clone();
-            self.send_frame(
-                end.peer,
-                WireMessage::Summary {
+            let msg = match self.cfg.summary {
+                SummaryMode::Full => WireMessage::Summary {
                     round: r,
                     segment,
                     report,
                 },
-                true,
-            );
+                SummaryMode::Reconcile { capacity } => {
+                    let capacity = capacity.max(1);
+                    WireMessage::SummaryDigest {
+                        round: r,
+                        segment,
+                        mature: ContentDigest::of(&report.mature(cutoff).to_content(), capacity),
+                        full: ContentDigest::of(&report.to_content(), capacity),
+                    }
+                }
+            };
+            self.send_frame(end.peer, msg, true);
         }
+    }
+
+    /// Attempts to decode the round verdict from a peer's digest pair.
+    ///
+    /// The exchange reconciles like-with-like — the peer's mature digest
+    /// against this end's mature summary, full against full — so the
+    /// sketch only has to span the *discrepancy* (losses, boundary
+    /// crossers, in-flight packets), not the maturity window. Both remote
+    /// summaries are then reconstructed exactly and the verdict computed
+    /// with the same multiset differences `tv_pair` uses:
+    /// `lost = mature(up) ∖ full(down)`, `fabricated = mature(down) ∖
+    /// full(up)`. Returns `None` (forcing a full pull) whenever either
+    /// digest fails certification.
+    fn resolve_digest(
+        &mut self,
+        round: u64,
+        seg_idx: usize,
+        upstream: bool,
+        mature_d: &ContentDigest,
+        full_d: &ContentDigest,
+    ) -> Option<(Vec<Fingerprint>, Vec<Fingerprint>)> {
+        self.flush_observations();
+        let cutoff = self.cutoff(round);
+        let mine = self.monitors.report(self.id, seg_idx);
+        let my_full = mine.to_content();
+        let my_mature = mine.mature(cutoff).to_content();
+        let (m_add, m_rem) = diff_via_digest(mature_d, &my_mature, &mut self.digest_rng)?;
+        let (f_add, f_rem) = diff_via_digest(full_d, &my_full, &mut self.digest_rng)?;
+        let peer_mature = apply_diff(&my_mature, &m_add, &m_rem, mature_d.flow());
+        let peer_full = apply_diff(&my_full, &f_add, &f_rem, full_d.flow());
+        let (lost, fabricated) = if upstream {
+            (
+                my_mature.difference_pair(&peer_full).0,
+                peer_mature.difference_pair(&my_full).0,
+            )
+        } else {
+            (
+                peer_mature.difference_pair(&my_full).0,
+                my_mature.difference_pair(&peer_full).0,
+            )
+        };
+        Some((lost, fabricated))
     }
 
     fn round_eval(&mut self, r: u64, events: &mpsc::Sender<LiveEvent>) {
@@ -644,24 +942,34 @@ impl<T: Transport> Node<T> {
         let tau = self.cfg.tau.as_nanos() as u64;
         let round_start = SimTime::from_ns(r * tau);
         let round_end = SimTime::from_ns((r + 1) * tau);
-        let cutoff = round_end.since(SimTime::from_ns(self.cfg.maturity_lag.as_nanos() as u64));
+        let cutoff = self.cutoff(r);
         for end in self.ends.clone() {
-            let peer_report = self.peer_summaries.remove(&(r, end.seg));
             let segment = self.segments[end.seg].clone();
-            if peer_report.is_none() {
-                let _ = events.send(LiveEvent::SummaryTimeout {
-                    by: self.id,
-                    segment: segment.clone(),
-                    round: r,
-                });
-            }
-            let mine = self.monitors.report(self.id, end.seg);
-            let (up, down) = if end.upstream {
-                (Some(&mine), peer_report.as_ref())
+            let verdict = if let Some((lost, fabricated)) = self.peer_verdicts.remove(&(r, end.seg))
+            {
+                PairVerdict {
+                    lost,
+                    fabricated,
+                    reordered: 0,
+                    bottom: false,
+                }
             } else {
-                (peer_report.as_ref(), Some(&mine))
+                let peer_report = self.peer_summaries.remove(&(r, end.seg));
+                if peer_report.is_none() {
+                    let _ = events.send(LiveEvent::SummaryTimeout {
+                        by: self.id,
+                        segment: segment.clone(),
+                        round: r,
+                    });
+                }
+                let mine = self.monitors.report(self.id, end.seg);
+                let (up, down) = if end.upstream {
+                    (Some(&mine), peer_report.as_ref())
+                } else {
+                    (peer_report.as_ref(), Some(&mine))
+                };
+                tv_pair(up, down, cutoff, SimTime::ZERO)
             };
-            let verdict = tv_pair(up, down, cutoff, SimTime::ZERO);
             let passed = verdict.passes(Policy::Content, &self.cfg.thresholds);
             let _ = events.send(LiveEvent::RoundEvaluated {
                 router: self.id,
@@ -712,6 +1020,7 @@ impl<T: Transport> Node<T> {
     fn send_frame(&mut self, dst: RouterId, msg: WireMessage, reliable: bool) {
         let seq = self.next_seq;
         self.next_seq += 1;
+        let is_data = matches!(msg, WireMessage::Data(_));
         let frame = Frame {
             src: self.id,
             dst,
@@ -720,8 +1029,19 @@ impl<T: Transport> Node<T> {
         };
         match encode_frame(&frame, &self.keys) {
             Ok(bytes) => {
-                let _ = self.transport.send(dst, &bytes);
                 self.stats.frames_sent += 1;
+                if is_data {
+                    self.stats.data_bytes_sent += bytes.len() as u64;
+                } else {
+                    self.stats.control_bytes_sent += bytes.len() as u64;
+                }
+                let via_mailbox = self
+                    .mailbox
+                    .as_ref()
+                    .is_some_and(|m| m.deliver(dst, bytes.clone()));
+                if !via_mailbox {
+                    let _ = self.transport.send(dst, &bytes);
+                }
                 if reliable {
                     self.reliable.track(seq, dst, bytes, self.now_ns());
                 }
@@ -757,6 +1077,52 @@ impl<T: Transport> Node<T> {
                 if self.reliable.accept(frame.src, frame.seq) {
                     if let Some(idx) = self.segments.iter().position(|s| *s == segment) {
                         self.peer_summaries.insert((round, idx), report);
+                    }
+                }
+            }
+            WireMessage::SummaryDigest {
+                round,
+                segment,
+                mature,
+                full,
+            } => {
+                self.send_frame(frame.src, WireMessage::Ack { msg_id: frame.seq }, false);
+                if self.reliable.accept(frame.src, frame.seq) {
+                    let idx = self.segments.iter().position(|s| *s == segment);
+                    let role = idx.and_then(|i| self.ends.iter().find(|e| e.seg == i).copied());
+                    if let (Some(idx), Some(role)) = (idx, role) {
+                        match self.resolve_digest(round, idx, role.upstream, &mature, &full) {
+                            Some(v) => {
+                                self.stats.digests_resolved += 1;
+                                self.peer_verdicts.insert((round, idx), v);
+                            }
+                            None => {
+                                self.stats.digest_fallbacks += 1;
+                                self.send_frame(
+                                    frame.src,
+                                    WireMessage::SummaryPull { round, segment },
+                                    true,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            WireMessage::SummaryPull { round, segment } => {
+                self.send_frame(frame.src, WireMessage::Ack { msg_id: frame.seq }, false);
+                if self.reliable.accept(frame.src, frame.seq) {
+                    if let Some(idx) = self.segments.iter().position(|s| *s == segment) {
+                        self.flush_observations();
+                        let report = self.monitors.report(self.id, idx);
+                        self.send_frame(
+                            frame.src,
+                            WireMessage::Summary {
+                                round,
+                                segment,
+                                report,
+                            },
+                            true,
+                        );
                     }
                 }
             }
@@ -900,5 +1266,160 @@ mod tests {
             outcome.suspicions
         );
         assert!(outcome.stats.data_delivered > 0);
+    }
+
+    /// Multi-router shards (2 workers for 5 routers) must reach the same
+    /// verdicts as thread-per-router did: the dropper caught, nobody else.
+    #[test]
+    fn two_shards_catch_the_dropper() {
+        let topo = builtin::line(5);
+        let ids: Vec<RouterId> = topo.routers().collect();
+        let spec = LiveSpec {
+            flows: vec![FlowSpec::new(
+                ids[0],
+                ids[4],
+                1000,
+                Duration::from_millis(2),
+            )],
+            droppers: vec![DropperSpec {
+                router: ids[2],
+                rate: 0.3,
+                seed: 5,
+            }],
+            monitor_pairs: vec![],
+        };
+        let cfg = LiveConfig {
+            tau: Duration::from_millis(200),
+            exchange_budget: Duration::from_millis(100),
+            maturity_lag: Duration::from_millis(50),
+            rounds: 2,
+            shards: 2,
+            ..LiveConfig::default()
+        };
+        let transports = LoopbackHub::group(&ids);
+        let outcome = LiveDeployment::run(&topo, &spec, &cfg, transports);
+        let faulty: BTreeSet<RouterId> = [ids[2]].into_iter().collect();
+        let check = SpecCheck::evaluate(&outcome.suspicions, &faulty);
+        assert!(check.is_complete(), "dropper escaped under sharding");
+        assert!(
+            check.is_accurate(cfg.k + 2),
+            "false positives under sharding: {:?}",
+            check.false_positives
+        );
+    }
+
+    /// Reconciliation-mode exchange: a clean run resolves every digest
+    /// without a single full-summary fallback and accuses nobody, and its
+    /// summary traffic is a fraction of full mode's.
+    #[test]
+    fn reconcile_mode_clean_run_resolves_digests() {
+        let topo = builtin::line(4);
+        let ids: Vec<RouterId> = topo.routers().collect();
+        let spec = LiveSpec {
+            flows: vec![FlowSpec::new(ids[0], ids[3], 800, Duration::from_millis(2))],
+            droppers: vec![],
+            monitor_pairs: vec![],
+        };
+        let base = LiveConfig {
+            tau: Duration::from_millis(200),
+            exchange_budget: Duration::from_millis(100),
+            rounds: 2,
+            ..LiveConfig::default()
+        };
+        let reconcile_cfg = LiveConfig {
+            summary: SummaryMode::Reconcile { capacity: 24 },
+            ..base
+        };
+        let full = LiveDeployment::run(&topo, &spec, &base, LoopbackHub::group(&ids));
+        let rec = LiveDeployment::run(&topo, &spec, &reconcile_cfg, LoopbackHub::group(&ids));
+
+        assert!(full.suspicions.is_empty() && rec.suspicions.is_empty());
+        assert!(rec.stats.digests_resolved > 0, "no digest ever resolved");
+        assert_eq!(rec.stats.digest_fallbacks, 0, "clean run fell back");
+        assert!(
+            rec.stats.control_bytes_sent < full.stats.control_bytes_sent,
+            "reconciled control plane not cheaper: {} vs {}",
+            rec.stats.control_bytes_sent,
+            full.stats.control_bytes_sent
+        );
+    }
+
+    /// Reconciliation-mode exchange still catches the dropper: either the
+    /// decoded diff convicts directly, or the cumulative loss overflows
+    /// the sketch and the fallback full transfer convicts.
+    #[test]
+    fn reconcile_mode_catches_dropper() {
+        let topo = builtin::line(5);
+        let ids: Vec<RouterId> = topo.routers().collect();
+        let spec = LiveSpec {
+            flows: vec![FlowSpec::new(
+                ids[0],
+                ids[4],
+                1000,
+                Duration::from_millis(2),
+            )],
+            droppers: vec![DropperSpec {
+                router: ids[2],
+                rate: 0.3,
+                seed: 9,
+            }],
+            monitor_pairs: vec![],
+        };
+        let cfg = LiveConfig {
+            tau: Duration::from_millis(200),
+            exchange_budget: Duration::from_millis(100),
+            maturity_lag: Duration::from_millis(50),
+            rounds: 2,
+            summary: SummaryMode::Reconcile { capacity: 128 },
+            ..LiveConfig::default()
+        };
+        let transports = LoopbackHub::group(&ids);
+        let outcome = LiveDeployment::run(&topo, &spec, &cfg, transports);
+        let faulty: BTreeSet<RouterId> = [ids[2]].into_iter().collect();
+        let check = SpecCheck::evaluate(&outcome.suspicions, &faulty);
+        assert!(check.is_complete(), "dropper escaped in reconcile mode");
+        assert!(
+            check.is_accurate(cfg.k + 2),
+            "false positives in reconcile mode: {:?}",
+            check.false_positives
+        );
+        assert!(
+            outcome.stats.digests_resolved + outcome.stats.digest_fallbacks > 0,
+            "digest path never exercised"
+        );
+    }
+
+    /// With the mailbox fastpath on, co-resident routers bypass the
+    /// transport entirely: the run still validates cleanly and the wire
+    /// counters show (almost) nothing crossed a transport.
+    #[test]
+    fn mailbox_fastpath_bypasses_the_wire() {
+        let topo = builtin::line(4);
+        let ids: Vec<RouterId> = topo.routers().collect();
+        let spec = LiveSpec {
+            flows: vec![FlowSpec::new(ids[0], ids[3], 800, Duration::from_millis(2))],
+            droppers: vec![],
+            monitor_pairs: vec![],
+        };
+        let cfg = LiveConfig {
+            tau: Duration::from_millis(200),
+            exchange_budget: Duration::from_millis(100),
+            rounds: 2,
+            shards: 2,
+            mailbox_fastpath: true,
+            ..LiveConfig::default()
+        };
+        let transports = LoopbackHub::group(&ids);
+        let outcome = LiveDeployment::run(&topo, &spec, &cfg, transports);
+        assert!(outcome.suspicions.is_empty());
+        assert!(outcome.stats.data_delivered > 0);
+        // First transmissions all ride the mailbox; only retransmissions
+        // may touch the transport.
+        assert!(
+            outcome.stats.wire_bytes_sent < outcome.stats.data_bytes_sent / 2,
+            "fastpath did not bypass the wire: {} wire vs {} data bytes",
+            outcome.stats.wire_bytes_sent,
+            outcome.stats.data_bytes_sent
+        );
     }
 }

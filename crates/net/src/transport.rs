@@ -67,9 +67,30 @@ pub trait Transport: Send {
     /// timeout.
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, NetError>;
 
+    /// Receives the next frame without blocking: `Ok(None)` when nothing
+    /// is queued. The sharded runtime sweeps many endpoints per worker
+    /// thread, so a blocking receive on one router would starve its
+    /// shard-mates. The default falls back to a minimal-timeout receive.
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, NetError> {
+        self.recv_timeout(Duration::from_micros(1))
+    }
+
     /// Largest frame this transport can carry.
     fn max_datagram(&self) -> usize {
         MAX_FRAME
+    }
+
+    /// Total payload bytes successfully handed to the medium. Chaos
+    /// wrappers count what actually survived onto the wire (duplicates
+    /// included, swallowed frames excluded), so overhead claims come from
+    /// measurement rather than arithmetic.
+    fn bytes_sent(&self) -> u64 {
+        0
+    }
+
+    /// Total payload bytes received from the medium.
+    fn bytes_recv(&self) -> u64 {
+        0
     }
 }
 
@@ -98,6 +119,8 @@ impl LoopbackHub {
                 local: id,
                 peers: Arc::clone(&senders),
                 rx,
+                sent_bytes: 0,
+                recv_bytes: 0,
             })
             .collect()
     }
@@ -109,6 +132,8 @@ pub struct LoopbackNet {
     local: RouterId,
     peers: Arc<HashMap<RouterId, mpsc::Sender<Vec<u8>>>>,
     rx: mpsc::Receiver<Vec<u8>>,
+    sent_bytes: u64,
+    recv_bytes: u64,
 }
 
 impl Transport for LoopbackNet {
@@ -124,15 +149,38 @@ impl Transport for LoopbackNet {
         // A hung-up receiver models a crashed router: the datagram is
         // silently lost, exactly as UDP would lose it.
         let _ = tx.send(frame.to_vec());
+        self.sent_bytes += frame.len() as u64;
         Ok(())
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, NetError> {
         match self.rx.recv_timeout(timeout) {
-            Ok(f) => Ok(Some(f)),
+            Ok(f) => {
+                self.recv_bytes += f.len() as u64;
+                Ok(Some(f))
+            }
             Err(mpsc::RecvTimeoutError::Timeout) => Ok(None),
             Err(mpsc::RecvTimeoutError::Disconnected) => Err(NetError::Closed),
         }
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, NetError> {
+        match self.rx.try_recv() {
+            Ok(f) => {
+                self.recv_bytes += f.len() as u64;
+                Ok(Some(f))
+            }
+            Err(mpsc::TryRecvError::Empty) => Ok(None),
+            Err(mpsc::TryRecvError::Disconnected) => Err(NetError::Closed),
+        }
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.sent_bytes
+    }
+
+    fn bytes_recv(&self) -> u64 {
+        self.recv_bytes
     }
 }
 
@@ -148,6 +196,11 @@ pub struct UdpNet {
     peers: Arc<HashMap<RouterId, std::net::SocketAddr>>,
     /// Cached read timeout, to skip redundant setsockopt calls.
     current_timeout: Option<Duration>,
+    /// Cached non-blocking flag; `try_recv` and `recv_timeout` flip the
+    /// socket mode lazily rather than per call.
+    nonblocking: bool,
+    sent_bytes: u64,
+    recv_bytes: u64,
 }
 
 impl UdpNet {
@@ -169,8 +222,31 @@ impl UdpNet {
                 socket,
                 peers: Arc::clone(&addrs),
                 current_timeout: None,
+                nonblocking: false,
+                sent_bytes: 0,
+                recv_bytes: 0,
             })
             .collect())
+    }
+}
+
+impl UdpNet {
+    fn recv_inner(&mut self) -> Result<Option<Vec<u8>>, NetError> {
+        let mut buf = vec![0u8; MAX_FRAME];
+        match self.socket.recv_from(&mut buf) {
+            Ok((n, _)) => {
+                buf.truncate(n);
+                self.recv_bytes += n as u64;
+                Ok(Some(buf))
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(NetError::Io(e.to_string())),
+        }
     }
 }
 
@@ -187,10 +263,18 @@ impl Transport for UdpNet {
         self.socket
             .send_to(frame, addr)
             .map_err(|e| NetError::Io(e.to_string()))?;
+        self.sent_bytes += frame.len() as u64;
         Ok(())
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, NetError> {
+        if self.nonblocking {
+            self.socket
+                .set_nonblocking(false)
+                .map_err(|e| NetError::Io(e.to_string()))?;
+            self.nonblocking = false;
+            self.current_timeout = None;
+        }
         // set_read_timeout(Some(0)) is an error; clamp to 1µs.
         let timeout = timeout.max(Duration::from_micros(1));
         if self.current_timeout != Some(timeout) {
@@ -199,20 +283,25 @@ impl Transport for UdpNet {
                 .map_err(|e| NetError::Io(e.to_string()))?;
             self.current_timeout = Some(timeout);
         }
-        let mut buf = vec![0u8; MAX_FRAME];
-        match self.socket.recv_from(&mut buf) {
-            Ok((n, _)) => {
-                buf.truncate(n);
-                Ok(Some(buf))
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                Ok(None)
-            }
-            Err(e) => Err(NetError::Io(e.to_string())),
+        self.recv_inner()
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, NetError> {
+        if !self.nonblocking {
+            self.socket
+                .set_nonblocking(true)
+                .map_err(|e| NetError::Io(e.to_string()))?;
+            self.nonblocking = true;
         }
+        self.recv_inner()
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.sent_bytes
+    }
+
+    fn bytes_recv(&self) -> u64 {
+        self.recv_bytes
     }
 }
 
@@ -288,8 +377,20 @@ impl<T: Transport> Transport for ChaosTransport<T> {
         self.inner.recv_timeout(timeout)
     }
 
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, NetError> {
+        self.inner.try_recv()
+    }
+
     fn max_datagram(&self) -> usize {
         self.inner.max_datagram()
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.inner.bytes_sent()
+    }
+
+    fn bytes_recv(&self) -> u64 {
+        self.inner.bytes_recv()
     }
 }
 
@@ -334,6 +435,57 @@ mod tests {
         assert_eq!(a.send(rid(9), b"x"), Err(NetError::UnknownPeer(rid(9))));
         let big = vec![0u8; MAX_FRAME + 1];
         assert_eq!(a.send(rid(0), &big), Err(NetError::Oversize(big.len())));
+    }
+
+    #[test]
+    fn byte_counters_track_wire_traffic() {
+        // Loopback: sender counts what it sent, receiver what it drained.
+        let mut group = LoopbackHub::group(&[rid(0), rid(1)]);
+        let mut b = group.pop().unwrap();
+        let mut a = group.pop().unwrap();
+        a.send(rid(1), b"hello").unwrap();
+        a.send(rid(1), b"worldwide").unwrap();
+        assert_eq!(a.bytes_sent(), 5 + 9);
+        assert_eq!(b.bytes_recv(), 0, "nothing drained yet");
+        while b.try_recv().unwrap().is_some() {}
+        assert_eq!(b.bytes_recv(), 5 + 9);
+        assert_eq!(b.bytes_sent(), 0);
+
+        // UDP: same invariant over real sockets, via both receive paths.
+        let mut group = UdpNet::bind_group(&[rid(0), rid(1)]).unwrap();
+        let mut b = group.pop().unwrap();
+        let mut a = group.pop().unwrap();
+        a.send(rid(1), b"abc").unwrap();
+        a.send(rid(1), b"defg").unwrap();
+        assert_eq!(a.bytes_sent(), 7);
+        let mut drained = 0;
+        for _ in 0..200 {
+            match b.recv_timeout(Duration::from_millis(50)).unwrap() {
+                Some(f) => drained += f.len(),
+                None => break,
+            }
+            if drained == 7 {
+                break;
+            }
+        }
+        assert_eq!(b.bytes_recv() as usize, drained);
+        assert_eq!(drained, 7);
+
+        // Chaos: swallowed frames never reach the medium; duplicates are
+        // charged twice. loss=1.0 → zero bytes; dup=1.0 → double bytes.
+        let mut group = LoopbackHub::group(&[rid(0), rid(1)]);
+        group.pop().unwrap();
+        let a = group.pop().unwrap();
+        let mut lossy = ChaosTransport::all_frames(a, 1.0, 0.0, 1);
+        lossy.send(rid(1), b"gone").unwrap();
+        assert_eq!(lossy.bytes_sent(), 0);
+
+        let mut group = LoopbackHub::group(&[rid(0), rid(1)]);
+        group.pop().unwrap();
+        let a = group.pop().unwrap();
+        let mut dupy = ChaosTransport::all_frames(a, 0.0, 1.0, 1);
+        dupy.send(rid(1), b"twice").unwrap();
+        assert_eq!(dupy.bytes_sent(), 10);
     }
 
     #[test]

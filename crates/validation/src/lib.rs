@@ -17,6 +17,9 @@
 //! * [`reconcile`] — the Appendix A characteristic-polynomial set
 //!   reconciliation used to exchange fingerprint sets in bandwidth
 //!   proportional to the *difference*;
+//! * [`digest`] — fixed-size [`ContentDigest`]s (sketch + flow counter +
+//!   multiset checksum) whose recovered differences are certified
+//!   bit-for-bit equal to a full-summary `difference_pair`;
 //! * [`bloom`] — the cheaper, approximate Bloom-filter alternative;
 //! * [`sampling`] — trajectory-sampling-style deterministic subsampling;
 //! * [`field`] and [`poly`] — the GF(2⁶¹ − 1) algebra beneath
@@ -51,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod bloom;
+pub mod digest;
 pub mod field;
 pub mod poly;
 pub mod reconcile;
@@ -59,6 +63,7 @@ pub mod summary;
 pub mod tv;
 
 pub use bloom::BloomFilter;
+pub use digest::{apply_diff, diff_via_digest, ContentDigest};
 pub use reconcile::{reconcile, Delta, ReconcileError, SetSketch};
 pub use sampling::SamplingPattern;
 pub use summary::{ContentSummary, FlowCounter, OrderedSummary, TimedEntry, TimedSummary};

@@ -158,6 +158,26 @@ impl SetSketch {
     pub fn wire_bytes(&self) -> usize {
         self.evals.len() * 8 + 8
     }
+
+    /// The raw characteristic-polynomial evaluations, in sample-point order.
+    /// Exposed so a wire codec can serialize the sketch.
+    pub fn evals(&self) -> &[Fe] {
+        &self.evals
+    }
+
+    /// Rebuilds a sketch from wire-decoded parts. Returns `None` when the
+    /// evaluation count does not match `capacity + 2` (the check points) or
+    /// the capacity is zero — a malformed or truncated transfer.
+    pub fn from_parts(capacity: usize, size: u64, evals: Vec<Fe>) -> Option<Self> {
+        if capacity == 0 || evals.len() != capacity + CHECK_POINTS {
+            return None;
+        }
+        Some(Self {
+            capacity,
+            size,
+            evals,
+        })
+    }
 }
 
 /// Reconciles two sketches, recovering the symmetric difference.

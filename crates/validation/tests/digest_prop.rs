@@ -1,0 +1,212 @@
+//! Property test: digest-exchange verdicts are pinned bit-for-bit to the
+//! full-summary `difference_pair` verdicts.
+//!
+//! `diff_via_digest` must never be *wrong*: whenever it resolves, the
+//! result must equal what shipping the complete `ContentSummary` and
+//! running `difference_pair` would have produced — same fingerprints, same
+//! multiplicities, same order. When it cannot certify that (difference
+//! over sketch capacity, or a duplicate the collapsed sketch is blind to),
+//! it must return `None` and force the fallback, never a plausible guess.
+//!
+//! Plain seeded loops (same idiom as `prop.rs`): each case derives its
+//! inputs from a deterministic RNG keyed by the loop index.
+
+use fatih_crypto::Fingerprint;
+use fatih_validation::digest::{diff_via_digest, ContentDigest};
+use fatih_validation::summary::ContentSummary;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Keep raw values well below the field top: the sketch sample points live
+/// at `P-1, P-2, …`, so this guarantees no eval-point collisions and makes
+/// the must-resolve assertions deterministic.
+const VAL_RANGE: std::ops::Range<u64> = 1..1 << 40;
+
+fn summary_of(vals: &[u64]) -> ContentSummary {
+    let mut s = ContentSummary::default();
+    for &v in vals {
+        s.observe(Fingerprint::new(v), 64);
+    }
+    s
+}
+
+fn distinct(rng: &mut StdRng, n: usize, exclude: &BTreeSet<u64>) -> Vec<u64> {
+    let mut out = BTreeSet::new();
+    while out.len() < n {
+        let v = rng.gen_range(VAL_RANGE);
+        if !exclude.contains(&v) {
+            out.insert(v);
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// The core invariant, checked in both digest directions.
+fn check_pinned(a: &ContentSummary, b: &ContentSummary, cap: usize, seed: u64, ctx: &str) {
+    for (remote, local, dir) in [(a, b, "a→b"), (b, a, "b→a")] {
+        let digest = ContentDigest::of(remote, cap);
+        let want = remote.difference_pair(local);
+        let got = diff_via_digest(&digest, local, &mut StdRng::seed_from_u64(seed));
+        if let Some(got) = got {
+            assert_eq!(got, want, "{ctx} [{dir}]: resolved verdict diverged");
+        }
+    }
+}
+
+/// Multiplicity-1 diffs within capacity MUST resolve, and must match.
+#[test]
+fn clean_diffs_resolve_and_match() {
+    for case in 0u64..200 {
+        let mut rng = StdRng::seed_from_u64(0xD16_0000 + case);
+        let cap = rng.gen_range(1usize..24);
+        let n_shared = rng.gen_range(0..400usize);
+        let shared = distinct(&mut rng, n_shared, &BTreeSet::new());
+        let shared_set: BTreeSet<u64> = shared.iter().copied().collect();
+        let total_diff = rng.gen_range(0..cap + 1);
+        let na = rng.gen_range(0..total_diff + 1);
+        let extra = distinct(&mut rng, total_diff, &shared_set);
+        let (only_a, only_b) = extra.split_at(na);
+
+        let mut av = shared.clone();
+        av.extend_from_slice(only_a);
+        let mut bv = shared;
+        bv.extend_from_slice(only_b);
+        let (a, b) = (summary_of(&av), summary_of(&bv));
+
+        let digest = ContentDigest::of(&a, cap);
+        let got = diff_via_digest(&digest, &b, &mut StdRng::seed_from_u64(case))
+            .unwrap_or_else(|| panic!("case {case}: clean in-capacity diff must resolve"));
+        assert_eq!(got, a.difference_pair(&b), "case {case}");
+    }
+}
+
+/// Identical summaries always resolve to an empty pair.
+#[test]
+fn identical_summaries_resolve_empty() {
+    for case in 0u64..50 {
+        let mut rng = StdRng::seed_from_u64(0x1DE_0000 + case);
+        let n = rng.gen_range(0..600usize);
+        let vals = distinct(&mut rng, n, &BTreeSet::new());
+        let a = summary_of(&vals);
+        let cap = rng.gen_range(1usize..16);
+        let got = diff_via_digest(
+            &ContentDigest::of(&a, cap),
+            &a,
+            &mut StdRng::seed_from_u64(case),
+        )
+        .expect("identical summaries must resolve");
+        assert!(got.0.is_empty() && got.1.is_empty(), "case {case}");
+    }
+}
+
+/// Both-empty and empty-versus-small cases.
+#[test]
+fn empty_cases_pinned() {
+    let empty = ContentSummary::default();
+    check_pinned(&empty, &empty, 4, 0, "empty/empty");
+    for case in 0u64..50 {
+        let mut rng = StdRng::seed_from_u64(0xE0_0000 + case);
+        let cap = rng.gen_range(1usize..12);
+        let n = rng.gen_range(0..cap + 1);
+        let vals = distinct(&mut rng, n, &BTreeSet::new());
+        let a = summary_of(&vals);
+        let digest = ContentDigest::of(&a, cap);
+        let got = diff_via_digest(&digest, &empty, &mut StdRng::seed_from_u64(case))
+            .expect("small-vs-empty must resolve");
+        assert_eq!(got, a.difference_pair(&empty), "case {case}");
+        check_pinned(&empty, &a, cap, case, "empty vs nonempty");
+    }
+}
+
+/// Disjoint summaries: resolve iff the combined size fits the capacity,
+/// and over-capacity MUST fall back.
+#[test]
+fn disjoint_and_over_capacity() {
+    for case in 0u64..100 {
+        let mut rng = StdRng::seed_from_u64(0xD15_0000 + case);
+        let cap = rng.gen_range(1usize..16);
+        let na = rng.gen_range(0..cap + 11);
+        let nb = rng.gen_range(0..cap + 11);
+        let av = distinct(&mut rng, na, &BTreeSet::new());
+        let bv = distinct(&mut rng, nb, &av.iter().copied().collect());
+        let (a, b) = (summary_of(&av), summary_of(&bv));
+        let got = diff_via_digest(
+            &ContentDigest::of(&a, cap),
+            &b,
+            &mut StdRng::seed_from_u64(case),
+        );
+        if na + nb > cap {
+            assert!(got.is_none(), "case {case}: over-capacity must fall back");
+        } else {
+            assert_eq!(
+                got.unwrap_or_else(|| panic!("case {case}: in-capacity disjoint must resolve")),
+                a.difference_pair(&b),
+                "case {case}"
+            );
+        }
+    }
+}
+
+/// Random duplicate injection: resolved verdicts must still be exact, and
+/// a discrepancy that lives purely in multiplicities must be vetoed.
+#[test]
+fn duplicates_never_yield_wrong_verdicts() {
+    for case in 0u64..200 {
+        let mut rng = StdRng::seed_from_u64(0xD0B_0000 + case);
+        let cap = rng.gen_range(1usize..16);
+        let n_shared = rng.gen_range(1..200usize);
+        let shared = distinct(&mut rng, n_shared, &BTreeSet::new());
+        let shared_set: BTreeSet<u64> = shared.iter().copied().collect();
+        let n_extra = rng.gen_range(0..cap + 1);
+        let extra = distinct(&mut rng, n_extra, &shared_set);
+        let (only_a, only_b) = extra.split_at(rng.gen_range(0..extra.len() + 1));
+
+        let mut av = shared.clone();
+        av.extend_from_slice(only_a);
+        let mut bv = shared.clone();
+        bv.extend_from_slice(only_b);
+        // Duplicate some elements on one or both sides.
+        for _ in 0..rng.gen_range(0..4usize) {
+            let side: bool = rng.gen();
+            let v = if side {
+                av[rng.gen_range(0..av.len())]
+            } else {
+                bv[rng.gen_range(0..bv.len())]
+            };
+            if side {
+                av.push(v);
+            } else {
+                bv.push(v);
+            }
+        }
+        let (a, b) = (summary_of(&av), summary_of(&bv));
+        check_pinned(&a, &b, cap, case, &format!("case {case}"));
+    }
+}
+
+/// The canonical blind spot: same distinct sets, multiplicities differ.
+/// The sketch alone would report "no difference"; the digest must veto.
+#[test]
+fn pure_multiplicity_skew_always_vetoed() {
+    for case in 0u64..100 {
+        let mut rng = StdRng::seed_from_u64(0x5E3_0000 + case);
+        let n_base = rng.gen_range(1..100usize);
+        let base = distinct(&mut rng, n_base, &BTreeSet::new());
+        let mut av = base.clone();
+        // a gets 1..3 extra copies of existing elements; distinct sets equal.
+        for _ in 0..rng.gen_range(1..4usize) {
+            av.push(base[rng.gen_range(0..base.len())]);
+        }
+        let (a, b) = (summary_of(&av), summary_of(&base));
+        let got = diff_via_digest(
+            &ContentDigest::of(&a, 8),
+            &b,
+            &mut StdRng::seed_from_u64(case),
+        );
+        assert!(
+            got.is_none(),
+            "case {case}: multiplicity-only skew must force fallback"
+        );
+    }
+}
