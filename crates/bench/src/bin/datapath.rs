@@ -16,8 +16,9 @@
 //! Run with `cargo run --release -p fatih-bench --bin datapath`
 //! (`-- --smoke` for a seconds-scale CI run).
 
-use fatih_core::monitor::{MonitorMode, PathOracle, SegmentMonitorSet};
+use fatih_core::monitor::{MonitorMetrics, MonitorMode, PathOracle, SegmentMonitorSet};
 use fatih_crypto::{KeyStore, UhashKey};
+use fatih_obs::MetricsRegistry;
 use fatih_sim::{FlowId, Packet, PacketId, PacketKind, SimTime, TapEvent};
 use fatih_topology::{builtin, Path, PathSegment};
 use fatih_validation::tv_content;
@@ -132,8 +133,10 @@ fn build_workload(packets: usize) -> Workload {
     }
 }
 
-/// Packets/sec through ingest → reports → summaries → verdicts.
-fn pipeline_rate(w: &Workload, ks: &KeyStore) -> f64 {
+/// Packets/sec through ingest → reports → summaries → verdicts. The
+/// monitor counts ingest work (records, memo hits/misses, batches) into
+/// `reg` under `monitor.*` names.
+fn pipeline_rate(w: &Workload, ks: &KeyStore, reg: &MetricsRegistry) -> f64 {
     let mut mon = SegmentMonitorSet::new(
         w.segments.clone(),
         w.oracle.clone(),
@@ -141,6 +144,7 @@ fn pipeline_rate(w: &Workload, ks: &KeyStore) -> f64 {
         MonitorMode::EndsOnly,
         None,
     );
+    mon.attach_metrics(MonitorMetrics::registered(reg));
     let start = Instant::now();
     for chunk in w.events.chunks(512) {
         mon.observe_batch(chunk);
@@ -173,6 +177,7 @@ fn main() {
     };
 
     println!("datapath ({})", if smoke { "smoke" } else { "full" });
+    let reg = MetricsRegistry::new();
 
     let key = UhashKey::from_seed(0xDA7A);
     let msg = vec![0xA5u8; 1500];
@@ -202,26 +207,36 @@ fn main() {
         w.packets,
         w.segments.len()
     );
-    let pipeline_pps = pipeline_rate(&w, &ks);
+    let pipeline_pps = pipeline_rate(&w, &ks, &reg);
     println!(
         "  pipeline           : {:>8.2}M pkts/sec (ingest + summarize + tv_content)",
         pipeline_pps / 1e6
     );
 
+    reg.gauge("datapath.fingerprint_scalar_bytes_per_sec")
+        .set(scalar_bps);
+    reg.gauge("datapath.fingerprint_batch_bytes_per_sec")
+        .set(batch_bps);
+    reg.gauge("datapath.fingerprint_speedup").set(speedup);
+    reg.gauge("datapath.pipeline_pkts_per_sec")
+        .set(pipeline_pps);
+    let snap = reg.snapshot();
     let json = format!(
         "{{\n  \"bench\": \"datapath\",\n  \"mode\": \"{}\",\n  \
          \"fingerprint_scalar_bytes_per_sec\": {:.0},\n  \
          \"fingerprint_batch_bytes_per_sec\": {:.0},\n  \
          \"fingerprint_speedup\": {:.3},\n  \
          \"pipeline_pkts_per_sec\": {:.0},\n  \
-         \"packets\": {},\n  \"paths\": {}\n}}\n",
+         \"packets\": {},\n  \"paths\": {},\n  \
+         \"metrics\": {}\n}}\n",
         if smoke { "smoke" } else { "full" },
         scalar_bps,
         batch_bps,
         speedup,
         pipeline_pps,
         w.packets,
-        w.segments.len()
+        w.segments.len(),
+        snap.to_json()
     );
     std::fs::write("BENCH_datapath.json", &json).expect("write BENCH_datapath.json");
     println!("\nwrote BENCH_datapath.json");

@@ -20,6 +20,7 @@ use fatih_core::monitor::{Report, ReportEntry};
 use fatih_crypto::{Fingerprint, KeyStore};
 use fatih_net::codec::{decode_frame, encode_frame, Frame, WireMessage};
 use fatih_net::{LoopbackHub, Transport, UdpNet};
+use fatih_obs::{Histogram, MetricsRegistry};
 use fatih_sim::{FlowId, Packet, PacketId, PacketKind, SimTime};
 use fatih_topology::{PathSegment, RouterId};
 use std::time::{Duration, Instant};
@@ -106,8 +107,15 @@ fn codec_rate(make: impl Fn(u64) -> Frame, iters: u64, ks: &KeyStore) -> f64 {
 }
 
 /// RTT percentiles over `n` request/response exchanges between two
-/// transports, echoing on a second thread.
-fn rtt_percentiles<T: Transport + 'static>(mut a: T, mut b: T, n: usize) -> (u64, u64) {
+/// transports, echoing on a second thread. Every sample is also recorded
+/// into `hist` so the registry snapshot carries the full distribution;
+/// the returned p50/p99 are exact (sorted-sample) values.
+fn rtt_percentiles<T: Transport + 'static>(
+    mut a: T,
+    mut b: T,
+    n: usize,
+    hist: &Histogram,
+) -> (u64, u64) {
     let ks = keys();
     let echo = std::thread::spawn(move || {
         let me = b.local();
@@ -145,7 +153,9 @@ fn rtt_percentiles<T: Transport + 'static>(mut a: T, mut b: T, n: usize) -> (u64
             Ok(None) => panic!("echo timed out"),
             Err(e) => panic!("transport error: {e:?}"),
         }
-        rtts_ns.push(t0.elapsed().as_nanos() as u64);
+        let rtt = t0.elapsed().as_nanos() as u64;
+        hist.record(rtt);
+        rtts_ns.push(rtt);
     }
     echo.join().expect("echo thread");
     rtts_ns.sort_unstable();
@@ -161,15 +171,19 @@ fn main() {
         (500_000, 5_000)
     };
     let ks = keys();
+    let reg = MetricsRegistry::new();
 
     println!("netbench ({})", if smoke { "smoke" } else { "full" });
 
     let data_rate = codec_rate(data_frame, codec_iters, &ks);
+    reg.gauge("netbench.codec_msgs_per_sec").set(data_rate);
+    reg.counter("netbench.codec_iters").add(codec_iters);
     println!(
         "  codec Data    : {:>12.0} msgs/sec (encode+decode)",
         data_rate
     );
     let control_rate = codec_rate(summary_frame, codec_iters / 5, &ks);
+    reg.gauge("netbench.control_msgs_per_sec").set(control_rate);
     println!(
         "  codec Summary : {:>12.0} msgs/sec (seal+open, 16-entry report)",
         control_rate
@@ -178,7 +192,8 @@ fn main() {
     let hub = LoopbackHub::group(&[rid(0), rid(1)]);
     let mut it = hub.into_iter();
     let (a, b) = (it.next().unwrap(), it.next().unwrap());
-    let (loop_p50, loop_p99) = rtt_percentiles(a, b, rtt_n);
+    let loop_hist = reg.histogram("netbench.loopback_rtt_ns");
+    let (loop_p50, loop_p99) = rtt_percentiles(a, b, rtt_n, &loop_hist);
     println!(
         "  loopback RTT  : p50 {:>8} ns   p99 {:>8} ns",
         loop_p50, loop_p99
@@ -187,19 +202,23 @@ fn main() {
     let udp = UdpNet::bind_group(&[rid(0), rid(1)]).expect("bind loopback sockets");
     let mut it = udp.into_iter();
     let (a, b) = (it.next().unwrap(), it.next().unwrap());
-    let (udp_p50, udp_p99) = rtt_percentiles(a, b, rtt_n);
+    let udp_hist = reg.histogram("netbench.udp_rtt_ns");
+    let (udp_p50, udp_p99) = rtt_percentiles(a, b, rtt_n, &udp_hist);
     println!(
         "  UDP RTT       : p50 {:>8} ns   p99 {:>8} ns",
         udp_p50, udp_p99
     );
+    reg.counter("netbench.rtt_samples").add(2 * rtt_n as u64);
 
+    let snap = reg.snapshot();
     let json = format!(
         "{{\n  \"bench\": \"netbench\",\n  \"mode\": \"{}\",\n  \
          \"codec_msgs_per_sec\": {:.0},\n  \
          \"control_msgs_per_sec\": {:.0},\n  \
          \"loopback_rtt_ns\": {{ \"p50\": {}, \"p99\": {} }},\n  \
          \"udp_rtt_ns\": {{ \"p50\": {}, \"p99\": {} }},\n  \
-         \"codec_iters\": {},\n  \"rtt_samples\": {}\n}}\n",
+         \"codec_iters\": {},\n  \"rtt_samples\": {},\n  \
+         \"metrics\": {}\n}}\n",
         if smoke { "smoke" } else { "full" },
         data_rate,
         control_rate,
@@ -208,7 +227,8 @@ fn main() {
         udp_p50,
         udp_p99,
         codec_iters,
-        rtt_n
+        rtt_n,
+        snap.to_json()
     );
     std::fs::write("BENCH_net.json", &json).expect("write BENCH_net.json");
     println!("\nwrote BENCH_net.json");

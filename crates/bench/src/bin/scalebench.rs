@@ -240,8 +240,11 @@ fn main() {
     let accurate = check.is_accurate(cfg_rec.k + 2);
     println!(
         "  dropper @ {GATE_ROUTERS} routers: complete={complete} accurate={accurate} \
-         ({} resolved, {} fallbacks)",
-        outcome.stats.digests_resolved, outcome.stats.digest_fallbacks
+         ({} resolved, {} fallbacks; {} trace events, {} overwritten)",
+        outcome.stats.digests_resolved,
+        outcome.stats.digest_fallbacks,
+        outcome.trace.len(),
+        outcome.trace.dropped(),
     );
 
     let json = format!(
@@ -250,12 +253,17 @@ fn main() {
          \"sweep\": [\n{}\n  ],\n  \
          \"dropper_check\": {{ \"routers\": {GATE_ROUTERS}, \"complete\": {complete}, \
          \"accurate\": {accurate}, \"digest_fallbacks\": {} }},\n  \
+         \"trace\": {{ \"events\": {}, \"overwritten\": {} }},\n  \
+         \"metrics\": {},\n  \
          \"gates\": {{ \"gate_routers\": {GATE_ROUTERS}, \
          \"zero_false_accusations\": {gate_clean}, \
          \"reconcile_ratio\": {gate_ratio:.4}, \"ratio_limit\": {RATIO_LIMIT} }}\n}}\n",
         if smoke { "smoke" } else { "full" },
         sweep_rows.join(",\n"),
         outcome.stats.digest_fallbacks,
+        outcome.trace.len(),
+        outcome.trace.dropped(),
+        outcome.metrics.to_json(),
     );
     std::fs::write("BENCH_scale.json", &json).expect("write BENCH_scale.json");
     println!("\nwrote BENCH_scale.json");

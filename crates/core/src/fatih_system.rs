@@ -37,6 +37,7 @@ use crate::pik2::{Pik2Config, Pik2Detector, RoundExchange};
 use crate::spec::Suspicion;
 use crate::transport::{ReliableTransport, TransportConfig, TransportMsg};
 use fatih_crypto::KeyStore;
+use fatih_obs::{Counter, MetricsRegistry};
 use fatih_sim::{FaultPlan, Network, SimTime};
 use fatih_topology::{AvoidingRoutes, Path, PathSegment, RouterId};
 use std::collections::BTreeSet;
@@ -119,6 +120,10 @@ pub struct FatihSystem {
     exchange_deadline: SimTime,
     round_counter: u64,
     alerts_delivered: u64,
+    /// Observability mirrors of the two tallies above: private cells by
+    /// default, registry-backed after [`FatihSystem::attach_metrics`].
+    obs_rounds: Counter,
+    obs_alerts: Counter,
 }
 
 impl FatihSystem {
@@ -148,7 +153,19 @@ impl FatihSystem {
             exchange_deadline: SimTime::ZERO,
             round_counter: 0,
             alerts_delivered: 0,
+            obs_rounds: Counter::default(),
+            obs_alerts: Counter::default(),
         }
+    }
+
+    /// Registers the system's tallies as `fatih.rounds` and
+    /// `fatih.alerts_delivered` so a harness can read them from registry
+    /// snapshots alongside the `net.*`/`monitor.*` families.
+    pub fn attach_metrics(&mut self, reg: &MetricsRegistry) {
+        self.obs_rounds = reg.counter("fatih.rounds");
+        self.obs_alerts = reg.counter("fatih.alerts_delivered");
+        self.obs_rounds.add(self.round_counter);
+        self.obs_alerts.add(self.alerts_delivered);
     }
 
     /// The suspicions-driven exclusion set installed so far.
@@ -224,6 +241,7 @@ impl FatihSystem {
     fn begin_exchange(&mut self, net: &mut Network) {
         let now = net.now();
         self.round_counter += 1;
+        self.obs_rounds.inc();
         let exch = self
             .detector
             .begin_round(now, self.round_counter, net, &mut self.transport);
@@ -376,6 +394,7 @@ impl FatihSystem {
             return;
         };
         self.alerts_delivered += 1;
+        self.obs_alerts.inc();
         self.excluded.insert(segment);
     }
 }

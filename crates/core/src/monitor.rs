@@ -12,6 +12,7 @@
 //! secret trajectory-sampling pattern, §5.2.1).
 
 use fatih_crypto::{Fingerprint, KeyStore, UhashKey};
+use fatih_obs::{Counter, MetricsRegistry};
 use fatih_sim::{Packet, PacketId, SimTime, TapEvent};
 use fatih_topology::{Path, PathSegment, RouterId, Routes};
 use fatih_validation::sampling::SamplingPattern;
@@ -344,6 +345,36 @@ struct IngestScratch {
 /// memory of a long run; compaction makes old ids worthless anyway).
 const FP_CACHE_MAX: usize = 1 << 16;
 
+/// Counter handles for the monitor's ingest accounting.
+///
+/// Defaults to private cells so an unwired monitor costs nothing extra;
+/// a runtime swaps registered handles in via
+/// [`SegmentMonitorSet::attach_metrics`]. The batched ingest path tallies
+/// locally and adds once per batch, so the per-packet cost stays zero.
+#[derive(Debug, Clone, Default)]
+pub struct MonitorMetrics {
+    /// Observations recorded into some slot (post-sampling).
+    pub records: Counter,
+    /// Fingerprint-memo hits.
+    pub fp_cache_hits: Counter,
+    /// Fingerprint-memo misses (fingerprints actually computed).
+    pub fp_cache_misses: Counter,
+    /// Calls to [`SegmentMonitorSet::observe_batch`].
+    pub batches: Counter,
+}
+
+impl MonitorMetrics {
+    /// Handles registered under the `monitor.*` names.
+    pub fn registered(reg: &MetricsRegistry) -> Self {
+        Self {
+            records: reg.counter("monitor.records"),
+            fp_cache_hits: reg.counter("monitor.fp_cache_hits"),
+            fp_cache_misses: reg.counter("monitor.fp_cache_misses"),
+            batches: reg.counter("monitor.batches"),
+        }
+    }
+}
+
 /// Monitors a set of path segments, accumulating [`Report`]s per
 /// (router, segment) per round.
 ///
@@ -378,6 +409,7 @@ pub struct SegmentMonitorSet {
     /// construction.
     traverse_cache: HashMap<(RouterId, RouterId, u32), bool>,
     scratch: IngestScratch,
+    metrics: MonitorMetrics,
 }
 
 impl SegmentMonitorSet {
@@ -459,12 +491,20 @@ impl SegmentMonitorSet {
             fp_cache: HashMap::new(),
             traverse_cache: HashMap::new(),
             scratch: IngestScratch::default(),
+            metrics: MonitorMetrics::default(),
         }
     }
 
     /// The monitored segments.
     pub fn segments(&self) -> &[PathSegment] {
         &self.segments
+    }
+
+    /// Swaps the ingest counters for registry-backed handles, so every
+    /// monitor set in a deployment aggregates into the same `monitor.*`
+    /// cells.
+    pub fn attach_metrics(&mut self, metrics: MonitorMetrics) {
+        self.metrics = metrics;
     }
 
     /// Feeds one simulator observation.
@@ -509,6 +549,11 @@ impl SegmentMonitorSet {
     /// [`fingerprint_batch_into`](UhashKey::fingerprint_batch_into) kernel,
     /// and record pushes index the slot vector directly.
     pub fn observe_batch(&mut self, events: &[TapEvent]) {
+        // Tally locally, add once per batch: the per-packet path must not
+        // pay an atomic per observation.
+        let mut memo_hits = 0u64;
+        let mut memo_misses = 0u64;
+        let mut recorded = 0u64;
         let mut pending = std::mem::take(&mut self.scratch.pending);
         pending.clear();
         // Phase 1: resolve each event's monitored edge, filter by route
@@ -556,6 +601,9 @@ impl SegmentMonitorSet {
                     Some((cached_inv, fp)) if *cached_inv == inv => Some(*fp),
                     _ => None,
                 };
+                if fp.is_some() {
+                    memo_hits += 1;
+                }
                 pending.push(PendingObs {
                     seg: r.seg,
                     idx: pending.len() as u32,
@@ -581,6 +629,7 @@ impl SegmentMonitorSet {
                 end += 1;
             }
             let miss: Vec<usize> = (start..end).filter(|&i| pending[i].fp.is_none()).collect();
+            memo_misses += miss.len() as u64;
             if !miss.is_empty() {
                 let key = self.keys[seg as usize];
                 let mut fps = std::mem::take(&mut self.scratch.fps);
@@ -614,8 +663,13 @@ impl SegmentMonitorSet {
                 size: p.size,
                 time: p.time,
             });
+            recorded += 1;
         }
         self.scratch.pending = pending;
+        self.metrics.batches.inc();
+        self.metrics.fp_cache_hits.add(memo_hits);
+        self.metrics.fp_cache_misses.add(memo_misses);
+        self.metrics.records.add(recorded);
     }
 
     fn record(
@@ -646,13 +700,18 @@ impl SegmentMonitorSet {
             ) {
                 continue;
             }
-            let fp = Self::memo_fingerprint(
+            let (fp, memo_hit) = Self::memo_fingerprint(
                 &mut self.fp_cache,
                 &self.keys[r.seg as usize],
                 packet.id,
                 r.seg,
                 &inv,
             );
+            if memo_hit {
+                self.metrics.fp_cache_hits.inc();
+            } else {
+                self.metrics.fp_cache_misses.inc();
+            }
             if let Some(patterns) = &self.sampling {
                 if !patterns[r.seg as usize].samples_fingerprint(fp) {
                     continue;
@@ -663,6 +722,7 @@ impl SegmentMonitorSet {
                 size: packet.size,
                 time,
             });
+            self.metrics.records.inc();
         }
     }
 
@@ -680,20 +740,21 @@ impl SegmentMonitorSet {
             .or_insert_with(|| oracle.packet_traverses(packet, &segments[seg as usize]))
     }
 
-    /// Memoized per-(packet, segment) fingerprint. The cached invariant
-    /// bytes are compared on every hit: a packet that arrives modified
-    /// (same id, different invariant fields) is re-fingerprinted, so the
-    /// memo can never mask a modification attack.
+    /// Memoized per-(packet, segment) fingerprint (plus whether the memo
+    /// hit). The cached invariant bytes are compared on every hit: a
+    /// packet that arrives modified (same id, different invariant fields)
+    /// is re-fingerprinted, so the memo can never mask a modification
+    /// attack.
     fn memo_fingerprint(
         cache: &mut HashMap<(PacketId, u32), ([u8; 40], Fingerprint)>,
         key: &UhashKey,
         id: PacketId,
         seg: u32,
         inv: &[u8; 40],
-    ) -> Fingerprint {
+    ) -> (Fingerprint, bool) {
         if let Some((cached_inv, fp)) = cache.get(&(id, seg)) {
             if cached_inv == inv {
-                return *fp;
+                return (*fp, true);
             }
         }
         let fp = key.fingerprint(inv);
@@ -701,7 +762,7 @@ impl SegmentMonitorSet {
             cache.clear();
         }
         cache.insert((id, seg), (*inv, fp));
-        fp
+        (fp, false)
     }
 
     /// The cumulative report of `router` for segment index `i` (empty if

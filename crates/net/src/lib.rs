@@ -9,12 +9,10 @@
 //! * [`codec`] — the binary wire format: length-prefixed, version-byte
 //!   framed, field-tagged messages with an HMAC-SHA256 trailer on every
 //!   control frame (summaries, acks, alerts, accusations);
-//! * [`transport`] — the [`Transport`](transport::Transport) abstraction
-//!   with an in-memory loopback implementation
-//!   ([`LoopbackHub`](transport::LoopbackHub)), a real UDP-over-localhost
-//!   implementation ([`UdpNet`](transport::UdpNet)), and a
-//!   loss/duplication-injecting chaos shim
-//!   ([`ChaosTransport`](transport::ChaosTransport));
+//! * [`transport`] — the [`Transport`] abstraction with an in-memory
+//!   loopback implementation ([`LoopbackHub`]), a real UDP-over-localhost
+//!   implementation ([`UdpNet`]), and a loss/duplication-injecting chaos
+//!   shim ([`ChaosTransport`]);
 //! * [`timer`] — a deadline-driven hashed timer wheel for round ticks,
 //!   flow ticks and retransmit timeouts;
 //! * [`reliable`] — per-message ack/retransmission with capped exponential
@@ -25,7 +23,7 @@
 //! * [`runtime`] — the sharded live runtime: a small pool of worker
 //!   threads, each multiplexing a shard of router event loops over
 //!   non-blocking transports with one shared timer wheel per shard, plus
-//!   the [`LiveDeployment`](runtime::LiveDeployment) harness that deploys
+//!   the [`LiveDeployment`] harness that deploys
 //!   a topology, injects traffic and droppers, and collects suspicions.
 //!   Summary exchange optionally runs in reconciliation mode
 //!   ([`SummaryMode::Reconcile`](runtime::SummaryMode)): ends swap

@@ -15,6 +15,7 @@
 //! encoded wire frames, so the receive path — decode, authenticate,
 //! dispatch — is identical either way.
 
+use fatih_obs::Counter;
 use fatih_topology::RouterId;
 use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
@@ -36,15 +37,29 @@ pub struct Envelope {
 pub struct MailboxRouter {
     txs: Vec<Sender<Envelope>>,
     shard_of: Arc<HashMap<RouterId, usize>>,
+    delivered: Counter,
 }
 
 impl MailboxRouter {
+    /// Swaps the fastpath-delivery counter for a registry-backed handle
+    /// (e.g. `net.mailbox_frames`). Attach before cloning the router so
+    /// every handle shares the cell.
+    pub fn attach_counters(&mut self, delivered: Counter) {
+        self.delivered = delivered;
+    }
+
     /// Delivers encoded bytes to `dst`'s shard. Returns `false` (frame
     /// not taken) when `dst` is unknown or its shard has shut down; the
     /// caller should then use the real transport.
     pub fn deliver(&self, dst: RouterId, bytes: Vec<u8>) -> bool {
         match self.shard_of.get(&dst) {
-            Some(&shard) => self.txs[shard].send(Envelope { dst, bytes }).is_ok(),
+            Some(&shard) => {
+                let ok = self.txs[shard].send(Envelope { dst, bytes }).is_ok();
+                if ok {
+                    self.delivered.inc();
+                }
+                ok
+            }
             None => false,
         }
     }
@@ -92,6 +107,7 @@ pub fn mailboxes(
         MailboxRouter {
             txs,
             shard_of: Arc::new(shard_of),
+            delivered: Counter::default(),
         },
         rxs,
     )

@@ -9,6 +9,7 @@
 //! chaos-duplicated frames are processed exactly once.
 
 use crate::transport::Transport;
+use fatih_obs::Counter;
 use fatih_topology::RouterId;
 use std::collections::{HashMap, HashSet};
 use std::time::Duration;
@@ -71,10 +72,15 @@ pub struct ReliableLayer {
     cfg: ReliableConfig,
     outstanding: HashMap<u64, Outstanding>,
     seen: HashSet<(RouterId, u64)>,
-    /// Retransmissions performed (for the runtime's counters).
-    pub retransmits: u64,
+    /// Retransmissions performed. Defaults to a private cell; the
+    /// runtime swaps in a registry-backed handle via
+    /// [`ReliableLayer::attach_counters`].
+    pub retransmits: Counter,
     /// Wire bytes spent on retransmissions (control-plane accounting).
-    pub retransmit_bytes: u64,
+    pub retransmit_bytes: Counter,
+    /// This layer's own retransmissions — the shared counters above may
+    /// aggregate many layers, so per-layer deltas need a local tally.
+    local_retransmits: u64,
 }
 
 impl ReliableLayer {
@@ -84,6 +90,14 @@ impl ReliableLayer {
             cfg,
             ..Self::default()
         }
+    }
+
+    /// Replaces the retransmit accounting cells with registry-backed
+    /// handles so every layer in a deployment aggregates into the same
+    /// named counters.
+    pub fn attach_counters(&mut self, retransmits: Counter, retransmit_bytes: Counter) {
+        self.retransmits = retransmits;
+        self.retransmit_bytes = retransmit_bytes;
     }
 
     /// Registers an already-sent frame for retransmission tracking.
@@ -111,6 +125,12 @@ impl ReliableLayer {
     /// duplication) return false.
     pub fn accept(&mut self, src: RouterId, seq: u64) -> bool {
         self.seen.insert((src, seq))
+    }
+
+    /// Retransmissions performed by this layer alone (unlike the
+    /// [`ReliableLayer::retransmits`] counter, never shared).
+    pub fn local_retransmits(&self) -> u64 {
+        self.local_retransmits
     }
 
     /// Messages awaiting acks.
@@ -150,8 +170,9 @@ impl ReliableLayer {
             }
             o.attempts += 1;
             let _ = transport.send(o.dst, &o.frame); // best-effort resend
-            self.retransmits += 1;
-            self.retransmit_bytes += o.frame.len() as u64;
+            self.retransmits.inc();
+            self.retransmit_bytes.add(o.frame.len() as u64);
+            self.local_retransmits += 1;
             o.next_retry_ns = now_ns.saturating_add(self.cfg.backoff(o.attempts).as_nanos() as u64);
         }
         exhausted

@@ -19,7 +19,8 @@
 //! encoded bytes.
 //!
 //! Summary exchange has two modes ([`SummaryMode`]). In `Full` mode the
-//! ends ship complete [`ContentSummary`]-bearing reports, costing control
+//! ends ship complete [`ContentSummary`](fatih_validation::summary::ContentSummary)-bearing
+//! reports, costing control
 //! bytes proportional to the traffic volume. In `Reconcile` mode they ship
 //! fixed-size [`ContentDigest`]s (the Appendix A characteristic-polynomial
 //! sketch plus certifying checksums) and each end *decodes* the peer's
@@ -43,6 +44,10 @@ use fatih_core::monitor::{MonitorMode, PathOracle, SegmentMonitorSet};
 use fatih_core::policy::{tv_pair, PairVerdict, Policy, Thresholds};
 use fatih_core::spec::{Interval, Suspicion};
 use fatih_crypto::{Fingerprint, KeyStore};
+use fatih_obs::trace::{NO_ROUND, NO_ROUTER};
+use fatih_obs::{
+    Counter, Histogram, MetricsRegistry, MetricsSnapshot, TraceBuffer, TraceJournal, TraceKind,
+};
 use fatih_sim::{FlowId, Packet, PacketId, PacketKind, SimTime, TapEvent};
 use fatih_topology::{pik2_segments_from_paths, Path, PathSegment, RouterId, Routes, Topology};
 use fatih_validation::digest::{apply_diff, diff_via_digest, ContentDigest};
@@ -149,6 +154,9 @@ pub struct LiveConfig {
     /// cross-shard mailbox instead of the transport. Off by default so
     /// the wire-byte accounting reflects real transport traffic.
     pub mailbox_fastpath: bool,
+    /// Capacity of each shard's trace ring ([`TraceBuffer`]): oldest
+    /// events are overwritten beyond this, but per-kind totals survive.
+    pub trace_capacity: usize,
 }
 
 impl Default for LiveConfig {
@@ -171,6 +179,7 @@ impl Default for LiveConfig {
             shards: 0,
             summary: SummaryMode::Full,
             mailbox_fastpath: false,
+            trace_capacity: 32_768,
         }
     }
 }
@@ -278,20 +287,80 @@ pub struct LiveStats {
 }
 
 impl LiveStats {
-    fn absorb(&mut self, other: &LiveStats) {
-        self.frames_sent += other.frames_sent;
-        self.frames_received += other.frames_received;
-        self.data_delivered += other.data_delivered;
-        self.data_dropped += other.data_dropped;
-        self.retransmits += other.retransmits;
-        self.decode_failures += other.decode_failures;
-        self.encode_failures += other.encode_failures;
-        self.data_bytes_sent += other.data_bytes_sent;
-        self.control_bytes_sent += other.control_bytes_sent;
-        self.wire_bytes_sent += other.wire_bytes_sent;
-        self.wire_bytes_recv += other.wire_bytes_recv;
-        self.digests_resolved += other.digests_resolved;
-        self.digest_fallbacks += other.digest_fallbacks;
+    /// Reconstructs the aggregate view from the `net.*` counters of a
+    /// registry snapshot. Retransmitted bytes fold into
+    /// `control_bytes_sent`, as the pre-registry accounting did.
+    pub fn from_snapshot(snap: &MetricsSnapshot) -> Self {
+        Self {
+            frames_sent: snap.counter("net.frames_sent"),
+            frames_received: snap.counter("net.frames_received"),
+            data_delivered: snap.counter("net.data_delivered"),
+            data_dropped: snap.counter("net.data_dropped"),
+            retransmits: snap.counter("net.retransmits"),
+            decode_failures: snap.counter("net.decode_failures"),
+            encode_failures: snap.counter("net.encode_failures"),
+            data_bytes_sent: snap.counter("net.data_bytes_sent"),
+            control_bytes_sent: snap.counter("net.control_bytes_sent")
+                + snap.counter("net.retransmit_bytes"),
+            wire_bytes_sent: snap.counter("net.wire_bytes_sent"),
+            wire_bytes_recv: snap.counter("net.wire_bytes_recv"),
+            digests_resolved: snap.counter("net.digests_resolved"),
+            digest_fallbacks: snap.counter("net.digest_fallbacks"),
+        }
+    }
+}
+
+/// Registered handles for every metric the live runtime maintains. One
+/// set of cells per deployment: each node clones the handles, so
+/// increments from every shard aggregate with no collection step.
+#[derive(Debug, Clone)]
+struct NetMetrics {
+    frames_sent: Counter,
+    frames_received: Counter,
+    data_delivered: Counter,
+    data_dropped: Counter,
+    retransmits: Counter,
+    retransmit_bytes: Counter,
+    decode_failures: Counter,
+    encode_failures: Counter,
+    data_bytes_sent: Counter,
+    control_bytes_sent: Counter,
+    wire_bytes_sent: Counter,
+    wire_bytes_recv: Counter,
+    digests_resolved: Counter,
+    digest_fallbacks: Counter,
+    accusations_raised: Counter,
+    alerts_sent: Counter,
+    summary_timeouts: Counter,
+    mailbox_frames: Counter,
+    frame_bytes: Histogram,
+    round_eval_ns: Histogram,
+}
+
+impl NetMetrics {
+    fn registered(reg: &MetricsRegistry) -> Self {
+        Self {
+            frames_sent: reg.counter("net.frames_sent"),
+            frames_received: reg.counter("net.frames_received"),
+            data_delivered: reg.counter("net.data_delivered"),
+            data_dropped: reg.counter("net.data_dropped"),
+            retransmits: reg.counter("net.retransmits"),
+            retransmit_bytes: reg.counter("net.retransmit_bytes"),
+            decode_failures: reg.counter("net.decode_failures"),
+            encode_failures: reg.counter("net.encode_failures"),
+            data_bytes_sent: reg.counter("net.data_bytes_sent"),
+            control_bytes_sent: reg.counter("net.control_bytes_sent"),
+            wire_bytes_sent: reg.counter("net.wire_bytes_sent"),
+            wire_bytes_recv: reg.counter("net.wire_bytes_recv"),
+            digests_resolved: reg.counter("net.digests_resolved"),
+            digest_fallbacks: reg.counter("net.digest_fallbacks"),
+            accusations_raised: reg.counter("net.accusations_raised"),
+            alerts_sent: reg.counter("net.alerts_sent"),
+            summary_timeouts: reg.counter("net.summary_timeouts"),
+            mailbox_frames: reg.counter("net.mailbox_frames"),
+            frame_bytes: reg.histogram("net.frame_bytes"),
+            round_eval_ns: reg.histogram("net.round_eval_ns"),
+        }
     }
 }
 
@@ -302,13 +371,59 @@ pub struct LiveOutcome {
     pub suspicions: Vec<Suspicion>,
     /// Full event log.
     pub events: Vec<LiveEvent>,
-    /// Aggregate counters.
+    /// Aggregate counters (derived from [`LiveOutcome::metrics`]).
     pub stats: LiveStats,
+    /// Final registry snapshot: every `net.*` counter and histogram.
+    pub metrics: MetricsSnapshot,
+    /// Cumulative snapshot taken shortly after each round's evaluation
+    /// deadline; [`MetricsSnapshot::counter_delta`] between neighbours
+    /// gives the per-round cost.
+    pub round_metrics: Vec<MetricsSnapshot>,
+    /// Merged trace journal from every shard's ring.
+    pub trace: TraceJournal,
     /// The segments that were monitored.
     pub segments: Vec<PathSegment>,
 }
 
 /// Deploys the Πk+2 runtime over real transports.
+///
+/// # Examples
+///
+/// A clean one-round deployment over the in-memory loopback hub. The
+/// outcome carries the protocol verdicts ([`LiveOutcome::suspicions`]),
+/// the final metrics snapshot, per-round snapshots, and the merged trace
+/// journal:
+///
+/// ```
+/// use fatih_net::runtime::{FlowSpec, LiveConfig, LiveDeployment, LiveSpec};
+/// use fatih_net::transport::LoopbackHub;
+/// use fatih_topology::builtin;
+/// use std::time::Duration;
+///
+/// let topo = builtin::line(3);
+/// let ids: Vec<_> = topo.routers().collect();
+/// let spec = LiveSpec {
+///     flows: vec![FlowSpec::new(ids[0], ids[2], 500, Duration::from_millis(5))],
+///     droppers: vec![],
+///     monitor_pairs: vec![],
+/// };
+/// let cfg = LiveConfig {
+///     tau: Duration::from_millis(120),
+///     exchange_budget: Duration::from_millis(80),
+///     maturity_lag: Duration::from_millis(30),
+///     rounds: 1,
+///     ..LiveConfig::default()
+/// };
+/// let outcome = LiveDeployment::run(&topo, &spec, &cfg, LoopbackHub::group(&ids));
+/// assert!(outcome.suspicions.is_empty(), "clean run accuses nobody");
+/// assert!(outcome.stats.data_delivered > 0);
+/// assert_eq!(outcome.round_metrics.len(), 1);
+/// assert_eq!(
+///     outcome.metrics.counter("net.frames_sent"),
+///     outcome.stats.frames_sent
+/// );
+/// assert!(!outcome.trace.is_empty());
+/// ```
 #[derive(Debug)]
 pub struct LiveDeployment;
 
@@ -337,6 +452,9 @@ impl LiveDeployment {
             ids.len(),
             "need exactly one transport per router"
         );
+
+        let registry = MetricsRegistry::new();
+        let metrics = NetMetrics::registered(&registry);
 
         let mut keys = KeyStore::with_seed(cfg.key_seed);
         for &id in &ids {
@@ -383,7 +501,8 @@ impl LiveDeployment {
             .collect();
         let (mail_router, mut mail_rx): (Option<MailboxRouter>, Vec<Option<ShardMailbox>>) =
             if cfg.mailbox_fastpath {
-                let (r, boxes) = mailboxes(shard_of.clone(), n_shards);
+                let (mut r, boxes) = mailboxes(shard_of.clone(), n_shards);
+                r.attach_counters(metrics.mailbox_frames.clone());
                 (Some(r), boxes.into_iter().map(Some).collect())
             } else {
                 (None, (0..n_shards).map(|_| None).collect())
@@ -404,6 +523,7 @@ impl LiveDeployment {
                 &segments,
                 oracle.clone(),
                 mail_router.clone(),
+                metrics.clone(),
             );
             shard_nodes[i % n_shards].push(node);
         }
@@ -414,7 +534,7 @@ impl LiveDeployment {
 
         let mut handles = Vec::with_capacity(n_shards);
         for (s, nodes) in shard_nodes.into_iter().enumerate() {
-            let mut shard = Shard::new(nodes, *cfg, epoch, mail_rx[s].take());
+            let shard = Shard::new(s as u32, nodes, *cfg, epoch, mail_rx[s].take());
             let flag = Arc::clone(&shutdown);
             let tx = event_tx.clone();
             handles.push(
@@ -426,9 +546,21 @@ impl LiveDeployment {
         }
         drop(event_tx);
 
-        // Let every round finish: final evaluation fires at
-        // rounds·τ + budget after the epoch; leave slack for the last
-        // alerts to cross the wire.
+        // Snapshot the registry just after each round's evaluation
+        // deadline so callers can diff neighbouring snapshots into
+        // per-round costs, then let every round finish: final evaluation
+        // fires at rounds·τ + budget after the epoch; leave slack for
+        // the last alerts to cross the wire.
+        let mut round_metrics = Vec::with_capacity(cfg.rounds as usize);
+        for r in 0..cfg.rounds {
+            let at =
+                epoch + cfg.tau * (r as u32 + 1) + cfg.exchange_budget + Duration::from_millis(50);
+            let now = Instant::now();
+            if at > now {
+                std::thread::sleep(at - now);
+            }
+            round_metrics.push(registry.snapshot());
+        }
         let deadline = epoch
             + cfg.tau * (cfg.rounds as u32)
             + cfg.exchange_budget
@@ -439,11 +571,11 @@ impl LiveDeployment {
         }
         shutdown.store(true, Ordering::Relaxed);
 
-        let mut stats = LiveStats::default();
+        let mut buffers = Vec::with_capacity(n_shards);
         for h in handles {
-            let shard_stats = h.join().expect("shard thread panicked");
-            stats.absorb(&shard_stats);
+            buffers.push(h.join().expect("shard thread panicked"));
         }
+        let trace = TraceJournal::from_buffers(buffers);
         let events: Vec<LiveEvent> = event_rx.iter().collect();
         let suspicions = events
             .iter()
@@ -452,10 +584,14 @@ impl LiveDeployment {
                 _ => None,
             })
             .collect();
+        let metrics = registry.snapshot();
         LiveOutcome {
             suspicions,
             events,
-            stats,
+            stats: LiveStats::from_snapshot(&metrics),
+            metrics,
+            round_metrics,
+            trace,
             segments: segments.to_vec(),
         }
     }
@@ -493,10 +629,14 @@ struct Shard<T: Transport> {
     mailbox: Option<ShardMailbox>,
     cfg: LiveConfig,
     epoch: Instant,
+    /// This worker's trace ring: written only by this thread, handed
+    /// back when it joins.
+    trace: TraceBuffer,
 }
 
 impl<T: Transport> Shard<T> {
     fn new(
+        shard: u32,
         mut nodes: Vec<Node<T>>,
         cfg: LiveConfig,
         epoch: Instant,
@@ -513,6 +653,7 @@ impl<T: Transport> Shard<T> {
             mailbox,
             cfg,
             epoch,
+            trace: TraceBuffer::new(shard, cfg.trace_capacity),
         }
     }
 
@@ -522,7 +663,7 @@ impl<T: Transport> Shard<T> {
             .as_nanos() as u64
     }
 
-    fn run(&mut self, shutdown: &AtomicBool, events: &mpsc::Sender<LiveEvent>) -> LiveStats {
+    fn run(mut self, shutdown: &AtomicBool, events: &mpsc::Sender<LiveEvent>) -> TraceBuffer {
         let tau = self.cfg.tau.as_nanos() as u64;
         let budget = self.cfg.exchange_budget.as_nanos() as u64;
         for (ni, node) in self.nodes.iter().enumerate() {
@@ -543,30 +684,47 @@ impl<T: Transport> Shard<T> {
         let pump_step = (self.cfg.reliable.rto.as_nanos() as u64 / 2).max(1_000_000);
         self.wheel.schedule(pump_step, ShardTimer::Pump);
         let single = self.nodes.len() == 1;
+        self.trace
+            .record(self.now_ns(), TraceKind::RoundStart, NO_ROUTER, 0, 0);
 
         loop {
             let now = self.now_ns();
             for t in self.wheel.pop_due(now) {
+                self.trace
+                    .record(now, TraceKind::TimerFired, NO_ROUTER, NO_ROUND, 0);
                 match t {
                     ShardTimer::FlowTick { node, flow } => {
-                        if let Some(next) = self.nodes[node].flow_tick(flow) {
+                        if let Some(next) = self.nodes[node].flow_tick(flow, &mut self.trace) {
                             self.wheel
                                 .schedule(next, ShardTimer::FlowTick { node, flow });
                         }
                     }
                     ShardTimer::RoundEnd(r) => {
                         for n in &mut self.nodes {
-                            n.round_end(r);
+                            n.round_end(r, &mut self.trace);
+                        }
+                        // The summary sends above still belong to round
+                        // r's slice; the next round opens after them.
+                        self.trace
+                            .record(self.now_ns(), TraceKind::RoundEnd, NO_ROUTER, r, 0);
+                        if r + 1 < self.cfg.rounds {
+                            self.trace.record(
+                                self.now_ns(),
+                                TraceKind::RoundStart,
+                                NO_ROUTER,
+                                r + 1,
+                                0,
+                            );
                         }
                     }
                     ShardTimer::RoundEval(r) => {
                         for n in &mut self.nodes {
-                            n.round_eval(r, events);
+                            n.round_eval(r, events, &mut self.trace);
                         }
                     }
                     ShardTimer::Pump => {
                         for n in &mut self.nodes {
-                            n.pump(events);
+                            n.pump(events, &mut self.trace);
                         }
                         self.wheel
                             .schedule(self.now_ns() + pump_step, ShardTimer::Pump);
@@ -578,10 +736,10 @@ impl<T: Transport> Shard<T> {
             }
 
             let mut handled = 0usize;
-            if let Some(mb) = &mut self.mailbox {
-                for env in mb.drain(512) {
+            if let Some(envelopes) = self.mailbox.as_mut().map(|mb| mb.drain(512)) {
+                for env in envelopes {
                     if let Some(&ni) = self.index_of.get(&env.dst) {
-                        self.nodes[ni].handle_frame(&env.bytes, events);
+                        self.nodes[ni].handle_frame(&env.bytes, events, &mut self.trace);
                         handled += 1;
                     }
                 }
@@ -593,7 +751,7 @@ impl<T: Transport> Shard<T> {
                 for _ in 0..RECV_SWEEP {
                     match self.nodes[ni].transport.try_recv() {
                         Ok(Some(bytes)) => {
-                            self.nodes[ni].handle_frame(&bytes, events);
+                            self.nodes[ni].handle_frame(&bytes, events, &mut self.trace);
                             handled += 1;
                         }
                         Ok(None) => break,
@@ -619,7 +777,9 @@ impl<T: Transport> Shard<T> {
                         .transport
                         .recv_timeout(Duration::from_nanos(wait))
                     {
-                        Ok(Some(bytes)) => self.nodes[0].handle_frame(&bytes, events),
+                        Ok(Some(bytes)) => {
+                            self.nodes[0].handle_frame(&bytes, events, &mut self.trace)
+                        }
                         Ok(None) => {}
                         Err(_) => self.nodes[0].open = false,
                     }
@@ -632,12 +792,10 @@ impl<T: Transport> Shard<T> {
             }
         }
 
-        let mut stats = LiveStats::default();
         for node in &mut self.nodes {
             node.finish();
-            stats.absorb(&node.stats);
         }
-        stats
+        self.trace
     }
 }
 
@@ -678,7 +836,7 @@ struct Node<T: Transport> {
     /// Verdicts already decoded from digest exchanges: (round, segment) →
     /// (lost, fabricated), certified equal to the full-summary result.
     peer_verdicts: HashMap<(u64, usize), (Vec<Fingerprint>, Vec<Fingerprint>)>,
-    stats: LiveStats,
+    metrics: NetMetrics,
     next_seq: u64,
     pkt_counter: u64,
     /// Tap events buffered for the monitors' batched ingest path: flushed
@@ -704,6 +862,7 @@ impl<T: Transport> Node<T> {
         segments: &Arc<Vec<PathSegment>>,
         oracle: PathOracle,
         mailbox: Option<MailboxRouter>,
+        metrics: NetMetrics,
     ) -> Self {
         let monitors =
             SegmentMonitorSet::new(segments.to_vec(), oracle, keys, MonitorMode::EndsOnly, None);
@@ -740,6 +899,11 @@ impl<T: Transport> Node<T> {
             })
             .collect();
         let dropper = spec.droppers.iter().find(|d| d.router == id);
+        let mut reliable = ReliableLayer::new(cfg.reliable);
+        reliable.attach_counters(
+            metrics.retransmits.clone(),
+            metrics.retransmit_bytes.clone(),
+        );
         Self {
             id,
             cfg: *cfg,
@@ -759,11 +923,11 @@ impl<T: Transport> Node<T> {
             digest_rng: StdRng::seed_from_u64(
                 cfg.key_seed ^ 0xD16E57 ^ (u64::from(u32::from(id)) << 16),
             ),
-            reliable: ReliableLayer::new(cfg.reliable),
+            reliable,
             mailbox,
             peer_summaries: HashMap::new(),
             peer_verdicts: HashMap::new(),
-            stats: LiveStats::default(),
+            metrics,
             next_seq: 0,
             pkt_counter: 0,
             obs_buf: Vec::with_capacity(OBS_BUF_FLUSH),
@@ -787,20 +951,41 @@ impl<T: Transport> Node<T> {
             .since(SimTime::from_ns(self.cfg.maturity_lag.as_nanos() as u64))
     }
 
-    /// Folds end-of-run counters (retransmissions, transport wire bytes)
-    /// into the node's stats and flushes any buffered observations.
+    /// Folds end-of-run transport wire bytes into the registry counters
+    /// and flushes any buffered observations. (Retransmit accounting
+    /// flows through registry-backed handles as it happens.)
     fn finish(&mut self) {
         self.flush_observations();
-        self.stats.retransmits += self.reliable.retransmits;
-        self.stats.control_bytes_sent += self.reliable.retransmit_bytes;
-        self.stats.wire_bytes_sent += self.transport.bytes_sent();
-        self.stats.wire_bytes_recv += self.transport.bytes_recv();
+        self.metrics
+            .wire_bytes_sent
+            .add(self.transport.bytes_sent());
+        self.metrics
+            .wire_bytes_recv
+            .add(self.transport.bytes_recv());
     }
 
-    fn pump(&mut self, events: &mpsc::Sender<LiveEvent>) {
+    fn pump(&mut self, events: &mpsc::Sender<LiveEvent>, trace: &mut TraceBuffer) {
         let now = self.now_ns();
+        let before = self.reliable.local_retransmits();
         let exhausted = self.reliable.pump(now, &mut self.transport);
+        let resent = self.reliable.local_retransmits() - before;
+        if resent > 0 {
+            trace.record(
+                now,
+                TraceKind::Retransmit,
+                u32::from(self.id),
+                NO_ROUND,
+                resent,
+            );
+        }
         for ex in exhausted {
+            trace.record(
+                now,
+                TraceKind::DeliveryExhausted,
+                u32::from(self.id),
+                NO_ROUND,
+                u64::from(u32::from(ex.dst)),
+            );
             let _ = events.send(LiveEvent::DeliveryExhausted {
                 by: self.id,
                 dst: ex.dst,
@@ -811,7 +996,7 @@ impl<T: Transport> Node<T> {
 
     /// Injects the next packet of local flow `i`; returns the next tick
     /// deadline, or `None` once the final round has closed.
-    fn flow_tick(&mut self, i: usize) -> Option<u64> {
+    fn flow_tick(&mut self, i: usize, trace: &mut TraceBuffer) -> Option<u64> {
         let tau = self.cfg.tau.as_nanos() as u64;
         let now = self.now_ns();
         // Stop injecting once the final round has closed.
@@ -839,13 +1024,16 @@ impl<T: Transport> Node<T> {
         };
         if let Some(next_hop) = self.routes.next_hop(self.id, spec.dst) {
             let t = self.now_st();
-            self.tap(TapEvent::Enqueued {
-                router: self.id,
-                next_hop,
-                packet,
-                time: t,
-                queue_len_after: 0,
-            });
+            self.tap(
+                TapEvent::Enqueued {
+                    router: self.id,
+                    next_hop,
+                    packet,
+                    time: t,
+                    queue_len_after: 0,
+                },
+                trace,
+            );
             self.send_frame(next_hop, WireMessage::Data(packet), false);
         }
         Some(now + interval_ns)
@@ -853,7 +1041,14 @@ impl<T: Transport> Node<T> {
 
     /// Queues a data-plane observation for the batched monitor ingest,
     /// flushing once the buffer amortizes the batch setup.
-    fn tap(&mut self, ev: TapEvent) {
+    fn tap(&mut self, ev: TapEvent, trace: &mut TraceBuffer) {
+        trace.record(
+            ev.time().as_ns(),
+            TraceKind::PacketTap,
+            u32::from(self.id),
+            NO_ROUND,
+            u64::from(ev.packet().size),
+        );
         self.obs_buf.push(ev);
         if self.obs_buf.len() >= OBS_BUF_FLUSH {
             self.flush_observations();
@@ -869,29 +1064,45 @@ impl<T: Transport> Node<T> {
         self.obs_buf.clear();
     }
 
-    fn round_end(&mut self, r: u64) {
+    fn round_end(&mut self, r: u64, trace: &mut TraceBuffer) {
         self.flush_observations();
         let cutoff = self.cutoff(r);
         for end in self.ends.clone() {
             let report = self.monitors.report(self.id, end.seg);
             let segment = self.segments[end.seg].clone();
-            let msg = match self.cfg.summary {
-                SummaryMode::Full => WireMessage::Summary {
-                    round: r,
-                    segment,
-                    report,
-                },
-                SummaryMode::Reconcile { capacity } => {
-                    let capacity = capacity.max(1);
-                    WireMessage::SummaryDigest {
+            let (msg, kind) = match self.cfg.summary {
+                SummaryMode::Full => (
+                    WireMessage::Summary {
                         round: r,
                         segment,
-                        mature: ContentDigest::of(&report.mature(cutoff).to_content(), capacity),
-                        full: ContentDigest::of(&report.to_content(), capacity),
-                    }
+                        report,
+                    },
+                    TraceKind::SummarySent,
+                ),
+                SummaryMode::Reconcile { capacity } => {
+                    let capacity = capacity.max(1);
+                    (
+                        WireMessage::SummaryDigest {
+                            round: r,
+                            segment,
+                            mature: ContentDigest::of(
+                                &report.mature(cutoff).to_content(),
+                                capacity,
+                            ),
+                            full: ContentDigest::of(&report.to_content(), capacity),
+                        },
+                        TraceKind::DigestSent,
+                    )
                 }
             };
             self.send_frame(end.peer, msg, true);
+            trace.record(
+                self.now_ns(),
+                kind,
+                u32::from(self.id),
+                r,
+                u64::from(u32::from(end.peer)),
+            );
         }
     }
 
@@ -937,7 +1148,8 @@ impl<T: Transport> Node<T> {
         Some((lost, fabricated))
     }
 
-    fn round_eval(&mut self, r: u64, events: &mpsc::Sender<LiveEvent>) {
+    fn round_eval(&mut self, r: u64, events: &mpsc::Sender<LiveEvent>, trace: &mut TraceBuffer) {
+        let eval_began = self.now_ns();
         self.flush_observations();
         let tau = self.cfg.tau.as_nanos() as u64;
         let round_start = SimTime::from_ns(r * tau);
@@ -956,6 +1168,14 @@ impl<T: Transport> Node<T> {
             } else {
                 let peer_report = self.peer_summaries.remove(&(r, end.seg));
                 if peer_report.is_none() {
+                    self.metrics.summary_timeouts.inc();
+                    trace.record(
+                        self.now_ns(),
+                        TraceKind::SummaryTimeout,
+                        u32::from(self.id),
+                        r,
+                        u64::from(u32::from(end.peer)),
+                    );
                     let _ = events.send(LiveEvent::SummaryTimeout {
                         by: self.id,
                         segment: segment.clone(),
@@ -989,6 +1209,14 @@ impl<T: Transport> Node<T> {
                 interval,
                 raised_by: self.id,
             };
+            self.metrics.accusations_raised.inc();
+            trace.record(
+                self.now_ns(),
+                TraceKind::AccusationRaised,
+                u32::from(self.id),
+                r,
+                u64::from(u32::from(end.peer)),
+            );
             let _ = events.send(LiveEvent::SuspicionRaised {
                 suspicion,
                 round: r,
@@ -1013,8 +1241,19 @@ impl<T: Transport> Node<T> {
                     },
                     true,
                 );
+                self.metrics.alerts_sent.inc();
+                trace.record(
+                    self.now_ns(),
+                    TraceKind::AlertSent,
+                    u32::from(self.id),
+                    r,
+                    u64::from(u32::from(end.peer)),
+                );
             }
         }
+        self.metrics
+            .round_eval_ns
+            .record(self.now_ns().saturating_sub(eval_began));
     }
 
     fn send_frame(&mut self, dst: RouterId, msg: WireMessage, reliable: bool) {
@@ -1029,11 +1268,12 @@ impl<T: Transport> Node<T> {
         };
         match encode_frame(&frame, &self.keys) {
             Ok(bytes) => {
-                self.stats.frames_sent += 1;
+                self.metrics.frames_sent.inc();
+                self.metrics.frame_bytes.record(bytes.len() as u64);
                 if is_data {
-                    self.stats.data_bytes_sent += bytes.len() as u64;
+                    self.metrics.data_bytes_sent.add(bytes.len() as u64);
                 } else {
-                    self.stats.control_bytes_sent += bytes.len() as u64;
+                    self.metrics.control_bytes_sent.add(bytes.len() as u64);
                 }
                 let via_mailbox = self
                     .mailbox
@@ -1046,25 +1286,30 @@ impl<T: Transport> Node<T> {
                     self.reliable.track(seq, dst, bytes, self.now_ns());
                 }
             }
-            Err(_) => self.stats.encode_failures += 1,
+            Err(_) => self.metrics.encode_failures.inc(),
         }
     }
 
-    fn handle_frame(&mut self, bytes: &[u8], events: &mpsc::Sender<LiveEvent>) {
-        self.stats.frames_received += 1;
+    fn handle_frame(
+        &mut self,
+        bytes: &[u8],
+        events: &mpsc::Sender<LiveEvent>,
+        trace: &mut TraceBuffer,
+    ) {
+        self.metrics.frames_received.inc();
         let frame = match decode_frame(bytes, &self.keys) {
             Ok(f) => f,
             Err(_) => {
-                self.stats.decode_failures += 1;
+                self.metrics.decode_failures.inc();
                 return;
             }
         };
         if frame.dst != self.id {
-            self.stats.decode_failures += 1; // misaddressed frame
+            self.metrics.decode_failures.inc(); // misaddressed frame
             return;
         }
         match frame.msg {
-            WireMessage::Data(packet) => self.handle_data(frame.src, packet),
+            WireMessage::Data(packet) => self.handle_data(frame.src, packet, trace),
             WireMessage::Ack { msg_id } => {
                 self.reliable.on_ack(msg_id);
             }
@@ -1093,11 +1338,25 @@ impl<T: Transport> Node<T> {
                     if let (Some(idx), Some(role)) = (idx, role) {
                         match self.resolve_digest(round, idx, role.upstream, &mature, &full) {
                             Some(v) => {
-                                self.stats.digests_resolved += 1;
+                                self.metrics.digests_resolved.inc();
+                                trace.record(
+                                    self.now_ns(),
+                                    TraceKind::DigestResolved,
+                                    u32::from(self.id),
+                                    round,
+                                    u64::from(u32::from(frame.src)),
+                                );
                                 self.peer_verdicts.insert((round, idx), v);
                             }
                             None => {
-                                self.stats.digest_fallbacks += 1;
+                                self.metrics.digest_fallbacks.inc();
+                                trace.record(
+                                    self.now_ns(),
+                                    TraceKind::DigestFallback,
+                                    u32::from(self.id),
+                                    round,
+                                    u64::from(u32::from(frame.src)),
+                                );
                                 self.send_frame(
                                     frame.src,
                                     WireMessage::SummaryPull { round, segment },
@@ -1155,32 +1414,38 @@ impl<T: Transport> Node<T> {
         }
     }
 
-    fn handle_data(&mut self, from: RouterId, packet: Packet) {
+    fn handle_data(&mut self, from: RouterId, packet: Packet, trace: &mut TraceBuffer) {
         let t = self.now_st();
-        self.tap(TapEvent::Arrived {
-            router: self.id,
-            from: Some(from),
-            packet,
-            time: t,
-        });
+        self.tap(
+            TapEvent::Arrived {
+                router: self.id,
+                from: Some(from),
+                packet,
+                time: t,
+            },
+            trace,
+        );
         if packet.dst == self.id {
-            self.stats.data_delivered += 1;
+            self.metrics.data_delivered.inc();
             return;
         }
         if self.drop_rate > 0.0 && self.rng.gen_bool(self.drop_rate) {
-            self.stats.data_dropped += 1;
+            self.metrics.data_dropped.inc();
             return;
         }
         let Some(next_hop) = self.routes.next_hop(self.id, packet.dst) else {
             return;
         };
-        self.tap(TapEvent::Enqueued {
-            router: self.id,
-            next_hop,
-            packet,
-            time: t,
-            queue_len_after: 0,
-        });
+        self.tap(
+            TapEvent::Enqueued {
+                router: self.id,
+                next_hop,
+                packet,
+                time: t,
+                queue_len_after: 0,
+            },
+            trace,
+        );
         self.send_frame(next_hop, WireMessage::Data(packet), false);
     }
 }

@@ -1,0 +1,453 @@
+//! A minimal JSON value, writer and recursive-descent parser.
+//!
+//! The exports in this crate (metrics snapshots, trace journals, bench
+//! reports) are emitted as JSON and *round-trip tested*: everything we
+//! write must parse back to the same value. Pulling in serde for that
+//! would be the crate's only heavy dependency, so instead this module
+//! implements the small slice of JSON the exports actually use. Two
+//! deliberate choices:
+//!
+//! * integers parse into [`JsonValue::Int`] (an `i128`), not `f64`, so
+//!   `u64` counters and nanosecond timestamps survive a round trip
+//!   without losing low bits;
+//! * [`fmt_f64`] uses Rust's shortest round-trip float formatting, so a
+//!   gauge written and re-parsed compares equal.
+//!
+//! ```
+//! use fatih_obs::JsonValue;
+//! let v = JsonValue::parse(r#"{"a": [1, 2.5, "x"], "b": {"c": 18446744073709551615}}"#).unwrap();
+//! assert_eq!(v.pointer(&["b", "c"]).unwrap().as_u64(), Some(u64::MAX));
+//! assert_eq!(v.pointer(&["a"]).unwrap().as_array().unwrap().len(), 3);
+//! ```
+
+use std::fmt;
+
+/// A parsed JSON document.
+///
+/// Objects keep their members in source order; lookup via
+/// [`JsonValue::get`] or [`JsonValue::pointer`] is a linear scan, which
+/// is fine for the small documents this crate round-trips in tests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number written without `.`, `e` or `E` — kept exact.
+    Int(i128),
+    /// Any other number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, members in source order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+/// Where and why parsing failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure in the input.
+    pub at: usize,
+    /// Human-readable description.
+    pub msg: &'static str,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl JsonValue {
+    /// Parses one JSON document; trailing whitespace is allowed, trailing
+    /// content is an error.
+    pub fn parse(s: &str) -> Result<JsonValue, JsonError> {
+        let b = s.as_bytes();
+        let mut p = Parser { b, i: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.i != b.len() {
+            return Err(JsonError {
+                at: p.i,
+                msg: "trailing content after document",
+            });
+        }
+        Ok(v)
+    }
+
+    /// Member `key` of an object (`None` for other variants).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Walks nested objects by key: `v.pointer(&["a", "b"])` is
+    /// `v.get("a")?.get("b")`.
+    pub fn pointer(&self, path: &[&str]) -> Option<&JsonValue> {
+        path.iter().try_fold(self, |v, k| v.get(k))
+    }
+
+    /// The value as a `u64`, if it is an in-range integer (or a float
+    /// with no fractional part).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            JsonValue::Int(i) => u64::try_from(i).ok(),
+            JsonValue::Num(f) if f >= 0.0 && f <= u64::MAX as f64 && f.fract() == 0.0 => {
+                Some(f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (integers convert; precision may be lost
+    /// above 2^53).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            JsonValue::Int(i) => Some(i as f64),
+            JsonValue::Num(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            JsonValue::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+/// Appends `s` to `out` as a quoted, escaped JSON string.
+pub fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Formats an `f64` as a valid JSON number that parses back to the same
+/// value (shortest round-trip form); non-finite values become `null`.
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        // Rust's Debug for f64 is the shortest representation that
+        // round-trips, and is always a valid JSON number.
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn err(&self, msg: &'static str) -> JsonError {
+        JsonError { at: self.i, msg }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8, msg: &'static str) -> Result<(), JsonError> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(msg))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.b[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.eat_lit("true", JsonValue::Bool(true)),
+            Some(b'f') => self.eat_lit("false", JsonValue::Bool(false)),
+            Some(b'n') => self.eat_lit("null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.eat(b'{', "expected '{'")?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(JsonValue::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected ':' after object key")?;
+            self.skip_ws();
+            let val = self.value()?;
+            members.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(JsonValue::Object(members));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.eat(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            let c = self.peek().ok_or_else(|| self.err("unterminated string"))?;
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by \u-escaped low surrogate.
+                            let ch = if (0xD800..0xDC00).contains(&cp) {
+                                if self.peek() == Some(b'\\') {
+                                    self.i += 1;
+                                    self.eat(b'u', "expected low surrogate")?;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(c)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(ch.ok_or_else(|| self.err("invalid \\u escape"))?);
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                c if c < 0x20 => return Err(self.err("control character in string")),
+                c => {
+                    // Re-assemble the UTF-8 sequence starting at c.
+                    let start = self.i - 1;
+                    let len = match c {
+                        _ if c < 0x80 => 1,
+                        _ if c >= 0xF0 => 4,
+                        _ if c >= 0xE0 => 3,
+                        _ => 2,
+                    };
+                    if start + len > self.b.len() {
+                        return Err(self.err("truncated utf-8"));
+                    }
+                    let s = std::str::from_utf8(&self.b[start..start + len])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    out.push_str(s);
+                    self.i = start + len;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        if self.i + 4 > self.b.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.b[self.i..self.i + 4])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.i += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.i += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.i += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.b[start..self.i]).expect("digits are ascii");
+        if !is_float {
+            if let Ok(i) = text.parse::<i128>() {
+                return Ok(JsonValue::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| JsonError {
+                at: start,
+                msg: "invalid number",
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(JsonValue::parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(JsonValue::parse("true").unwrap(), JsonValue::Bool(true));
+        assert_eq!(JsonValue::parse(" -12 ").unwrap(), JsonValue::Int(-12));
+        assert_eq!(JsonValue::parse("2.5").unwrap(), JsonValue::Num(2.5));
+        assert_eq!(JsonValue::parse("1e3").unwrap(), JsonValue::Num(1000.0));
+        assert_eq!(
+            JsonValue::parse("\"a\\nb\"").unwrap(),
+            JsonValue::Str("a\nb".into())
+        );
+    }
+
+    #[test]
+    fn u64_max_survives() {
+        let v = JsonValue::parse("18446744073709551615").unwrap();
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(JsonValue::parse("").is_err());
+        assert!(JsonValue::parse("{").is_err());
+        assert!(JsonValue::parse("[1,]").is_err());
+        assert!(JsonValue::parse("1 2").is_err());
+        assert!(JsonValue::parse("\"unterminated").is_err());
+        assert!(JsonValue::parse("nul").is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "quote\" slash\\ newline\n tab\t unicode\u{1F600}\u{7}";
+        let mut out = String::new();
+        write_string(&mut out, original);
+        let back = JsonValue::parse(&out).unwrap();
+        assert_eq!(back.as_str(), Some(original));
+    }
+
+    #[test]
+    fn floats_round_trip() {
+        for v in [0.0, -2.25, 1.0e300, std::f64::consts::PI, f64::MIN_POSITIVE] {
+            let s = fmt_f64(v);
+            let back = JsonValue::parse(&s).unwrap();
+            assert_eq!(back.as_f64(), Some(v), "value {v} via {s}");
+        }
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn pointer_walks_objects() {
+        let v = JsonValue::parse(r#"{"a": {"b": {"c": 3}}, "x": [1]}"#).unwrap();
+        assert_eq!(v.pointer(&["a", "b", "c"]).unwrap().as_u64(), Some(3));
+        assert!(v.pointer(&["a", "missing"]).is_none());
+        assert!(v.pointer(&["x", "b"]).is_none());
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        let v = JsonValue::parse("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v.as_str(), Some("\u{1F600}"));
+        assert!(JsonValue::parse("\"\\ud83d\"").is_err());
+    }
+}

@@ -1,0 +1,451 @@
+//! The structured trace journal: typed events in per-shard ring
+//! buffers, merged and exported after a run.
+//!
+//! Two rules keep the hot path cheap and honest:
+//!
+//! * **Lock-free by ownership.** Each shard thread exclusively owns its
+//!   [`TraceBuffer`]; recording is a plain method call on owned memory —
+//!   no atomics, no locks, no allocation after construction. The buffers
+//!   meet only after the threads join, when [`TraceJournal::from_buffers`]
+//!   merges them into one time-ordered journal.
+//! * **Totals survive overwrite.** The ring overwrites its oldest events
+//!   when full (a long run must not grow without bound), but per-kind
+//!   totals are kept outside the ring, so rare events — an accusation
+//!   raised once in a million packets — stay countable exactly even when
+//!   their payload was pushed out by chatter. [`TraceBuffer::dropped`]
+//!   says how many events were overwritten.
+//!
+//! Exports: [`TraceJournal::to_jsonl`] (one JSON object per line, exact
+//! round trip via [`TraceJournal::from_jsonl`]) and
+//! [`TraceJournal::to_chrome_trace`] (the `chrome://tracing` /
+//! [Perfetto](https://ui.perfetto.dev) trace-event format, with rounds as
+//! duration slices and everything else as instant events).
+
+use crate::json::{self, JsonError, JsonValue};
+
+/// Placeholder router id for events not tied to a router.
+pub const NO_ROUTER: u32 = u32::MAX;
+/// Placeholder round number for events not tied to a round.
+pub const NO_ROUND: u64 = u64::MAX;
+
+macro_rules! trace_kinds {
+    ($($variant:ident => $name:literal,)+) => {
+        /// What happened. The set mirrors the decisions Chapter 7 audits:
+        /// traffic observed, rounds delimited, summaries exchanged or
+        /// reconciled, accusations raised, and the delivery machinery
+        /// (timers, retransmits) underneath them.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[repr(u8)]
+        pub enum TraceKind {
+            $(
+                #[doc = concat!("Serialized as `\"", $name, "\"`.")]
+                $variant,
+            )+
+        }
+
+        impl TraceKind {
+            /// Every kind, in declaration order.
+            pub const ALL: &'static [TraceKind] = &[$(TraceKind::$variant,)+];
+
+            /// The snake_case wire name used in JSONL and chrome-trace
+            /// exports.
+            pub fn as_str(self) -> &'static str {
+                match self {
+                    $(TraceKind::$variant => $name,)+
+                }
+            }
+
+            /// Inverse of [`TraceKind::as_str`].
+            pub fn parse(s: &str) -> Option<TraceKind> {
+                match s {
+                    $($name => Some(TraceKind::$variant),)+
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+trace_kinds! {
+    PacketTap => "packet_tap",
+    RoundStart => "round_start",
+    RoundEnd => "round_end",
+    SummarySent => "summary_sent",
+    DigestSent => "digest_sent",
+    DigestResolved => "digest_resolved",
+    DigestFallback => "digest_fallback",
+    SummaryTimeout => "summary_timeout",
+    AccusationRaised => "accusation_raised",
+    AlertSent => "alert_sent",
+    TimerFired => "timer_fired",
+    Retransmit => "retransmit",
+    DeliveryExhausted => "delivery_exhausted",
+}
+
+const KINDS: usize = TraceKind::ALL.len();
+
+/// One recorded event.
+///
+/// Fields are plain integers (not domain types) so every crate can
+/// record into a buffer without `fatih-obs` depending on any of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Per-shard sequence number, assigned at record time; together with
+    /// `shard` it uniquely identifies the event.
+    pub seq: u64,
+    /// Monotonic timestamp in nanoseconds since the run's epoch.
+    pub t_ns: u64,
+    /// Shard that recorded the event.
+    pub shard: u32,
+    /// Router the event concerns, or [`NO_ROUTER`].
+    pub router: u32,
+    /// Protocol round, or [`NO_ROUND`].
+    pub round: u64,
+    /// What happened.
+    pub kind: TraceKind,
+    /// Kind-specific payload (batch size, byte count, accused router id,
+    /// …); 0 when unused.
+    pub value: u64,
+}
+
+/// A bounded, overwrite-oldest ring of [`TraceEvent`]s owned by one
+/// shard thread.
+///
+/// ```
+/// use fatih_obs::{TraceBuffer, TraceKind};
+/// let mut buf = TraceBuffer::new(0, 2);
+/// buf.record(1, TraceKind::PacketTap, 7, 0, 1);
+/// buf.record(2, TraceKind::PacketTap, 7, 0, 1);
+/// buf.record(3, TraceKind::AccusationRaised, 7, 0, 9);
+/// // Capacity 2: the first tap was overwritten, but totals survive.
+/// assert_eq!(buf.len(), 2);
+/// assert_eq!(buf.dropped(), 1);
+/// assert_eq!(buf.recorded(TraceKind::PacketTap), 2);
+/// assert_eq!(buf.recorded(TraceKind::AccusationRaised), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceBuffer {
+    shard: u32,
+    capacity: usize,
+    next_seq: u64,
+    ring: std::collections::VecDeque<TraceEvent>,
+    dropped: u64,
+    recorded: [u64; KINDS],
+}
+
+impl TraceBuffer {
+    /// An empty buffer for `shard` holding at most `capacity` events
+    /// (at least 1).
+    pub fn new(shard: u32, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            shard,
+            capacity,
+            next_seq: 0,
+            ring: std::collections::VecDeque::with_capacity(capacity),
+            dropped: 0,
+            recorded: [0; KINDS],
+        }
+    }
+
+    /// Records one event, overwriting the oldest if the ring is full.
+    #[inline]
+    pub fn record(&mut self, t_ns: u64, kind: TraceKind, router: u32, round: u64, value: u64) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(TraceEvent {
+            seq: self.next_seq,
+            t_ns,
+            shard: self.shard,
+            router,
+            round,
+            kind,
+            value,
+        });
+        self.next_seq += 1;
+        self.recorded[kind as usize] += 1;
+    }
+
+    /// Shard this buffer belongs to.
+    pub fn shard(&self) -> u32 {
+        self.shard
+    }
+
+    /// Events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when nothing has been recorded (or everything overwritten —
+    /// impossible, the ring keeps the newest).
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events of `kind` ever recorded, *including* overwritten
+    /// ones.
+    pub fn recorded(&self, kind: TraceKind) -> u64 {
+        self.recorded[kind as usize]
+    }
+}
+
+/// The merged, time-ordered journal of a whole run.
+///
+/// Built from the per-shard buffers after their threads join; events are
+/// ordered by `(t_ns, shard, seq)` so interleavings read causally per
+/// shard.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceJournal {
+    events: Vec<TraceEvent>,
+    dropped: u64,
+    recorded: [u64; KINDS],
+}
+
+impl TraceJournal {
+    /// Merges shard buffers into one journal.
+    pub fn from_buffers<I: IntoIterator<Item = TraceBuffer>>(buffers: I) -> Self {
+        let mut events = Vec::new();
+        let mut dropped = 0;
+        let mut recorded = [0u64; KINDS];
+        for buf in buffers {
+            dropped += buf.dropped;
+            for (i, n) in buf.recorded.iter().enumerate() {
+                recorded[i] += n;
+            }
+            events.extend(buf.ring);
+        }
+        events.sort_by_key(|e| (e.t_ns, e.shard, e.seq));
+        Self {
+            events,
+            dropped,
+            recorded,
+        }
+    }
+
+    /// All retained events, time-ordered.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events were retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events overwritten across all source buffers (0 means
+    /// [`TraceJournal::events`] is complete).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events of `kind` ever recorded across all source buffers,
+    /// including overwritten ones — compare this against a metrics
+    /// counter when auditing.
+    pub fn recorded(&self, kind: TraceKind) -> u64 {
+        self.recorded[kind as usize]
+    }
+
+    /// Serializes the journal as JSONL: one JSON object per event per
+    /// line. [`TraceJournal::from_jsonl`] parses it back to an equal
+    /// event list.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 96);
+        for e in &self.events {
+            out.push_str(&format!(
+                "{{\"seq\": {}, \"t_ns\": {}, \"shard\": {}, \"router\": {}, \
+                 \"round\": {}, \"kind\": ",
+                e.seq, e.t_ns, e.shard, e.router, e.round
+            ));
+            json::write_string(&mut out, e.kind.as_str());
+            out.push_str(&format!(", \"value\": {}}}\n", e.value));
+        }
+        out
+    }
+
+    /// Parses a journal back from its JSONL form. Per-kind totals are
+    /// recomputed from the retained events (overwrite counts are not part
+    /// of the wire form, so `dropped` reads 0).
+    pub fn from_jsonl(s: &str) -> Result<TraceJournal, JsonError> {
+        let mut events = Vec::new();
+        let mut recorded = [0u64; KINDS];
+        for line in s.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v = JsonValue::parse(line)?;
+            let field = |name: &'static str| -> Result<u64, JsonError> {
+                v.get(name).and_then(JsonValue::as_u64).ok_or(JsonError {
+                    at: 0,
+                    msg: "missing or non-integer event field",
+                })
+            };
+            let kind = v
+                .get("kind")
+                .and_then(JsonValue::as_str)
+                .and_then(TraceKind::parse)
+                .ok_or(JsonError {
+                    at: 0,
+                    msg: "missing or unknown event kind",
+                })?;
+            recorded[kind as usize] += 1;
+            events.push(TraceEvent {
+                seq: field("seq")?,
+                t_ns: field("t_ns")?,
+                shard: field("shard")? as u32,
+                router: field("router")? as u32,
+                round: field("round")?,
+                kind,
+                value: field("value")?,
+            });
+        }
+        events.sort_by_key(|e| (e.t_ns, e.shard, e.seq));
+        Ok(TraceJournal {
+            events,
+            dropped: 0,
+            recorded,
+        })
+    }
+
+    /// Serializes the journal in the `chrome://tracing` trace-event
+    /// format: load the output in `chrome://tracing` or
+    /// [Perfetto](https://ui.perfetto.dev) to see each shard as a
+    /// process row, each router as a thread row, rounds as duration
+    /// slices (`round_start`/`round_end` become `B`/`E` pairs) and all
+    /// other events as instants. Timestamps are microseconds as the
+    /// format requires; sub-microsecond ordering is preserved by the
+    /// fractional part.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 128 + 64);
+        out.push_str("{\"traceEvents\": [");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            // B/E pairs must share a name for the viewer to pair them
+            // into one slice, so both round delimiters are named "round".
+            let (ph, name) = match e.kind {
+                TraceKind::RoundStart => ("B", "round"),
+                TraceKind::RoundEnd => ("E", "round"),
+                k => ("i", k.as_str()),
+            };
+            let ts = e.t_ns as f64 / 1_000.0;
+            out.push_str("\n  {\"name\": ");
+            json::write_string(&mut out, name);
+            out.push_str(&format!(
+                ", \"ph\": \"{ph}\", \"ts\": {}, \"pid\": {}, \"tid\": {}",
+                json::fmt_f64(ts),
+                e.shard,
+                e.router
+            ));
+            if ph == "i" {
+                out.push_str(", \"s\": \"t\"");
+            }
+            out.push_str(&format!(
+                ", \"args\": {{\"seq\": {}, \"round\": {}, \"value\": {}}}}}",
+                e.seq, e.round, e.value
+            ));
+        }
+        out.push_str("\n]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_journal() -> TraceJournal {
+        let mut a = TraceBuffer::new(0, 64);
+        let mut b = TraceBuffer::new(1, 64);
+        a.record(100, TraceKind::RoundStart, NO_ROUTER, 0, 0);
+        b.record(150, TraceKind::PacketTap, 4, 0, 32);
+        a.record(150, TraceKind::TimerFired, 2, 0, 0);
+        b.record(200, TraceKind::AccusationRaised, 4, 0, 5);
+        a.record(300, TraceKind::RoundEnd, NO_ROUTER, 0, 0);
+        TraceJournal::from_buffers([a, b])
+    }
+
+    #[test]
+    fn merge_orders_by_time_then_shard() {
+        let j = sample_journal();
+        let order: Vec<(u64, u32)> = j.events().iter().map(|e| (e.t_ns, e.shard)).collect();
+        assert_eq!(
+            order,
+            vec![(100, 0), (150, 0), (150, 1), (200, 1), (300, 0)]
+        );
+    }
+
+    #[test]
+    fn jsonl_round_trips_exactly() {
+        let j = sample_journal();
+        let back = TraceJournal::from_jsonl(&j.to_jsonl()).unwrap();
+        assert_eq!(back.events(), j.events());
+        for &k in TraceKind::ALL {
+            assert_eq!(back.recorded(k), j.recorded(k), "kind {k:?}");
+        }
+    }
+
+    #[test]
+    fn overwrite_keeps_totals_and_counts_drops() {
+        let mut buf = TraceBuffer::new(0, 4);
+        for i in 0..100 {
+            buf.record(i, TraceKind::PacketTap, 1, 0, 0);
+        }
+        buf.record(100, TraceKind::AccusationRaised, 1, 0, 0);
+        assert_eq!(buf.len(), 4);
+        assert_eq!(buf.dropped(), 97);
+        assert_eq!(buf.recorded(TraceKind::PacketTap), 100);
+        assert_eq!(buf.recorded(TraceKind::AccusationRaised), 1);
+        let j = TraceJournal::from_buffers([buf]);
+        assert_eq!(j.dropped(), 97);
+        assert_eq!(j.recorded(TraceKind::PacketTap), 100);
+        // The newest events are the retained ones.
+        assert_eq!(j.events().last().unwrap().kind, TraceKind::AccusationRaised);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_round_slices() {
+        let j = sample_journal();
+        let v = JsonValue::parse(&j.to_chrome_trace()).expect("valid json");
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), j.len());
+        let phs: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("ph").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(phs.iter().filter(|p| **p == "B").count(), 1);
+        assert_eq!(phs.iter().filter(|p| **p == "E").count(), 1);
+        assert!(phs.iter().filter(|p| **p == "i").count() >= 3);
+        // ts is µs: the 150ns event reads back as 0.15.
+        let ts = events[1].get("ts").unwrap().as_f64().unwrap();
+        assert!((ts - 0.15).abs() < 1e-9, "ts {ts}");
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for &k in TraceKind::ALL {
+            assert_eq!(TraceKind::parse(k.as_str()), Some(k), "{k:?}");
+        }
+        assert_eq!(TraceKind::parse("not_a_kind"), None);
+    }
+
+    #[test]
+    fn from_jsonl_rejects_bad_lines() {
+        assert!(TraceJournal::from_jsonl("{\"seq\": 1}").is_err());
+        assert!(TraceJournal::from_jsonl("not json").is_err());
+        let ok = TraceJournal::from_jsonl("\n\n").unwrap();
+        assert!(ok.is_empty());
+    }
+}

@@ -15,7 +15,7 @@ use crate::attack::{Attack, AttackAction, AttackKind};
 use crate::fault::FaultPlan;
 use crate::packet::{FlowId, Packet, PacketId, PacketKind};
 use crate::queue::{OutputQueueState, QueueDiscipline, Verdict};
-use crate::tap::{DropReason, GroundTruth, TapEvent};
+use crate::tap::{DropReason, GroundTruth, SimMetrics, TapEvent};
 use crate::time::SimTime;
 use fatih_topology::{Path, PathSegment, RouterId, Routes, Topology};
 use rand::rngs::StdRng;
@@ -133,7 +133,7 @@ pub struct Network {
     attacks: BTreeMap<RouterId, Vec<Attack>>,
     pub(crate) rng: StdRng,
     skews: Vec<i64>,
-    truth: GroundTruth,
+    metrics: SimMetrics,
     pub(crate) agents: Vec<AgentState>,
     flow_agent: BTreeMap<FlowId, usize>,
     delivered_per_flow: BTreeMap<FlowId, u64>,
@@ -178,7 +178,7 @@ impl Network {
             attacks: BTreeMap::new(),
             rng: StdRng::seed_from_u64(seed),
             skews: vec![0; n],
-            truth: GroundTruth::default(),
+            metrics: SimMetrics::default(),
             agents: Vec::new(),
             flow_agent: BTreeMap::new(),
             delivered_per_flow: BTreeMap::new(),
@@ -208,7 +208,14 @@ impl Network {
 
     /// Ground-truth counters.
     pub fn ground_truth(&self) -> GroundTruth {
-        self.truth
+        self.metrics.snapshot()
+    }
+
+    /// Re-homes the engine's ground-truth counters into `reg` (under
+    /// `sim.*` names), carrying over anything already counted, so registry
+    /// snapshots taken by a harness include the simulator's ground truth.
+    pub fn attach_metrics(&mut self, reg: &fatih_obs::MetricsRegistry) {
+        self.metrics.register_into(reg);
     }
 
     /// Packets delivered on one flow.
@@ -434,17 +441,17 @@ impl Network {
 
     pub(crate) fn emit(&mut self, ev: TapEvent) {
         match &ev {
-            TapEvent::Injected { .. } => self.truth.injected += 1,
+            TapEvent::Injected { .. } => self.metrics.injected.inc(),
             TapEvent::Delivered { packet, .. } => {
-                self.truth.delivered += 1;
+                self.metrics.delivered.inc();
                 *self.delivered_per_flow.entry(packet.flow).or_insert(0) += 1;
             }
             TapEvent::Dropped { reason, .. } => match reason {
-                DropReason::Congestion { .. } => self.truth.congestive_drops += 1,
-                DropReason::Malicious => self.truth.malicious_drops += 1,
-                DropReason::TtlExpired => self.truth.ttl_drops += 1,
-                DropReason::NoRoute => self.truth.no_route_drops += 1,
-                DropReason::Fault => self.truth.fault_drops += 1,
+                DropReason::Congestion { .. } => self.metrics.congestive_drops.inc(),
+                DropReason::Malicious => self.metrics.malicious_drops.inc(),
+                DropReason::TtlExpired => self.metrics.ttl_drops.inc(),
+                DropReason::NoRoute => self.metrics.no_route_drops.inc(),
+                DropReason::Fault => self.metrics.fault_drops.inc(),
             },
             _ => {}
         }
@@ -591,7 +598,7 @@ impl Network {
                 }
                 AttackAction::Modify => {
                     packet.payload_tag ^= 0x6D61_6C69_6369_6F75;
-                    self.truth.modified += 1;
+                    self.metrics.modified.inc();
                 }
                 AttackAction::Delay(extra) => {
                     let when = self.now + extra;
@@ -607,7 +614,7 @@ impl Network {
                         .find(|&n| n != next);
                     match alt {
                         Some(a) => {
-                            self.truth.misrouted += 1;
+                            self.metrics.misrouted.inc();
                             next = a;
                         }
                         None => {
@@ -748,7 +755,7 @@ impl Network {
             }
             if corrupt {
                 packet.payload_tag ^= 0xFA17_C0DE;
-                self.truth.fault_corrupted += 1;
+                self.metrics.fault_corrupted.inc();
             }
             if duplicate || reorder_extra.is_some() {
                 // Ghost copies and held-back packets bypass the queue and
@@ -759,7 +766,7 @@ impl Network {
                 let latency = SimTime::from_ns(link.params.tx_time_ns(packet.size))
                     + SimTime::from_ns(link.params.delay_ns);
                 if duplicate {
-                    self.truth.fault_duplicated += 1;
+                    self.metrics.fault_duplicated.inc();
                     self.schedule(
                         now + latency,
                         EventKind::Arrive {

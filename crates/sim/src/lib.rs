@@ -10,7 +10,7 @@
 //!   validates);
 //! * [`tcp`] — Reno-style TCP with slow start, fast retransmit, RTO and
 //!   the 3-second SYN timeout;
-//! * [`agent`] — CBR sources and RTT probes;
+//! * `agent` (internal) — CBR sources and RTT probes;
 //! * [`attack`] — the §2.2.1 adversary: selective/percentage drops,
 //!   queue-conditional drops, SYN targeting, modification, delay,
 //!   misrouting;
@@ -63,6 +63,6 @@ pub use engine::{ControlDelivery, Network};
 pub use fault::{CrashWindow, FaultPlan, LinkFaults, LinkFlap};
 pub use packet::{FlowId, Packet, PacketId, PacketKind};
 pub use queue::{QueueDiscipline, RedParams};
-pub use tap::{DropReason, GroundTruth, TapEvent};
+pub use tap::{DropReason, GroundTruth, SimMetrics, TapEvent};
 pub use tcp::{TcpConfig, TcpStats};
 pub use time::SimTime;

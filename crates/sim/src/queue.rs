@@ -149,8 +149,8 @@ impl OutputQueueState {
     }
 
     /// Decides whether an arriving packet of `size` bytes is accepted.
-    /// Does **not** change occupancy; call [`commit_enqueue`]
-    /// (Self::commit_enqueue) after actually enqueueing.
+    /// Does **not** change occupancy; call
+    /// [`commit_enqueue`](Self::commit_enqueue) after actually enqueueing.
     ///
     /// RED semantics follow Floyd–Jacobson: EWMA update on every arrival
     /// (with idle-time decay), geometric inter-drop spreading via the

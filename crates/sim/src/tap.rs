@@ -10,6 +10,7 @@
 
 use crate::packet::Packet;
 use crate::time::SimTime;
+use fatih_obs::{Counter, MetricsRegistry};
 use fatih_topology::RouterId;
 
 /// Why a packet was lost.
@@ -170,6 +171,102 @@ pub struct GroundTruth {
     pub fault_corrupted: u64,
     /// Control packets duplicated in flight by an injected fault.
     pub fault_duplicated: u64,
+}
+
+/// Live [`Counter`] handles behind the engine's ground-truth accounting.
+///
+/// The engine increments these as events happen; [`GroundTruth`] is the
+/// plain-`u64` snapshot read back through [`SimMetrics::snapshot`]. By
+/// default the handles are private cells; a harness that wants the sim's
+/// ground truth alongside its other metrics swaps in registered handles
+/// with [`SimMetrics::registered`] (counter names `sim.injected`,
+/// `sim.delivered`, `sim.congestive_drops`, ... matching the
+/// [`GroundTruth`] field names).
+#[derive(Debug, Clone, Default)]
+pub struct SimMetrics {
+    /// Packets injected by sources (`sim.injected`).
+    pub injected: Counter,
+    /// Packets delivered to destinations (`sim.delivered`).
+    pub delivered: Counter,
+    /// Congestive losses (`sim.congestive_drops`).
+    pub congestive_drops: Counter,
+    /// Malicious losses (`sim.malicious_drops`).
+    pub malicious_drops: Counter,
+    /// TTL-expiry losses (`sim.ttl_drops`).
+    pub ttl_drops: Counter,
+    /// Losses for lack of a route (`sim.no_route_drops`).
+    pub no_route_drops: Counter,
+    /// Losses to injected environmental faults (`sim.fault_drops`).
+    pub fault_drops: Counter,
+    /// Packets a compromised router modified (`sim.modified`).
+    pub modified: Counter,
+    /// Packets a compromised router misrouted (`sim.misrouted`).
+    pub misrouted: Counter,
+    /// Control packets corrupted by a fault (`sim.fault_corrupted`).
+    pub fault_corrupted: Counter,
+    /// Control packets duplicated by a fault (`sim.fault_duplicated`).
+    pub fault_duplicated: Counter,
+}
+
+impl SimMetrics {
+    /// Handles registered in `reg` under `sim.*` names, so registry
+    /// snapshots include the simulator's ground truth.
+    pub fn registered(reg: &MetricsRegistry) -> Self {
+        Self {
+            injected: reg.counter("sim.injected"),
+            delivered: reg.counter("sim.delivered"),
+            congestive_drops: reg.counter("sim.congestive_drops"),
+            malicious_drops: reg.counter("sim.malicious_drops"),
+            ttl_drops: reg.counter("sim.ttl_drops"),
+            no_route_drops: reg.counter("sim.no_route_drops"),
+            fault_drops: reg.counter("sim.fault_drops"),
+            modified: reg.counter("sim.modified"),
+            misrouted: reg.counter("sim.misrouted"),
+            fault_corrupted: reg.counter("sim.fault_corrupted"),
+            fault_duplicated: reg.counter("sim.fault_duplicated"),
+        }
+    }
+
+    /// The current values as a plain [`GroundTruth`] snapshot.
+    pub fn snapshot(&self) -> GroundTruth {
+        GroundTruth {
+            injected: self.injected.get(),
+            delivered: self.delivered.get(),
+            congestive_drops: self.congestive_drops.get(),
+            malicious_drops: self.malicious_drops.get(),
+            ttl_drops: self.ttl_drops.get(),
+            no_route_drops: self.no_route_drops.get(),
+            fault_drops: self.fault_drops.get(),
+            modified: self.modified.get(),
+            misrouted: self.misrouted.get(),
+            fault_corrupted: self.fault_corrupted.get(),
+            fault_duplicated: self.fault_duplicated.get(),
+        }
+    }
+
+    /// Copies current values from `other` into these handles (used when
+    /// swapping registered handles into an engine that already counted).
+    fn absorb(&self, other: &SimMetrics) {
+        self.injected.add(other.injected.get());
+        self.delivered.add(other.delivered.get());
+        self.congestive_drops.add(other.congestive_drops.get());
+        self.malicious_drops.add(other.malicious_drops.get());
+        self.ttl_drops.add(other.ttl_drops.get());
+        self.no_route_drops.add(other.no_route_drops.get());
+        self.fault_drops.add(other.fault_drops.get());
+        self.modified.add(other.modified.get());
+        self.misrouted.add(other.misrouted.get());
+        self.fault_corrupted.add(other.fault_corrupted.get());
+        self.fault_duplicated.add(other.fault_duplicated.get());
+    }
+
+    /// Replaces `self` with handles registered in `reg`, carrying over any
+    /// counts already accumulated in the private cells.
+    pub(crate) fn register_into(&mut self, reg: &MetricsRegistry) {
+        let registered = SimMetrics::registered(reg);
+        registered.absorb(self);
+        *self = registered;
+    }
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 //!   Rocketfuel-measured Sprintlink (315 routers, 972 links, mean degree
 //!   6.17, max 45) and EBONE (87 routers, 161 links, mean 3.70, max 11)
 //!   maps used by Figures 5.2/5.4. See `DESIGN.md`, substitution 1.
-//! * [`line`], [`ring`], [`grid`], [`fan_in`], [`random_connected`] —
+//! * [`line()`], [`ring`], [`grid`], [`fan_in`], [`random_connected`] —
 //!   generic fixtures for tests and the Protocol χ experiments (Fig 6.4's
 //!   "simple topology" is [`fan_in`]).
 

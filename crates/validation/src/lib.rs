@@ -14,7 +14,7 @@
 //! * [`tv`] — the `TV` predicates for conservation of **flow**,
 //!   **content**, **order** and **timeliness**, each returning a structured
 //!   verdict;
-//! * [`reconcile`] — the Appendix A characteristic-polynomial set
+//! * [`reconcile`](mod@reconcile) — the Appendix A characteristic-polynomial set
 //!   reconciliation used to exchange fingerprint sets in bandwidth
 //!   proportional to the *difference*;
 //! * [`digest`] — fixed-size [`ContentDigest`]s (sketch + flow counter +

@@ -111,7 +111,7 @@ impl OrderVerdict {
     }
 }
 
-/// Conservation of order (§2.4.1, quantified per [107] as cited in §2.2.1):
+/// Conservation of order (§2.4.1, quantified per \[107\] as cited in §2.2.1):
 /// compute the longest common subsequence of the transmit and receive
 /// streams after removing lost and fabricated packets; the difference from
 /// the stream length is the amount of reordering.

@@ -22,7 +22,10 @@
 //!   system orchestration;
 //! * [`net`] — a real wire-protocol runtime: binary codec, UDP/loopback
 //!   transports, per-router event loops running the protocol against
-//!   wall-clock time.
+//!   wall-clock time;
+//! * [`obs`] — zero-dependency observability: a metrics registry (atomic
+//!   counters, gauges, log-bucketed histograms) and a structured trace
+//!   journal with JSONL and chrome://tracing export.
 //!
 //! # Quick start
 //!
@@ -47,6 +50,7 @@
 pub use fatih_core as protocols;
 pub use fatih_crypto as crypto;
 pub use fatih_net as net;
+pub use fatih_obs as obs;
 pub use fatih_sim as sim;
 pub use fatih_stats as stats;
 pub use fatih_topology as topology;

@@ -1,0 +1,132 @@
+//! Observability invariants of the live runtime under chaos.
+//!
+//! A chaos-wrapped Abilene deployment with a mid-path dropper must leave
+//! a trace journal that is *consistent with* the metrics registry — the
+//! per-kind `recorded` totals (which survive ring overwrite) must equal
+//! the corresponding counters — and the journal's two export formats must
+//! hold up: JSONL round-trips to an identical journal, and the
+//! chrome://tracing export parses as a JSON array with one entry per
+//! event.
+
+use fatih::net::runtime::{DropperSpec, FlowSpec, LiveConfig, LiveDeployment, LiveSpec};
+use fatih::net::{ChaosTransport, UdpNet};
+use fatih::obs::{JsonValue, TraceJournal, TraceKind};
+use fatih::topology::{builtin, RouterId};
+use std::time::Duration;
+
+/// One chaos Abilene run shared by every assertion below.
+fn chaos_run() -> fatih::net::runtime::LiveOutcome {
+    let topo = builtin::abilene();
+    let ids: Vec<RouterId> = topo.routers().collect();
+    let routes = topo.link_state_routes();
+    // A long routed flow with a mid-path dropper, so accusations happen.
+    let (src, dst) = routes
+        .all_paths()
+        .filter(|p| p.routers().len() >= 4)
+        .map(|p| (p.routers()[0], *p.routers().last().unwrap()))
+        .next()
+        .expect("abilene has a 4-router path");
+    let path = routes.path(src, dst).unwrap();
+    let dropper = path.routers()[path.len() / 2];
+    let spec = LiveSpec {
+        flows: vec![FlowSpec::new(src, dst, 1000, Duration::from_millis(2))],
+        droppers: vec![DropperSpec {
+            router: dropper,
+            rate: 0.3,
+            seed: 42,
+        }],
+        monitor_pairs: vec![],
+    };
+    let cfg = LiveConfig {
+        tau: Duration::from_millis(200),
+        exchange_budget: Duration::from_millis(120),
+        maturity_lag: Duration::from_millis(50),
+        rounds: 2,
+        ..LiveConfig::default()
+    };
+    let transports: Vec<_> = UdpNet::bind_group(&ids)
+        .expect("bind loopback sockets")
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| ChaosTransport::control(t, 0.05, 0.02, 9000 + i as u64))
+        .collect();
+    LiveDeployment::run(&topo, &spec, &cfg, transports)
+}
+
+#[test]
+fn trace_journal_agrees_with_metrics_and_exports_round_trip() {
+    let outcome = chaos_run();
+
+    // The run must have done real work and traced it.
+    assert!(outcome.stats.data_delivered > 0, "no traffic delivered");
+    assert!(!outcome.trace.is_empty(), "trace journal is empty");
+    assert!(
+        outcome.trace.recorded(TraceKind::PacketTap) > 0,
+        "no packet taps traced"
+    );
+    assert!(
+        outcome.trace.recorded(TraceKind::AccusationRaised) > 0,
+        "dropper raised no accusations"
+    );
+
+    // Per-kind recorded totals survive ring overwrite, so they must equal
+    // the registry counters the same code paths incremented.
+    let pairs = [
+        ("net.accusations_raised", TraceKind::AccusationRaised),
+        ("net.alerts_sent", TraceKind::AlertSent),
+        ("net.summary_timeouts", TraceKind::SummaryTimeout),
+        ("net.digests_resolved", TraceKind::DigestResolved),
+        ("net.digest_fallbacks", TraceKind::DigestFallback),
+    ];
+    for (counter, kind) in pairs {
+        assert_eq!(
+            outcome.metrics.counter(counter),
+            outcome.trace.recorded(kind),
+            "counter {counter} disagrees with trace kind {kind:?}"
+        );
+    }
+
+    // JSONL export is lossless: parsing it back yields the same events
+    // and the same per-kind recorded totals.
+    let jsonl = outcome.trace.to_jsonl();
+    let back = TraceJournal::from_jsonl(&jsonl).expect("JSONL parses");
+    assert_eq!(
+        back.events(),
+        outcome.trace.events(),
+        "JSONL round trip changed the events"
+    );
+    for &kind in TraceKind::ALL {
+        assert_eq!(
+            back.recorded(kind),
+            outcome.trace.recorded(kind),
+            "JSONL round trip changed recorded({kind:?})"
+        );
+    }
+
+    // The chrome://tracing export is a traceEvents array with one entry
+    // per event, each carrying the trace-event-format required fields.
+    let chrome = outcome.trace.to_chrome_trace();
+    let parsed = JsonValue::parse(&chrome).expect("chrome trace parses");
+    let entries = parsed
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .expect("chrome trace has a traceEvents array");
+    assert_eq!(entries.len(), outcome.trace.len());
+    for e in entries {
+        assert!(e.get("ph").and_then(JsonValue::as_str).is_some());
+        assert!(e.get("name").and_then(JsonValue::as_str).is_some());
+        assert!(e.get("ts").is_some());
+        assert!(e.get("pid").and_then(JsonValue::as_u64).is_some());
+        assert!(e.get("tid").is_some());
+    }
+
+    // Per-round snapshots are cumulative, so counters are monotone across
+    // rounds and bounded by the final snapshot.
+    let mut prev = 0;
+    for snap in &outcome.round_metrics {
+        let sent = snap.counter("net.frames_sent");
+        assert!(sent >= prev, "per-round frames_sent went backwards");
+        prev = sent;
+    }
+    assert!(outcome.metrics.counter("net.frames_sent") >= prev);
+}
