@@ -50,18 +50,21 @@ fn data_frame(i: u64) -> Frame {
         src: rid(0),
         dst: rid(1),
         seq: i,
-        msg: WireMessage::Data(Packet {
-            id,
-            src: rid(0),
-            dst: rid(1),
-            flow: FlowId(0),
-            kind: PacketKind::Data,
-            size: 1000,
-            seq: i,
-            payload_tag: Packet::expected_tag(id),
-            ttl: 64,
-            created_at: SimTime::from_ns(i * 1000),
-        }),
+        msg: WireMessage::Data {
+            packet: Packet {
+                id,
+                src: rid(0),
+                dst: rid(1),
+                flow: FlowId(0),
+                kind: PacketKind::Data,
+                size: 1000,
+                seq: i,
+                payload_tag: Packet::expected_tag(id),
+                ttl: 64,
+                created_at: SimTime::from_ns(i * 1000),
+            },
+            epoch: 0,
+        },
     }
 }
 

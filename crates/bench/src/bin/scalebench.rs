@@ -156,9 +156,13 @@ fn main() {
 
     println!("scalebench ({})", if smoke { "smoke" } else { "full" });
 
+    // Detection-only: the conviction→reroute response loop would reroute
+    // around the injected dropper mid-measurement and skew the
+    // control-byte comparison; churnbench gates the response path.
     let cfg_full = LiveConfig {
         rounds,
         summary: SummaryMode::Full,
+        response: false,
         ..LiveConfig::default()
     };
     let cfg_rec = LiveConfig {
@@ -176,8 +180,7 @@ fn main() {
         let flows = pick_flows(&topo, (n / 16).max(4), 5, interval);
         let spec = LiveSpec {
             flows,
-            droppers: vec![],
-            monitor_pairs: vec![],
+            ..LiveSpec::default()
         };
 
         let full = run_mode(&topo, &spec, &cfg_full);
@@ -230,8 +233,9 @@ fn main() {
             router: dropper,
             rate: 0.3,
             seed: 77,
+            active_from: 0,
         }],
-        monitor_pairs: vec![],
+        ..LiveSpec::default()
     };
     let (outcome, _) = deploy(&topo, &spec, &cfg_rec);
     let faulty: BTreeSet<RouterId> = [dropper].into_iter().collect();

@@ -13,6 +13,8 @@
 //! * [`spec`] — the failure-detector specification: suspicions,
 //!   a-Accuracy, a-Completeness, precision (§4.2.2);
 //! * [`monitor`] — building `info(r, π, τ)` from local observations;
+//! * [`probation`] — crash-restart re-admission: restarted routers carry
+//!   no transit traffic until they survive K clean rounds;
 //! * [`consensus`] — Dolev–Strong authenticated broadcast for Π2's
 //!   report dissemination;
 //! * [`pi2`] — **Protocol Π2**: every segment member validates every
@@ -87,6 +89,7 @@ pub mod perlman;
 pub mod pi2;
 pub mod pik2;
 pub mod policy;
+pub mod probation;
 pub mod sectrace;
 pub mod spec;
 pub mod threshold;
@@ -102,6 +105,7 @@ pub use flooding::{FloodBehavior, FloodError, FloodOutcome, NetworkFloodOutcome}
 pub use pi2::{Pi2Config, Pi2Detector};
 pub use pik2::{Pik2Config, Pik2Detector};
 pub use policy::{Policy, ReportFault, Thresholds};
+pub use probation::{ProbationStatus, ProbationTracker};
 pub use spec::{Interval, SpecCheck, Suspicion};
 pub use threshold::{ThresholdDetector, ThresholdVerdict};
 pub use transport::{ReliableTransport, TransportConfig, TransportEvent, TransportMsg};

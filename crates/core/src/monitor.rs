@@ -507,6 +507,25 @@ impl SegmentMonitorSet {
         self.metrics = metrics;
     }
 
+    /// Rebuilds the monitor set for a new segment assignment and path
+    /// oracle — the §2.4.3 response's "monitoring follows the new routes"
+    /// step. The metrics handles carry over so a live deployment keeps
+    /// aggregating into the same registry cells; accumulated records,
+    /// fingerprint memos and route memos belong to the old routing epoch
+    /// and are dropped wholesale.
+    pub fn retarget(
+        &self,
+        segments: Vec<PathSegment>,
+        oracle: PathOracle,
+        keystore: &KeyStore,
+        mode: MonitorMode,
+        sampling_rate: Option<f64>,
+    ) -> Self {
+        let mut next = Self::new(segments, oracle, keystore, mode, sampling_rate);
+        next.metrics = self.metrics.clone();
+        next
+    }
+
     /// Feeds one simulator observation.
     ///
     /// Control-plane packets (the protocols' own summaries, acks and
@@ -864,6 +883,56 @@ mod tests {
         let a = mon.report(ids[0], 0);
         let d = mon.report(ids[3], 0);
         assert_eq!(a.to_content(), d.to_content());
+    }
+
+    #[test]
+    fn retarget_swaps_segments_and_keeps_metric_handles() {
+        let (mut net, ids) = setup_line4();
+        let seg = PathSegment::new(vec![ids[0], ids[1], ids[2], ids[3]]);
+        let oracle = PathOracle::from_routes(net.routes());
+        let ks = keystore(4);
+        let mut mon = SegmentMonitorSet::new(
+            vec![seg],
+            oracle.clone(),
+            &ks,
+            MonitorMode::AllMembers,
+            None,
+        );
+        let reg = fatih_obs::MetricsRegistry::new();
+        mon.attach_metrics(MonitorMetrics::registered(&reg));
+        net.add_cbr_flow(
+            ids[0],
+            ids[3],
+            1000,
+            SimTime::from_ms(1),
+            SimTime::ZERO,
+            Some(SimTime::from_ms(20)),
+        );
+        net.run_until(SimTime::from_secs(1), |ev| mon.observe(ev));
+        let recorded_before = reg.snapshot().counter("monitor.records");
+        assert!(recorded_before > 0);
+        assert!(!mon.is_idle());
+
+        // Retarget to a shorter segment on a fresh oracle: old records are
+        // gone, the new assignment records, and the counters keep
+        // accumulating into the same registry cells.
+        let seg2 = PathSegment::new(vec![ids[1], ids[2], ids[3]]);
+        let mut mon2 = mon.retarget(vec![seg2], oracle, &ks, MonitorMode::EndsOnly, None);
+        assert!(mon2.is_idle());
+        assert_eq!(mon2.segments().len(), 1);
+        assert_eq!(mon2.report(ids[1], 0).len(), 0);
+        let (mut net2, _) = setup_line4();
+        net2.add_cbr_flow(
+            ids[0],
+            ids[3],
+            1000,
+            SimTime::from_ms(1),
+            SimTime::ZERO,
+            Some(SimTime::from_ms(10)),
+        );
+        net2.run_until(SimTime::from_secs(1), |ev| mon2.observe(ev));
+        assert_eq!(mon2.report(ids[1], 0).len(), 10);
+        assert!(reg.snapshot().counter("monitor.records") > recorded_before);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! paper's behaviour.
 
 use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
 
 use crate::hmac::{hmac_sha256, verify};
 use crate::sha256::{Digest, Sha256};
@@ -49,6 +50,12 @@ pub struct Signature(pub Digest);
 pub struct KeyStore {
     master: [u8; 32],
     signing: HashMap<u32, [u8; 32]>,
+    /// Per-router incarnation numbers, bumped by the key authority when a
+    /// router restarts after a crash (§2.1.5's administrative key
+    /// redistribution). Mixed into pairwise-key derivation so a restarted
+    /// router's session keys are fresh; shared across clones, modelling the
+    /// authority pushing the new material to everyone at once.
+    incarnations: Arc<RwLock<HashMap<u32, u32>>>,
 }
 
 impl KeyStore {
@@ -61,7 +68,28 @@ impl KeyStore {
         Self {
             master: h.finalize().0,
             signing: HashMap::new(),
+            incarnations: Arc::new(RwLock::new(HashMap::new())),
         }
+    }
+
+    /// The current incarnation of a router (0 until the first restart).
+    pub fn incarnation(&self, router: u32) -> u32 {
+        self.incarnations
+            .read()
+            .expect("incarnation lock poisoned")
+            .get(&router)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Records a restarted router's new incarnation, invalidating every
+    /// pairwise key it participates in. Visible to all clones sharing this
+    /// store — the key authority redistributes atomically.
+    pub fn set_incarnation(&self, router: u32, incarnation: u32) {
+        self.incarnations
+            .write()
+            .expect("incarnation lock poisoned")
+            .insert(router, incarnation);
     }
 
     /// Registers a router, deriving its signing key. Idempotent.
@@ -113,7 +141,11 @@ impl KeyStore {
     }
 
     /// The symmetric pairwise key shared by routers `a` and `b`
-    /// (order-insensitive). Derived lazily; both routers must be registered.
+    /// (order-insensitive). Derived lazily; both routers must be
+    /// registered. The derivation mixes in both routers' incarnation
+    /// numbers, so a crash-restart rekeys every session the restarted
+    /// router participates in while leaving everyone else's keys
+    /// untouched (incarnation 0 reproduces the pre-restart keys exactly).
     ///
     /// # Panics
     ///
@@ -122,7 +154,9 @@ impl KeyStore {
         assert!(self.contains(a), "router {a} not registered");
         assert!(self.contains(b), "router {b} not registered");
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        Self::derive(&self.master, b"pair", lo as u64, hi as u64)
+        let x = lo as u64 | ((self.incarnation(lo) as u64) << 32);
+        let y = hi as u64 | ((self.incarnation(hi) as u64) << 32);
+        Self::derive(&self.master, b"pair", x, y)
     }
 
     /// MAC over `message` under the pairwise key of `a` and `b`.
@@ -252,6 +286,41 @@ mod tests {
             ks.segment_uhash_key(1).fingerprint(b"p"),
             ks.segment_uhash_key(2).fingerprint(b"p")
         );
+    }
+
+    #[test]
+    fn incarnation_zero_reproduces_original_pairwise_keys() {
+        let a = store();
+        let b = store();
+        a.set_incarnation(2, 0);
+        assert_eq!(a.pairwise_key(1, 2), b.pairwise_key(1, 2));
+    }
+
+    #[test]
+    fn incarnation_bump_rekeys_only_the_restarted_router() {
+        let ks = store();
+        let before_12 = ks.pairwise_key(1, 2);
+        let before_34 = ks.pairwise_key(3, 4);
+        ks.set_incarnation(2, 1);
+        assert_ne!(ks.pairwise_key(1, 2), before_12);
+        assert_eq!(ks.pairwise_key(2, 1), ks.pairwise_key(1, 2));
+        // Sessions not involving router 2 are untouched.
+        assert_eq!(ks.pairwise_key(3, 4), before_34);
+        // A second restart rekeys again.
+        let inc1 = ks.pairwise_key(1, 2);
+        ks.set_incarnation(2, 2);
+        assert_ne!(ks.pairwise_key(1, 2), inc1);
+        assert_eq!(ks.incarnation(2), 2);
+        assert_eq!(ks.incarnation(1), 0);
+    }
+
+    #[test]
+    fn incarnations_shared_across_clones() {
+        let ks = store();
+        let clone = ks.clone();
+        ks.set_incarnation(0, 3);
+        assert_eq!(clone.incarnation(0), 3);
+        assert_eq!(clone.pairwise_key(0, 1), ks.pairwise_key(0, 1));
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! over the alert's semantic content ([`alert_sign_bytes`]), so an alert
 //! relayed by a third party is still attributable to its origin.
 
+use crate::linkstate::LinkStateUpdate;
 use fatih_core::monitor::Report;
 use fatih_core::spec::Interval;
 use fatih_core::wire::{WireEncoder, WireError, WireReader};
@@ -72,6 +73,9 @@ pub enum MsgType {
     /// Fallback request for the full summary after a digest failed to
     /// reconcile.
     SummaryPull,
+    /// A flooded, origin-signed topology change (conviction, join/leave,
+    /// link flap).
+    LinkState,
 }
 
 impl MsgType {
@@ -85,6 +89,7 @@ impl MsgType {
             MsgType::Accusation => 5,
             MsgType::SummaryDigest => 6,
             MsgType::SummaryPull => 7,
+            MsgType::LinkState => 8,
         }
     }
 
@@ -98,6 +103,7 @@ impl MsgType {
             5 => Some(MsgType::Accusation),
             6 => Some(MsgType::SummaryDigest),
             7 => Some(MsgType::SummaryPull),
+            8 => Some(MsgType::LinkState),
             _ => None,
         }
     }
@@ -111,8 +117,16 @@ impl MsgType {
 /// The payload of a frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireMessage {
-    /// A transit data packet.
-    Data(Packet),
+    /// A transit data packet, tagged with the routing epoch it was emitted
+    /// under. After a reconvergence, frames from the old epoch keep
+    /// draining hop-by-hop but are no longer fed to traffic validation —
+    /// the epoch tag is how receivers tell the difference.
+    Data {
+        /// The packet itself.
+        packet: Packet,
+        /// Routing epoch of the emitting flow source.
+        epoch: u64,
+    },
     /// One end's traffic record for a segment and round.
     Summary {
         /// Round index the summary closes.
@@ -168,19 +182,28 @@ pub enum WireMessage {
         /// The monitored segment.
         segment: PathSegment,
     },
+    /// A flooded topology change, attributable to its origin via the inner
+    /// signature over [`crate::linkstate::ls_sign_bytes`].
+    LinkState {
+        /// The update being flooded.
+        update: LinkStateUpdate,
+        /// The origin's signature over the update's semantic content.
+        sig: Signature,
+    },
 }
 
 impl WireMessage {
     /// This message's wire type.
     pub fn msg_type(&self) -> MsgType {
         match self {
-            WireMessage::Data(_) => MsgType::Data,
+            WireMessage::Data { .. } => MsgType::Data,
             WireMessage::Summary { .. } => MsgType::Summary,
             WireMessage::Ack { .. } => MsgType::Ack,
             WireMessage::Alert { .. } => MsgType::Alert,
             WireMessage::Accusation { .. } => MsgType::Accusation,
             WireMessage::SummaryDigest { .. } => MsgType::SummaryDigest,
             WireMessage::SummaryPull { .. } => MsgType::SummaryPull,
+            WireMessage::LinkState { .. } => MsgType::LinkState,
         }
     }
 }
@@ -315,7 +338,7 @@ pub fn verify_alert(
 fn encode_body(msg: &WireMessage) -> Vec<u8> {
     let mut e = WireEncoder::new();
     match msg {
-        WireMessage::Data(p) => {
+        WireMessage::Data { packet: p, epoch } => {
             e.u64(p.id.0)
                 .router(p.src)
                 .router(p.dst)
@@ -325,7 +348,8 @@ fn encode_body(msg: &WireMessage) -> Vec<u8> {
                 .u64(p.seq)
                 .u64(p.payload_tag)
                 .u32(p.ttl as u32)
-                .time(p.created_at);
+                .time(p.created_at)
+                .u64(*epoch);
         }
         WireMessage::Summary {
             round,
@@ -364,6 +388,10 @@ fn encode_body(msg: &WireMessage) -> Vec<u8> {
         }
         WireMessage::SummaryPull { round, segment } => {
             e.u64(*round).segment(segment);
+        }
+        WireMessage::LinkState { update, sig } => {
+            update.encode_into(&mut e);
+            e.bytes(&sig.0 .0);
         }
     }
     e.into_bytes()
@@ -507,18 +535,22 @@ pub fn decode_frame(bytes: &[u8], keys: &KeyStore) -> Result<Frame, CodecError> 
             let payload_tag = rd.u64()?;
             let ttl = u8::try_from(rd.u32()?).map_err(|_| CodecError::Invalid)?;
             let created_at = rd.time()?;
-            WireMessage::Data(Packet {
-                id,
-                src,
-                dst,
-                flow,
-                kind,
-                size,
-                seq: pseq,
-                payload_tag,
-                ttl,
-                created_at,
-            })
+            let epoch = rd.u64()?;
+            WireMessage::Data {
+                packet: Packet {
+                    id,
+                    src,
+                    dst,
+                    flow,
+                    kind,
+                    size,
+                    seq: pseq,
+                    payload_tag,
+                    ttl,
+                    created_at,
+                },
+                epoch,
+            }
         }
         MsgType::Summary => {
             let round = rd.u64()?;
@@ -565,6 +597,15 @@ pub fn decode_frame(bytes: &[u8], keys: &KeyStore) -> Result<Frame, CodecError> 
             let round = rd.u64()?;
             let segment = rd.segment()?;
             WireMessage::SummaryPull { round, segment }
+        }
+        MsgType::LinkState => {
+            let update = LinkStateUpdate::decode_from(&mut rd)?.ok_or(CodecError::Invalid)?;
+            let sig_bytes = rd.bytes()?;
+            let digest: [u8; 32] = sig_bytes.try_into().map_err(|_| CodecError::Invalid)?;
+            WireMessage::LinkState {
+                update,
+                sig: Signature(fatih_crypto::Digest(digest)),
+            }
         }
     };
     rd.done()?;
@@ -622,11 +663,55 @@ mod tests {
             src: RouterId::from(1),
             dst: RouterId::from(2),
             seq: 7,
-            msg: WireMessage::Data(sample_packet()),
+            msg: WireMessage::Data {
+                packet: sample_packet(),
+                epoch: 3,
+            },
         };
         let bytes = encode_frame(&f, &ks).unwrap();
         assert_eq!(peek_type(&bytes), Some(MsgType::Data));
         assert_eq!(decode_frame(&bytes, &ks).unwrap(), f);
+    }
+
+    #[test]
+    fn link_state_frame_round_trips_and_authenticates() {
+        use crate::linkstate::{sign_link_state, verify_link_state, TopoUpdate};
+        let ks = keystore();
+        let update = LinkStateUpdate {
+            origin: RouterId::from(2),
+            update_seq: 5,
+            t_origin_ns: 900_000_000,
+            update: TopoUpdate::ExcludeSegment(PathSegment::new(vec![
+                RouterId::from(2),
+                RouterId::from(6),
+                RouterId::from(4),
+            ])),
+        };
+        let sig = sign_link_state(&ks, &update);
+        let f = Frame {
+            src: RouterId::from(2),
+            dst: RouterId::from(6),
+            seq: 11,
+            msg: WireMessage::LinkState {
+                update: update.clone(),
+                sig,
+            },
+        };
+        let bytes = encode_frame(&f, &ks).unwrap();
+        assert_eq!(peek_type(&bytes), Some(MsgType::LinkState));
+        match decode_frame(&bytes, &ks).unwrap().msg {
+            WireMessage::LinkState { update: u, sig: s } => {
+                assert_eq!(u, update);
+                assert!(verify_link_state(&ks, &u, &s));
+            }
+            other => panic!("wrong message: {other:?}"),
+        }
+
+        // Link-state frames are control frames: a bit flip is caught by the
+        // hop MAC before the inner signature is even consulted.
+        let mut bad = bytes.clone();
+        bad[HEADER_LEN + 4] ^= 0x08;
+        assert_eq!(decode_frame(&bad, &ks), Err(CodecError::BadMac));
     }
 
     #[test]
@@ -802,7 +887,10 @@ mod tests {
                 src: RouterId::from(0),
                 dst: RouterId::from(1),
                 seq: 0,
-                msg: WireMessage::Data(sample_packet()),
+                msg: WireMessage::Data {
+                    packet: sample_packet(),
+                    epoch: 0,
+                },
             },
             &ks,
         )

@@ -13,6 +13,10 @@
 //!   loopback implementation ([`LoopbackHub`]), a real UDP-over-localhost
 //!   implementation ([`UdpNet`]), and a loss/duplication-injecting chaos
 //!   shim ([`ChaosTransport`]);
+//! * [`linkstate`] — origin-signed topology updates (segment convictions,
+//!   join/leave, crash-restart incarnations, link flaps) flooded through
+//!   the control plane to drive the conviction → reroute → reconverge
+//!   loop;
 //! * [`timer`] — a deadline-driven hashed timer wheel for round ticks,
 //!   flow ticks and retransmit timeouts;
 //! * [`reliable`] — per-message ack/retransmission with capped exponential
@@ -43,8 +47,8 @@
 //! let ids: Vec<_> = topo.routers().collect();
 //! let spec = LiveSpec {
 //!     flows: vec![FlowSpec::new(ids[0], ids[5], 1000, std::time::Duration::from_millis(3))],
-//!     droppers: vec![DropperSpec { router: ids[3], rate: 0.3, seed: 1 }],
-//!     monitor_pairs: vec![],
+//!     droppers: vec![DropperSpec { router: ids[3], rate: 0.3, seed: 1, active_from: 0 }],
+//!     ..LiveSpec::default()
 //! };
 //! let cfg = LiveConfig::default();
 //! let transports = UdpNet::bind_group(&ids).unwrap();
@@ -56,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod linkstate;
 pub mod mailbox;
 pub mod reliable;
 pub mod runtime;
@@ -63,5 +68,9 @@ pub mod timer;
 pub mod transport;
 
 pub use codec::{decode_frame, encode_frame, CodecError, Frame, MsgType, WireMessage};
-pub use runtime::{LiveConfig, LiveDeployment, LiveEvent, LiveOutcome, LiveSpec, SummaryMode};
-pub use transport::{ChaosTransport, LoopbackHub, NetError, Transport, UdpNet};
+pub use linkstate::{LinkStateUpdate, TopoUpdate};
+pub use runtime::{
+    ChurnAction, ChurnEvent, LiveConfig, LiveDeployment, LiveEvent, LiveOutcome, LiveSpec,
+    SummaryMode,
+};
+pub use transport::{ChaosTransport, FlapWindow, LoopbackHub, NetError, Transport, UdpNet};

@@ -1,0 +1,248 @@
+//! Signed link-state updates: the control-plane vocabulary of the
+//! conviction → reroute → reconverge loop.
+//!
+//! When a router convicts a path segment (§2.4.3), observes a peer die, or
+//! restarts, it originates a [`LinkStateUpdate`] and floods it reliably to
+//! its neighbours. Every update is signed by its **origin** over the
+//! update's semantic content ([`ls_sign_bytes`]), so a relayed update stays
+//! attributable no matter which hop-by-hop frame carried it — a compromised
+//! router cannot forge exclusions in someone else's name, and (checked at
+//! application time) may only originate `ExcludeSegment` for segments it is
+//! an end of, which is exactly the set it monitors under Πk+2.
+//!
+//! Updates are deduplicated by `(origin, update_seq)` and carry the
+//! origin's wall-clock `t_origin_ns`, from which every applier derives the
+//! same deterministic *amnesty window*: validation rounds overlapping the
+//! reconvergence are neither summarized nor evaluated, so the transition
+//! itself can never produce a false accusation.
+
+use fatih_core::wire::{WireEncoder, WireError, WireReader};
+use fatih_crypto::{KeyStore, Signature};
+use fatih_topology::{PathSegment, RouterId};
+
+/// One topology change, as flooded through the control plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopoUpdate {
+    /// A convicted path segment: no route may traverse it any more
+    /// (§2.4.3 response). Only a segment *end* may originate this.
+    ExcludeSegment(PathSegment),
+    /// A router has left or died; its links are withdrawn.
+    RouterDown(RouterId),
+    /// A router (re)joined with the given incarnation. Incarnation 0 is a
+    /// first join; higher incarnations are crash-restarts, which re-enter
+    /// under probation.
+    RouterUp {
+        /// The (re)joining router.
+        router: RouterId,
+        /// Its incarnation number (bumped by the key authority per
+        /// restart).
+        incarnation: u32,
+    },
+    /// A duplex link went down.
+    LinkDown(RouterId, RouterId),
+    /// A duplex link came back.
+    LinkUp(RouterId, RouterId),
+}
+
+impl TopoUpdate {
+    fn tag(&self) -> u32 {
+        match self {
+            TopoUpdate::ExcludeSegment(_) => 0,
+            TopoUpdate::RouterDown(_) => 1,
+            TopoUpdate::RouterUp { .. } => 2,
+            TopoUpdate::LinkDown(..) => 3,
+            TopoUpdate::LinkUp(..) => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for TopoUpdate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopoUpdate::ExcludeSegment(seg) => write!(f, "exclude {seg}"),
+            TopoUpdate::RouterDown(r) => write!(f, "{r} down"),
+            TopoUpdate::RouterUp {
+                router,
+                incarnation,
+            } => write!(f, "{router} up (incarnation {incarnation})"),
+            TopoUpdate::LinkDown(a, b) => write!(f, "link {a} – {b} down"),
+            TopoUpdate::LinkUp(a, b) => write!(f, "link {a} – {b} up"),
+        }
+    }
+}
+
+/// A flooded, origin-attributable topology change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkStateUpdate {
+    /// The router that originated (and signed) the update.
+    pub origin: RouterId,
+    /// Per-origin sequence number; `(origin, update_seq)` deduplicates
+    /// re-floods.
+    pub update_seq: u64,
+    /// The origin's clock when it generated the update, in nanoseconds
+    /// since the deployment epoch — every applier derives the same amnesty
+    /// window from this.
+    pub t_origin_ns: u64,
+    /// The change itself.
+    pub update: TopoUpdate,
+}
+
+impl LinkStateUpdate {
+    /// Serializes the update's semantic content (everything the origin
+    /// signs) into `e`.
+    pub fn encode_into(&self, e: &mut WireEncoder) {
+        e.router(self.origin)
+            .u64(self.update_seq)
+            .u64(self.t_origin_ns)
+            .u32(self.update.tag());
+        match &self.update {
+            TopoUpdate::ExcludeSegment(seg) => {
+                e.segment(seg);
+            }
+            TopoUpdate::RouterDown(r) => {
+                e.router(*r);
+            }
+            TopoUpdate::RouterUp {
+                router,
+                incarnation,
+            } => {
+                e.router(*router).u32(*incarnation);
+            }
+            TopoUpdate::LinkDown(a, b) | TopoUpdate::LinkUp(a, b) => {
+                e.router(*a).router(*b);
+            }
+        }
+    }
+
+    /// Deserializes an update; `Ok(None)` on an unknown variant tag.
+    pub fn decode_from(rd: &mut WireReader<'_>) -> Result<Option<Self>, WireError> {
+        let origin = rd.router()?;
+        let update_seq = rd.u64()?;
+        let t_origin_ns = rd.u64()?;
+        let update = match rd.u32()? {
+            0 => TopoUpdate::ExcludeSegment(rd.segment()?),
+            1 => TopoUpdate::RouterDown(rd.router()?),
+            2 => TopoUpdate::RouterUp {
+                router: rd.router()?,
+                incarnation: rd.u32()?,
+            },
+            3 => TopoUpdate::LinkDown(rd.router()?, rd.router()?),
+            4 => TopoUpdate::LinkUp(rd.router()?, rd.router()?),
+            _ => return Ok(None),
+        };
+        Ok(Some(Self {
+            origin,
+            update_seq,
+            t_origin_ns,
+            update,
+        }))
+    }
+}
+
+/// The bytes a link-state update's origin signs: its semantic content,
+/// independent of which hop-by-hop frame carries it.
+pub fn ls_sign_bytes(update: &LinkStateUpdate) -> Vec<u8> {
+    let mut e = WireEncoder::new();
+    update.encode_into(&mut e);
+    e.into_bytes()
+}
+
+/// Signs a link-state update on behalf of its origin.
+pub fn sign_link_state(keys: &KeyStore, update: &LinkStateUpdate) -> Signature {
+    keys.sign(update.origin.into(), &ls_sign_bytes(update))
+}
+
+/// Verifies a link-state update's inner origin signature.
+pub fn verify_link_state(keys: &KeyStore, update: &LinkStateUpdate, sig: &Signature) -> bool {
+    keys.verify(update.origin.into(), &ls_sign_bytes(update), sig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keystore() -> KeyStore {
+        let mut ks = KeyStore::with_seed(23);
+        for r in 0..6 {
+            ks.register(r);
+        }
+        ks
+    }
+
+    fn sample_updates() -> Vec<LinkStateUpdate> {
+        let r = RouterId::from;
+        vec![
+            LinkStateUpdate {
+                origin: r(0),
+                update_seq: 1,
+                t_origin_ns: 5_000_000,
+                update: TopoUpdate::ExcludeSegment(PathSegment::new(vec![r(0), r(2), r(4)])),
+            },
+            LinkStateUpdate {
+                origin: r(1),
+                update_seq: 9,
+                t_origin_ns: 0,
+                update: TopoUpdate::RouterDown(r(3)),
+            },
+            LinkStateUpdate {
+                origin: r(3),
+                update_seq: 2,
+                t_origin_ns: 77,
+                update: TopoUpdate::RouterUp {
+                    router: r(3),
+                    incarnation: 2,
+                },
+            },
+            LinkStateUpdate {
+                origin: r(5),
+                update_seq: 3,
+                t_origin_ns: 123,
+                update: TopoUpdate::LinkDown(r(5), r(0)),
+            },
+            LinkStateUpdate {
+                origin: r(5),
+                update_seq: 4,
+                t_origin_ns: 456,
+                update: TopoUpdate::LinkUp(r(5), r(0)),
+            },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trips_every_variant() {
+        for u in sample_updates() {
+            let mut e = WireEncoder::new();
+            u.encode_into(&mut e);
+            let bytes = e.into_bytes();
+            let mut rd = WireReader::new(&bytes);
+            let back = LinkStateUpdate::decode_from(&mut rd).unwrap().unwrap();
+            assert_eq!(back, u);
+        }
+    }
+
+    #[test]
+    fn unknown_variant_tag_is_none_not_panic() {
+        let mut e = WireEncoder::new();
+        e.router(RouterId::from(0)).u64(1).u64(2).u32(99);
+        let bytes = e.into_bytes();
+        let mut rd = WireReader::new(&bytes);
+        assert_eq!(LinkStateUpdate::decode_from(&mut rd).unwrap(), None);
+    }
+
+    #[test]
+    fn signature_is_attributable_and_tamper_evident() {
+        let ks = keystore();
+        for u in sample_updates() {
+            let sig = sign_link_state(&ks, &u);
+            assert!(verify_link_state(&ks, &u, &sig), "{u:?}");
+            // Any semantic change invalidates the signature.
+            let mut forged = u.clone();
+            forged.update_seq += 1;
+            assert!(!verify_link_state(&ks, &forged, &sig));
+            // And nobody can claim someone else's update as their own.
+            let mut stolen = u.clone();
+            stolen.origin = RouterId::from(u32::from(u.origin) ^ 1);
+            assert!(!verify_link_state(&ks, &stolen, &sig));
+        }
+    }
+}

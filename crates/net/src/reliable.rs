@@ -138,6 +138,24 @@ impl ReliableLayer {
         self.outstanding.len()
     }
 
+    /// Drops every outstanding frame addressed to `dst`, cancelling its
+    /// retransmission timers. Called when a peer is convicted, departs or
+    /// crashes: nothing it will never ack should keep occupying timer
+    /// slots (or generating wire traffic) for the rest of the run. Returns
+    /// the number of frames cancelled.
+    pub fn purge_peer(&mut self, dst: RouterId) -> usize {
+        let before = self.outstanding.len();
+        self.outstanding.retain(|_, o| o.dst != dst);
+        before - self.outstanding.len()
+    }
+
+    /// Forgets the receive-side dedup history for `src`, so a restarted
+    /// peer's fresh sequence space is not shadowed by its previous
+    /// incarnation's entries.
+    pub fn forget_peer_history(&mut self, src: RouterId) {
+        self.seen.retain(|(s, _)| *s != src);
+    }
+
     /// Earliest pending retry deadline on the caller's clock axis.
     pub fn next_deadline_ns(&self) -> Option<u64> {
         self.outstanding.values().map(|o| o.next_retry_ns).min()
@@ -278,6 +296,37 @@ mod tests {
         assert!(!layer.accept(rid(1), 5));
         assert!(layer.accept(rid(2), 5), "same seq, different source");
         assert!(layer.accept(rid(1), 6));
+    }
+
+    #[test]
+    fn purge_peer_cancels_outstanding_frames_and_timers() {
+        let mut layer = ReliableLayer::new(ReliableConfig::default());
+        let mut net = MockNet {
+            local: rid(0),
+            sent: vec![],
+        };
+        layer.track(1, rid(2), b"a".to_vec(), 0);
+        layer.track(2, rid(2), b"b".to_vec(), 0);
+        layer.track(3, rid(3), b"c".to_vec(), 0);
+        assert_eq!(layer.purge_peer(rid(2)), 2);
+        assert_eq!(layer.in_flight(), 1);
+        assert_eq!(layer.purge_peer(rid(2)), 0, "idempotent");
+        // Only the surviving peer's frame is ever retransmitted; the
+        // purged frames can neither retransmit nor exhaust.
+        let ex = layer.pump(u64::MAX / 2, &mut net);
+        assert!(ex.is_empty());
+        assert!(net.sent.iter().all(|(dst, _)| *dst == rid(3)));
+        assert!(layer.next_deadline_ns().is_some());
+    }
+
+    #[test]
+    fn forget_peer_history_reopens_dedup_space() {
+        let mut layer = ReliableLayer::new(ReliableConfig::default());
+        assert!(layer.accept(rid(1), 5));
+        assert!(layer.accept(rid(2), 5));
+        layer.forget_peer_history(rid(1));
+        assert!(layer.accept(rid(1), 5), "restarted peer reuses its seq");
+        assert!(!layer.accept(rid(2), 5), "other peers' history kept");
     }
 
     #[test]

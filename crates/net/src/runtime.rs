@@ -36,24 +36,28 @@
 //! tolerance.
 
 use crate::codec::{decode_frame, encode_frame, sign_alert, verify_alert, Frame, WireMessage};
+use crate::linkstate::{sign_link_state, verify_link_state, LinkStateUpdate, TopoUpdate};
 use crate::mailbox::{mailboxes, MailboxRouter, ShardMailbox};
 use crate::reliable::{ReliableConfig, ReliableLayer};
 use crate::timer::TimerWheel;
 use crate::transport::Transport;
 use fatih_core::monitor::{MonitorMode, PathOracle, SegmentMonitorSet};
 use fatih_core::policy::{tv_pair, PairVerdict, Policy, Thresholds};
+use fatih_core::probation::ProbationTracker;
 use fatih_core::spec::{Interval, Suspicion};
-use fatih_crypto::{Fingerprint, KeyStore};
+use fatih_crypto::{Fingerprint, KeyStore, Signature};
 use fatih_obs::trace::{NO_ROUND, NO_ROUTER};
 use fatih_obs::{
     Counter, Histogram, MetricsRegistry, MetricsSnapshot, TraceBuffer, TraceJournal, TraceKind,
 };
 use fatih_sim::{FlowId, Packet, PacketId, PacketKind, SimTime, TapEvent};
-use fatih_topology::{pik2_segments_from_paths, Path, PathSegment, RouterId, Routes, Topology};
+use fatih_topology::{
+    pik2_segments_from_paths, DynamicTopology, Path, PathSegment, RouterId, Routes, Topology,
+};
 use fatih_validation::digest::{apply_diff, diff_via_digest, ContentDigest};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
@@ -93,6 +97,47 @@ pub struct DropperSpec {
     pub rate: f64,
     /// Seed for its drop decisions.
     pub seed: u64,
+    /// First round in which it misbehaves; earlier rounds it forwards
+    /// faithfully. `0` drops from the start.
+    pub active_from: u64,
+}
+
+/// One scripted topology change a router performs mid-run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnAction {
+    /// The actor's duplex link to this peer goes down (announced).
+    LinkDown(RouterId),
+    /// The actor's duplex link to this peer comes back (announced).
+    LinkUp(RouterId),
+    /// Graceful departure: announce [`TopoUpdate::RouterDown`] for
+    /// oneself, then go silent.
+    Leave,
+    /// An initially-down router comes alive and announces itself with
+    /// incarnation 0 (no probation).
+    Join,
+    /// Silent crash: the router stops processing without any
+    /// announcement. Peers learn of it via [`ChurnAction::ReportDown`] or
+    /// through reliable-delivery exhaustion.
+    Crash,
+    /// Crash-restart: the actor returns with a bumped incarnation, fresh
+    /// HMAC state and an empty link-state database, and re-enters under
+    /// probation.
+    Restart,
+    /// The actor reports another router dead (it observed the crash) by
+    /// originating [`TopoUpdate::RouterDown`] on its behalf.
+    ReportDown(RouterId),
+}
+
+/// A scheduled churn event: at `at` after the deployment epoch, `actor`
+/// performs `action`.
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnEvent {
+    /// When, relative to the deployment epoch.
+    pub at: Duration,
+    /// The router performing the action.
+    pub actor: RouterId,
+    /// What it does.
+    pub action: ChurnAction,
 }
 
 /// What to run: traffic, adversaries, and which paths to monitor.
@@ -105,6 +150,11 @@ pub struct LiveSpec {
     /// (source, destination) pairs whose routed paths get Πk+2 segment
     /// monitoring. Empty: monitor the flows' own paths.
     pub monitor_pairs: Vec<(RouterId, RouterId)>,
+    /// Routers that start the run dead (they come alive via
+    /// [`ChurnAction::Join`]). Initial routes avoid them.
+    pub initially_down: Vec<RouterId>,
+    /// Scripted topology churn: flaps, joins, leaves, crash-restarts.
+    pub churn: Vec<ChurnEvent>,
 }
 
 /// How the segment ends exchange their round summaries.
@@ -157,6 +207,13 @@ pub struct LiveConfig {
     /// Capacity of each shard's trace ring ([`TraceBuffer`]): oldest
     /// events are overwritten beyond this, but per-kind totals survive.
     pub trace_capacity: usize,
+    /// Whether convictions trigger the §2.4.3 response: flood a signed
+    /// [`TopoUpdate::ExcludeSegment`], reroute around it and reconverge.
+    /// Off, the runtime only detects (the pre-response behaviour).
+    pub response: bool,
+    /// Clean rounds a crash-restarted router must survive on probation
+    /// (no transit duty) before it carries transit traffic again.
+    pub probation_rounds: u64,
 }
 
 impl Default for LiveConfig {
@@ -180,6 +237,8 @@ impl Default for LiveConfig {
             summary: SummaryMode::Full,
             mailbox_fastpath: false,
             trace_capacity: 32_768,
+            response: true,
+            probation_rounds: 2,
         }
     }
 }
@@ -248,6 +307,26 @@ pub enum LiveEvent {
         dst: RouterId,
         /// Attempts made.
         attempts: u32,
+    },
+    /// A router applied a (signature-verified, fresh) link-state update
+    /// and reconverged its routes.
+    LinkStateApplied {
+        /// The router that applied the update.
+        by: RouterId,
+        /// The update's origin.
+        origin: RouterId,
+        /// The origin's per-router update sequence number.
+        update_seq: u64,
+        /// The applier's route epoch after rebuilding.
+        epoch: u64,
+    },
+    /// A restarted router finished probation and regained transit duty.
+    /// Emitted once, by the cleared router itself.
+    ProbationCleared {
+        /// The router whose probation cleared.
+        router: RouterId,
+        /// The round boundary at which it cleared.
+        round: u64,
     },
 }
 
@@ -333,8 +412,18 @@ struct NetMetrics {
     alerts_sent: Counter,
     summary_timeouts: Counter,
     mailbox_frames: Counter,
+    epoch_transitions: Counter,
+    ls_updates_sent: Counter,
+    ls_updates_applied: Counter,
+    untapped_drained: Counter,
+    transition_forward_miss: Counter,
+    purged_frames: Counter,
+    probation_admitted: Counter,
+    probation_cleared: Counter,
+    routers_isolated: Counter,
     frame_bytes: Histogram,
     round_eval_ns: Histogram,
+    reroute_latency_ns: Histogram,
 }
 
 impl NetMetrics {
@@ -358,8 +447,18 @@ impl NetMetrics {
             alerts_sent: reg.counter("net.alerts_sent"),
             summary_timeouts: reg.counter("net.summary_timeouts"),
             mailbox_frames: reg.counter("net.mailbox_frames"),
+            epoch_transitions: reg.counter("net.epoch_transitions"),
+            ls_updates_sent: reg.counter("net.ls_updates_sent"),
+            ls_updates_applied: reg.counter("net.ls_updates_applied"),
+            untapped_drained: reg.counter("net.untapped_drained"),
+            transition_forward_miss: reg.counter("net.transition_forward_miss"),
+            purged_frames: reg.counter("net.purged_frames"),
+            probation_admitted: reg.counter("net.probation_admitted"),
+            probation_cleared: reg.counter("net.probation_cleared"),
+            routers_isolated: reg.counter("net.routers_isolated"),
             frame_bytes: reg.histogram("net.frame_bytes"),
             round_eval_ns: reg.histogram("net.round_eval_ns"),
+            reroute_latency_ns: reg.histogram("net.reroute_latency_ns"),
         }
     }
 }
@@ -404,8 +503,7 @@ pub struct LiveOutcome {
 /// let ids: Vec<_> = topo.routers().collect();
 /// let spec = LiveSpec {
 ///     flows: vec![FlowSpec::new(ids[0], ids[2], 500, Duration::from_millis(5))],
-///     droppers: vec![],
-///     monitor_pairs: vec![],
+///     ..LiveSpec::default()
 /// };
 /// let cfg = LiveConfig {
 ///     tau: Duration::from_millis(120),
@@ -463,18 +561,37 @@ impl LiveDeployment {
         let keys = Arc::new(keys);
         let routes = Arc::new(topo.link_state_routes());
 
-        // Monitored segments: all ≤(k+2)-windows of the monitored paths.
-        let pairs: Vec<(RouterId, RouterId)> = if spec.monitor_pairs.is_empty() {
+        // The shared initial view: the base graph minus initially-down
+        // routers. Every node starts from a clone of this overlay and the
+        // path set it induces, so forwarding, the path oracle and the
+        // monitored segments are consistent from the first packet — and
+        // stay consistent through reconvergence, because every rebuild
+        // recomputes them from the same (deterministic) machinery.
+        let mut dyn0 = DynamicTopology::new(topo.clone());
+        for &r in &spec.initially_down {
+            dyn0.set_router_down(r);
+        }
+        let monitor_pairs: Vec<(RouterId, RouterId)> = if spec.monitor_pairs.is_empty() {
             spec.flows.iter().map(|f| (f.src, f.dst)).collect()
         } else {
             spec.monitor_pairs.clone()
         };
-        let mut oracle_paths: Vec<Path> = pairs
+        let flow_pairs: Vec<(RouterId, RouterId)> =
+            spec.flows.iter().map(|f| (f.src, f.dst)).collect();
+        let paths0 = dyn0.paths_for(
+            monitor_pairs
+                .iter()
+                .chain(flow_pairs.iter())
+                .copied()
+                .collect::<Vec<_>>(),
+        );
+        // Monitored segments: all ≤(k+2)-windows of the monitored paths.
+        let seg_paths: Vec<Path> = monitor_pairs
             .iter()
-            .filter_map(|&(s, d)| routes.path(s, d))
+            .filter_map(|p| paths0.get(p).cloned())
             .collect();
         let segments: Arc<Vec<PathSegment>> = Arc::new(
-            pik2_segments_from_paths(oracle_paths.clone(), topo.router_count(), cfg.k)
+            pik2_segments_from_paths(seg_paths.clone(), topo.router_count(), cfg.k)
                 .all_segments()
                 .into_iter()
                 .collect(),
@@ -482,7 +599,8 @@ impl LiveDeployment {
         // One shared path oracle over the monitored paths plus the flows'
         // own paths: every packet that can exist resolves identically to a
         // full all-pairs oracle, at a fraction of the per-router memory.
-        oracle_paths.extend(spec.flows.iter().filter_map(|f| routes.path(f.src, f.dst)));
+        let mut oracle_paths = seg_paths;
+        oracle_paths.extend(flow_pairs.iter().filter_map(|p| paths0.get(p).cloned()));
         let oracle = PathOracle::from_paths(oracle_paths);
 
         let n_shards = if cfg.shards == 0 {
@@ -522,6 +640,9 @@ impl LiveDeployment {
                 &routes,
                 &segments,
                 oracle.clone(),
+                dyn0.clone(),
+                paths0.clone(),
+                &monitor_pairs,
                 mail_router.clone(),
                 metrics.clone(),
             );
@@ -615,6 +736,13 @@ enum ShardTimer {
     RoundEval(u64),
     /// Retransmission pump across the shard.
     Pump,
+    /// `node` performs step `step` of its scripted churn.
+    Churn {
+        /// Index into the shard's node vector.
+        node: usize,
+        /// Index into that node's churn script.
+        step: usize,
+    },
 }
 
 /// Per-node receive sweep bound: how many frames one node may drain per
@@ -675,6 +803,12 @@ impl<T: Transport> Shard<T> {
                     ShardTimer::FlowTick { node: ni, flow: fi },
                 );
             }
+            for (si, ev) in node.churn.iter().enumerate() {
+                self.wheel.schedule(
+                    ev.at.as_nanos() as u64,
+                    ShardTimer::Churn { node: ni, step: si },
+                );
+            }
         }
         for r in 0..self.cfg.rounds {
             self.wheel.schedule((r + 1) * tau, ShardTimer::RoundEnd(r));
@@ -728,6 +862,9 @@ impl<T: Transport> Shard<T> {
                         }
                         self.wheel
                             .schedule(self.now_ns() + pump_step, ShardTimer::Pump);
+                    }
+                    ShardTimer::Churn { node, step } => {
+                        self.nodes[node].churn_step(step, events, &mut self.trace);
                     }
                 }
             }
@@ -821,13 +958,33 @@ struct Node<T: Transport> {
     transport: T,
     /// False once the transport errored out; the shard skips dead nodes.
     open: bool,
+    /// False while crashed, departed or not yet joined: the node neither
+    /// processes frames nor does round work, but its churn script still
+    /// fires (a restart needs it).
+    alive: bool,
+    /// This router's incarnation; bumped on every crash-restart.
+    incarnation: u32,
     keys: Arc<KeyStore>,
+    /// Static link-state routes of the base graph: the stale-packet
+    /// forwarding fallback during epoch transitions.
     routes: Arc<Routes>,
-    segments: Arc<Vec<PathSegment>>,
+    /// This node's view of the network: base graph plus the churn overlay
+    /// accumulated from applied link-state updates.
+    dyn_topo: DynamicTopology,
+    /// Current forwarding paths per (source, destination) pair, rebuilt on
+    /// every reconvergence. Forwarding follows these, not `routes`.
+    paths: HashMap<(RouterId, RouterId), Path>,
+    /// The (source, destination) pairs under Πk+2 monitoring.
+    monitor_pairs: Vec<(RouterId, RouterId)>,
+    /// The flows' own endpoint pairs (kept routable for forwarding).
+    flow_pairs: Vec<(RouterId, RouterId)>,
+    segments: Vec<PathSegment>,
     monitors: SegmentMonitorSet,
     ends: Vec<EndRole>,
     flows: Vec<LocalFlow>,
     drop_rate: f64,
+    /// First round the dropper misbehaves in.
+    drop_from: u64,
     rng: StdRng,
     digest_rng: StdRng,
     reliable: ReliableLayer,
@@ -843,6 +1000,30 @@ struct Node<T: Transport> {
     /// when full and before any report is read, so a round boundary always
     /// sees every observation.
     obs_buf: Vec<TapEvent>,
+    /// Route epoch: bumped on every rebuild; data frames carry the epoch
+    /// they were injected under, and only current-epoch frames are tapped.
+    route_epoch: u64,
+    /// First round that is summarized/evaluated again after a
+    /// reconvergence — rounds before it fall under deterministic amnesty.
+    eval_resume: u64,
+    /// Dedup of applied link-state updates by (origin, update_seq).
+    applied_keys: HashSet<(RouterId, u64)>,
+    /// The link-state database: applied updates (pruned of superseded
+    /// entries), re-flooded to restarted neighbours so they resynchronize.
+    ls_db: Vec<(LinkStateUpdate, Signature)>,
+    /// This node's next link-state origination sequence number.
+    ls_seq: u64,
+    /// Every distinct convicted segment applied so far. When a router
+    /// appears in two or more of them and is their *only* common member,
+    /// the intersection pinpoints it as the faulty router (the paper's
+    /// identification argument) and it loses transit duty entirely.
+    convicted: Vec<PathSegment>,
+    /// Probation standing of every restarted router this node knows of.
+    probation: ProbationTracker,
+    /// Routers this node has already originated a `RouterDown` for.
+    reported_down: HashSet<RouterId>,
+    /// This node's own churn script, in schedule order.
+    churn: Vec<ChurnEvent>,
 }
 
 /// Buffered tap events before the node flushes them through
@@ -861,32 +1042,15 @@ impl<T: Transport> Node<T> {
         routes: &Arc<Routes>,
         segments: &Arc<Vec<PathSegment>>,
         oracle: PathOracle,
+        dyn_topo: DynamicTopology,
+        paths: HashMap<(RouterId, RouterId), Path>,
+        monitor_pairs: &[(RouterId, RouterId)],
         mailbox: Option<MailboxRouter>,
         metrics: NetMetrics,
     ) -> Self {
         let monitors =
             SegmentMonitorSet::new(segments.to_vec(), oracle, keys, MonitorMode::EndsOnly, None);
-        let ends = segments
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| {
-                if s.source() == id {
-                    Some(EndRole {
-                        seg: i,
-                        peer: s.sink(),
-                        upstream: true,
-                    })
-                } else if s.sink() == id {
-                    Some(EndRole {
-                        seg: i,
-                        peer: s.source(),
-                        upstream: false,
-                    })
-                } else {
-                    None
-                }
-            })
-            .collect();
+        let ends = Self::end_roles(segments, id);
         let flows = spec
             .flows
             .iter()
@@ -910,13 +1074,20 @@ impl<T: Transport> Node<T> {
             epoch: Instant::now(), // provisional; the shard sets the shared epoch
             transport,
             open: true,
+            alive: !spec.initially_down.contains(&id),
+            incarnation: 0,
             keys: Arc::clone(keys),
             routes: Arc::clone(routes),
-            segments: Arc::clone(segments),
+            dyn_topo,
+            paths,
+            monitor_pairs: monitor_pairs.to_vec(),
+            flow_pairs: spec.flows.iter().map(|f| (f.src, f.dst)).collect(),
+            segments: segments.to_vec(),
             monitors,
             ends,
             flows,
             drop_rate: dropper.map(|d| d.rate).unwrap_or(0.0),
+            drop_from: dropper.map(|d| d.active_from).unwrap_or(0),
             rng: StdRng::seed_from_u64(
                 dropper.map(|d| d.seed).unwrap_or(0) ^ (u64::from(u32::from(id)) << 32),
             ),
@@ -931,7 +1102,46 @@ impl<T: Transport> Node<T> {
             next_seq: 0,
             pkt_counter: 0,
             obs_buf: Vec::with_capacity(OBS_BUF_FLUSH),
+            route_epoch: 0,
+            eval_resume: 0,
+            applied_keys: HashSet::new(),
+            ls_db: Vec::new(),
+            ls_seq: 0,
+            convicted: Vec::new(),
+            probation: ProbationTracker::new(cfg.probation_rounds),
+            reported_down: HashSet::new(),
+            churn: spec
+                .churn
+                .iter()
+                .filter(|e| e.actor == id)
+                .copied()
+                .collect(),
         }
+    }
+
+    /// The end roles `id` plays in `segments`.
+    fn end_roles(segments: &[PathSegment], id: RouterId) -> Vec<EndRole> {
+        segments
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| {
+                if s.source() == id {
+                    Some(EndRole {
+                        seg: i,
+                        peer: s.sink(),
+                        upstream: true,
+                    })
+                } else if s.sink() == id {
+                    Some(EndRole {
+                        seg: i,
+                        peer: s.source(),
+                        upstream: false,
+                    })
+                } else {
+                    None
+                }
+            })
+            .collect()
     }
 
     fn now_ns(&self) -> u64 {
@@ -965,6 +1175,9 @@ impl<T: Transport> Node<T> {
     }
 
     fn pump(&mut self, events: &mpsc::Sender<LiveEvent>, trace: &mut TraceBuffer) {
+        if !self.alive {
+            return;
+        }
         let now = self.now_ns();
         let before = self.reliable.local_retransmits();
         let exhausted = self.reliable.pump(now, &mut self.transport);
@@ -991,6 +1204,15 @@ impl<T: Transport> Node<T> {
                 dst: ex.dst,
                 attempts: ex.attempts,
             });
+            // Organic crash detection: a peer that exhausts reliable
+            // delivery is reported down (once), so the fabric reroutes
+            // around it without waiting for an operator.
+            if self.cfg.response
+                && !self.dyn_topo.is_router_down(ex.dst)
+                && self.reported_down.insert(ex.dst)
+            {
+                self.originate_ls(TopoUpdate::RouterDown(ex.dst), events, trace);
+            }
         }
     }
 
@@ -1002,6 +1224,10 @@ impl<T: Transport> Node<T> {
         // Stop injecting once the final round has closed.
         if now >= self.cfg.rounds * tau {
             return None;
+        }
+        if !self.alive {
+            // Keep ticking so the flow resumes after a restart.
+            return Some(now + self.flows[i].spec.interval.as_nanos() as u64);
         }
         let (spec, interval_ns) = {
             let f = &mut self.flows[i];
@@ -1022,7 +1248,7 @@ impl<T: Transport> Node<T> {
             ttl: Packet::DEFAULT_TTL,
             created_at: self.now_st(),
         };
-        if let Some(next_hop) = self.routes.next_hop(self.id, spec.dst) {
+        if let Some(next_hop) = self.forward_hop(spec.src, spec.dst) {
             let t = self.now_st();
             self.tap(
                 TapEvent::Enqueued {
@@ -1034,9 +1260,20 @@ impl<T: Transport> Node<T> {
                 },
                 trace,
             );
-            self.send_frame(next_hop, WireMessage::Data(packet), false);
+            let epoch = self.route_epoch;
+            self.send_frame(next_hop, WireMessage::Data { packet, epoch }, false);
         }
         Some(now + interval_ns)
+    }
+
+    /// The forwarding decision for a packet of the (source, destination)
+    /// pair: the hop after this router on the pair's current path. `None`
+    /// when the pair is unroutable or this router is not on the path (a
+    /// stale transit placement mid-transition).
+    fn forward_hop(&self, src: RouterId, dst: RouterId) -> Option<RouterId> {
+        self.paths
+            .get(&(src, dst))
+            .and_then(|p| p.next_after(self.id))
     }
 
     /// Queues a data-plane observation for the batched monitor ingest,
@@ -1065,6 +1302,16 @@ impl<T: Transport> Node<T> {
     }
 
     fn round_end(&mut self, r: u64, trace: &mut TraceBuffer) {
+        if !self.alive {
+            return;
+        }
+        if r < self.eval_resume {
+            // Reconvergence amnesty: this round straddles a topology
+            // change, so neither end summarizes it — the transition can
+            // never be mistaken for an attack.
+            self.flush_observations();
+            return;
+        }
         self.flush_observations();
         let cutoff = self.cutoff(r);
         for end in self.ends.clone() {
@@ -1149,12 +1396,28 @@ impl<T: Transport> Node<T> {
     }
 
     fn round_eval(&mut self, r: u64, events: &mpsc::Sender<LiveEvent>, trace: &mut TraceBuffer) {
+        if !self.alive {
+            return;
+        }
+        if r < self.eval_resume {
+            // Amnesty round: drop whatever arrived for it and raise
+            // nothing. Both ends of every segment skip the same rounds
+            // (the window is derived from the update's origin timestamp),
+            // so nobody waits for a summary that will never come.
+            self.peer_summaries.retain(|(round, _), _| *round != r);
+            self.peer_verdicts.retain(|(round, _), _| *round != r);
+            self.probation_tick(r, events, trace);
+            return;
+        }
         let eval_began = self.now_ns();
         self.flush_observations();
         let tau = self.cfg.tau.as_nanos() as u64;
         let round_start = SimTime::from_ns(r * tau);
         let round_end = SimTime::from_ns((r + 1) * tau);
         let cutoff = self.cutoff(r);
+        // Convictions are originated after the loop: applying one rebuilds
+        // the segment set, which would invalidate the indices still in use.
+        let mut convictions: Vec<PathSegment> = Vec::new();
         for end in self.ends.clone() {
             let segment = self.segments[end.seg].clone();
             let verdict = if let Some((lost, fabricated)) = self.peer_verdicts.remove(&(r, end.seg))
@@ -1226,7 +1489,10 @@ impl<T: Transport> Node<T> {
                 // failed the exchange itself.
                 self.send_frame(
                     end.peer,
-                    WireMessage::Accusation { segment, interval },
+                    WireMessage::Accusation {
+                        segment: segment.clone(),
+                        interval,
+                    },
                     false,
                 );
             } else {
@@ -1235,7 +1501,7 @@ impl<T: Transport> Node<T> {
                     end.peer,
                     WireMessage::Alert {
                         origin: self.id,
-                        segment,
+                        segment: segment.clone(),
                         interval,
                         sig,
                     },
@@ -1250,16 +1516,67 @@ impl<T: Transport> Node<T> {
                     u64::from(u32::from(end.peer)),
                 );
             }
+            if self.cfg.response {
+                convictions.push(segment);
+            }
+        }
+        // The §2.4.3 response: a convicting end excises the segment from
+        // the routable fabric by flooding a signed exclusion — routes
+        // reconverge around it and validation resumes on the next clean
+        // round boundary.
+        for segment in convictions {
+            self.originate_ls(TopoUpdate::ExcludeSegment(segment), events, trace);
         }
         self.metrics
             .round_eval_ns
             .record(self.now_ns().saturating_sub(eval_began));
+        self.probation_tick(r, events, trace);
+    }
+
+    /// Deterministic probation bookkeeping at the boundary of round
+    /// `r + 1`: every node clears the same probationers at the same round,
+    /// restores their transit duty and rebuilds — no agreement traffic.
+    fn probation_tick(
+        &mut self,
+        r: u64,
+        events: &mpsc::Sender<LiveEvent>,
+        trace: &mut TraceBuffer,
+    ) {
+        let cleared = self.probation.clear_due(r + 1);
+        if cleared.is_empty() {
+            return;
+        }
+        for &router in &cleared {
+            // A router the convicted-segment intersection has pinpointed
+            // cannot launder its isolation through a crash-restart.
+            if !self.is_pinpointed(router) {
+                self.dyn_topo.clear_no_transit(router);
+            }
+            if router == self.id {
+                self.metrics.probation_cleared.inc();
+                trace.record(
+                    self.now_ns(),
+                    TraceKind::ProbationCleared,
+                    u32::from(self.id),
+                    r + 1,
+                    0,
+                );
+                let _ = events.send(LiveEvent::ProbationCleared {
+                    router,
+                    round: r + 1,
+                });
+            }
+        }
+        // The clearing rebuild lands mid-round r+1, so that round gets
+        // amnesty; r+2 starts entirely under the restored routes.
+        self.eval_resume = self.eval_resume.max(r + 2);
+        self.rebuild(self.now_ns(), trace);
     }
 
     fn send_frame(&mut self, dst: RouterId, msg: WireMessage, reliable: bool) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let is_data = matches!(msg, WireMessage::Data(_));
+        let is_data = matches!(msg, WireMessage::Data { .. });
         let frame = Frame {
             src: self.id,
             dst,
@@ -1296,6 +1613,9 @@ impl<T: Transport> Node<T> {
         events: &mpsc::Sender<LiveEvent>,
         trace: &mut TraceBuffer,
     ) {
+        if !self.alive {
+            return; // crashed/departed: frames fall on the floor
+        }
         self.metrics.frames_received.inc();
         let frame = match decode_frame(bytes, &self.keys) {
             Ok(f) => f,
@@ -1309,7 +1629,9 @@ impl<T: Transport> Node<T> {
             return;
         }
         match frame.msg {
-            WireMessage::Data(packet) => self.handle_data(frame.src, packet, trace),
+            WireMessage::Data { packet, epoch } => {
+                self.handle_data(frame.src, packet, epoch, trace)
+            }
             WireMessage::Ack { msg_id } => {
                 self.reliable.on_ack(msg_id);
             }
@@ -1411,42 +1733,465 @@ impl<T: Transport> Node<T> {
                     });
                 }
             }
+            WireMessage::LinkState { update, sig } => {
+                self.send_frame(frame.src, WireMessage::Ack { msg_id: frame.seq }, false);
+                if self.reliable.accept(frame.src, frame.seq)
+                    && verify_link_state(&self.keys, &update, &sig)
+                    && self.apply_ls(&update, &sig, events, trace)
+                {
+                    // Freshly applied: re-flood to every up neighbour
+                    // except the hop it came from and its origin.
+                    self.flood_ls(&update, &sig, Some(frame.src));
+                }
+            }
         }
     }
 
-    fn handle_data(&mut self, from: RouterId, packet: Packet, trace: &mut TraceBuffer) {
+    fn handle_data(&mut self, from: RouterId, packet: Packet, epoch: u64, trace: &mut TraceBuffer) {
         let t = self.now_st();
-        self.tap(
-            TapEvent::Arrived {
-                router: self.id,
-                from: Some(from),
-                packet,
-                time: t,
-            },
-            trace,
-        );
+        // Packets injected under an older route epoch drain without being
+        // tapped: their upstream observations were recorded by monitors
+        // that no longer exist, so tapping them here would misattribute
+        // in-flight traffic across the transition.
+        let current = epoch == self.route_epoch;
+        if current {
+            self.tap(
+                TapEvent::Arrived {
+                    router: self.id,
+                    from: Some(from),
+                    packet,
+                    time: t,
+                },
+                trace,
+            );
+        } else {
+            self.metrics.untapped_drained.inc();
+        }
         if packet.dst == self.id {
             self.metrics.data_delivered.inc();
             return;
         }
-        if self.drop_rate > 0.0 && self.rng.gen_bool(self.drop_rate) {
+        let tau = self.cfg.tau.as_nanos() as u64;
+        if self.drop_rate > 0.0
+            && self.now_ns() / tau >= self.drop_from
+            && self.rng.gen_bool(self.drop_rate)
+        {
             self.metrics.data_dropped.inc();
             return;
         }
-        let Some(next_hop) = self.routes.next_hop(self.id, packet.dst) else {
-            return;
+        let mut packet = packet;
+        if packet.ttl == 0 {
+            return; // a transition-induced loop ends here, not in livelock
+        }
+        packet.ttl -= 1;
+        // Forward along the pair's current path; packets stranded by a
+        // reroute (this router is no longer on the path) fall back to the
+        // static link-state tables so they drain instead of vanishing.
+        let next_hop = match self.forward_hop(packet.src, packet.dst) {
+            Some(h) => h,
+            None => {
+                self.metrics.transition_forward_miss.inc();
+                match self.routes.next_hop(self.id, packet.dst) {
+                    Some(h) => h,
+                    None => return,
+                }
+            }
         };
-        self.tap(
-            TapEvent::Enqueued {
-                router: self.id,
-                next_hop,
-                packet,
-                time: t,
-                queue_len_after: 0,
-            },
-            trace,
+        if current {
+            self.tap(
+                TapEvent::Enqueued {
+                    router: self.id,
+                    next_hop,
+                    packet,
+                    time: t,
+                    queue_len_after: 0,
+                },
+                trace,
+            );
+        }
+        self.send_frame(next_hop, WireMessage::Data { packet, epoch }, false);
+    }
+
+    /// Originates a signed link-state update: applies it locally, then
+    /// floods it reliably to every up neighbour.
+    fn originate_ls(
+        &mut self,
+        update: TopoUpdate,
+        events: &mpsc::Sender<LiveEvent>,
+        trace: &mut TraceBuffer,
+    ) {
+        let ls = LinkStateUpdate {
+            origin: self.id,
+            update_seq: self.ls_seq,
+            t_origin_ns: self.now_ns(),
+            update,
+        };
+        self.ls_seq += 1;
+        let sig = sign_link_state(&self.keys, &ls);
+        self.apply_ls(&ls, &sig, events, trace);
+        self.flood_ls(&ls, &sig, None);
+    }
+
+    /// Reliably sends `ls` to every up neighbour except `except` and the
+    /// update's origin.
+    fn flood_ls(&mut self, ls: &LinkStateUpdate, sig: &Signature, except: Option<RouterId>) {
+        let targets: Vec<RouterId> = self
+            .dyn_topo
+            .base()
+            .neighbors(self.id)
+            .iter()
+            .map(|&(n, _)| n)
+            .filter(|&n| n != ls.origin && Some(n) != except && !self.dyn_topo.is_router_down(n))
+            .collect();
+        for n in targets {
+            self.send_frame(
+                n,
+                WireMessage::LinkState {
+                    update: ls.clone(),
+                    sig: *sig,
+                },
+                true,
+            );
+            self.metrics.ls_updates_sent.inc();
+        }
+    }
+
+    /// Applies a deduplicated, signature-verified link-state update:
+    /// mutates the topology overlay, derives the deterministic amnesty
+    /// window from the origin timestamp, and rebuilds routes, segments
+    /// and monitors. Returns whether the update was fresh (and should be
+    /// re-flooded).
+    fn apply_ls(
+        &mut self,
+        ls: &LinkStateUpdate,
+        sig: &Signature,
+        events: &mpsc::Sender<LiveEvent>,
+        trace: &mut TraceBuffer,
+    ) -> bool {
+        if !self.applied_keys.insert((ls.origin, ls.update_seq)) {
+            return false;
+        }
+        let tau = self.cfg.tau.as_nanos() as u64;
+        let origin_round = ls.t_origin_ns / tau;
+        match &ls.update {
+            TopoUpdate::ExcludeSegment(seg) => {
+                // Only a monitoring end may convict its own segment — a
+                // compromised router cannot excise arbitrary fabric.
+                if seg.source() != ls.origin && seg.sink() != ls.origin {
+                    return false;
+                }
+                self.dyn_topo.exclude_segment(seg.clone());
+                // A conviction touching a probationer restarts its clock.
+                for &r in seg.routers() {
+                    self.probation.violation(r, origin_round + 1);
+                }
+                self.isolate_by_intersection(seg);
+            }
+            TopoUpdate::RouterDown(r) => {
+                self.dyn_topo.set_router_down(*r);
+                if *r != self.id {
+                    let purged = self.reliable.purge_peer(*r);
+                    self.metrics.purged_frames.add(purged as u64);
+                }
+            }
+            TopoUpdate::RouterUp {
+                router,
+                incarnation,
+            } => {
+                self.dyn_topo.set_router_up(*router);
+                self.reported_down.remove(router);
+                if *router != self.id {
+                    // Frames tracked toward its previous incarnation were
+                    // sealed under retired keys; drop them, and reopen the
+                    // dedup space for its fresh sequence numbers.
+                    let purged = self.reliable.purge_peer(*router);
+                    self.metrics.purged_frames.add(purged as u64);
+                    self.reliable.forget_peer_history(*router);
+                }
+                if *incarnation > 0 {
+                    // Crash-restart: re-admission under probation — it
+                    // sources and sinks its own traffic but carries no
+                    // transit until K clean rounds pass.
+                    self.dyn_topo.set_no_transit(*router);
+                    self.probation.admit(*router, origin_round + 1);
+                    if *router == self.id {
+                        self.metrics.probation_admitted.inc();
+                    }
+                }
+                self.prune_ls_db(&ls.update);
+                if *router != self.id && self.is_base_neighbor(*router) {
+                    // Database resync: a restarted neighbour lost its
+                    // link-state DB with the crash; re-flood ours so it
+                    // reconverges onto the fabric's current shape.
+                    for (db_ls, db_sig) in self.ls_db.clone() {
+                        if db_ls.origin != *router {
+                            self.send_frame(
+                                *router,
+                                WireMessage::LinkState {
+                                    update: db_ls,
+                                    sig: db_sig,
+                                },
+                                true,
+                            );
+                            self.metrics.ls_updates_sent.inc();
+                        }
+                    }
+                }
+            }
+            TopoUpdate::LinkDown(a, b) => {
+                self.dyn_topo.set_link_down(*a, *b);
+                self.prune_ls_db(&ls.update);
+            }
+            TopoUpdate::LinkUp(a, b) => {
+                self.dyn_topo.set_link_up(*a, *b);
+                self.prune_ls_db(&ls.update);
+            }
+        }
+        self.ls_db.push((ls.clone(), *sig));
+        self.metrics.ls_updates_applied.inc();
+        // Deterministic amnesty: every applier derives the same resume
+        // round from the origin timestamp, so both ends of every segment
+        // skip the same transition rounds.
+        self.eval_resume = self.eval_resume.max(origin_round + 2);
+        self.rebuild(ls.t_origin_ns, trace);
+        trace.record(
+            self.now_ns(),
+            TraceKind::LinkStateApplied,
+            u32::from(self.id),
+            origin_round,
+            u64::from(u32::from(ls.origin)),
         );
-        self.send_frame(next_hop, WireMessage::Data(packet), false);
+        let _ = events.send(LiveEvent::LinkStateApplied {
+            by: self.id,
+            origin: ls.origin,
+            update_seq: ls.update_seq,
+            epoch: self.route_epoch,
+        });
+        true
+    }
+
+    /// Whether `r` is adjacent to this router in the base graph.
+    fn is_base_neighbor(&self, r: RouterId) -> bool {
+        self.dyn_topo
+            .base()
+            .neighbors(self.id)
+            .iter()
+            .any(|&(n, _)| n == r)
+    }
+
+    /// Drops database entries superseded by `update`, so a resync never
+    /// replays a stale `RouterDown` over a fresher `RouterUp` (or a stale
+    /// flap direction). Dedup keys are kept — stragglers of pruned
+    /// updates still bounce off `applied_keys`.
+    fn prune_ls_db(&mut self, update: &TopoUpdate) {
+        let unordered_eq = |a1: RouterId, b1: RouterId, a2: RouterId, b2: RouterId| {
+            (a1 == a2 && b1 == b2) || (a1 == b2 && b1 == a2)
+        };
+        self.ls_db.retain(|(db, _)| match (update, &db.update) {
+            (
+                TopoUpdate::RouterUp {
+                    router,
+                    incarnation,
+                },
+                TopoUpdate::RouterDown(r),
+            ) => {
+                let _ = incarnation;
+                r != router
+            }
+            (
+                TopoUpdate::RouterUp {
+                    router,
+                    incarnation,
+                },
+                TopoUpdate::RouterUp {
+                    router: r,
+                    incarnation: inc,
+                },
+            ) => !(r == router && inc < incarnation),
+            (TopoUpdate::RouterDown(router), TopoUpdate::RouterUp { router: r, .. }) => r != router,
+            (TopoUpdate::LinkUp(a, b), TopoUpdate::LinkDown(x, y))
+            | (TopoUpdate::LinkDown(a, b), TopoUpdate::LinkUp(x, y)) => {
+                !unordered_eq(*a, *b, *x, *y)
+            }
+            _ => true,
+        });
+    }
+
+    /// Records a freshly applied conviction and escalates when the
+    /// convicted segments pinpoint a single router: if `r` appears in at
+    /// least two distinct convicted segments and is their only common
+    /// member, Πk+2's accuracy guarantee (every convicted segment
+    /// contains a faulty router) identifies `r`, and every node
+    /// deterministically strips its transit duty. Segment-by-segment
+    /// exclusion alone converges one neighbour pair per conviction
+    /// cycle; the intersection walls the router off as soon as two
+    /// overlapping convictions disambiguate it from its neighbours.
+    fn isolate_by_intersection(&mut self, seg: &PathSegment) {
+        if self.convicted.iter().any(|s| s == seg) {
+            return;
+        }
+        self.convicted.push(seg.clone());
+        for &r in seg.routers() {
+            if self.is_pinpointed(r) && self.dyn_topo.set_no_transit(r) {
+                self.metrics.routers_isolated.inc();
+            }
+        }
+    }
+
+    /// Whether the convicted segments identify `r` as faulty: it appears
+    /// in at least two of them and is their only common member.
+    fn is_pinpointed(&self, r: RouterId) -> bool {
+        let with_r: Vec<&PathSegment> = self.convicted.iter().filter(|s| s.contains(r)).collect();
+        with_r.len() >= 2
+            && with_r[0]
+                .routers()
+                .iter()
+                .all(|&x| x == r || !with_r.iter().all(|s| s.contains(x)))
+    }
+
+    /// Reconverges this node onto the current topology overlay: recomputes
+    /// the forwarding paths, re-derives the Πk+2 segment set from the
+    /// rerouted monitor paths, retargets the monitors (keeping their
+    /// registry-backed metric handles), and opens a new route epoch so
+    /// in-flight traffic drains untapped.
+    fn rebuild(&mut self, t_origin_ns: u64, trace: &mut TraceBuffer) {
+        self.flush_observations();
+        let pairs: Vec<(RouterId, RouterId)> = self
+            .monitor_pairs
+            .iter()
+            .chain(self.flow_pairs.iter())
+            .copied()
+            .collect();
+        self.paths = self.dyn_topo.paths_for(pairs);
+        let seg_paths: Vec<Path> = self
+            .monitor_pairs
+            .iter()
+            .filter_map(|p| self.paths.get(p).cloned())
+            .collect();
+        let router_count = self.dyn_topo.base().router_count();
+        let segments: Vec<PathSegment> =
+            pik2_segments_from_paths(seg_paths.clone(), router_count, self.cfg.k)
+                .all_segments()
+                .into_iter()
+                .collect();
+        let mut oracle_paths = seg_paths;
+        oracle_paths.extend(
+            self.flow_pairs
+                .iter()
+                .filter_map(|p| self.paths.get(p).cloned()),
+        );
+        let oracle = PathOracle::from_paths(oracle_paths);
+        self.monitors = self.monitors.retarget(
+            segments.clone(),
+            oracle,
+            &self.keys,
+            MonitorMode::EndsOnly,
+            None,
+        );
+        self.ends = Self::end_roles(&segments, self.id);
+        self.segments = segments;
+        // Cross-epoch summary state is void: the segments it described no
+        // longer exist, and the amnesty window covers the gap.
+        self.peer_summaries.clear();
+        self.peer_verdicts.clear();
+        self.obs_buf.clear();
+        self.route_epoch += 1;
+        self.metrics.epoch_transitions.inc();
+        self.metrics
+            .reroute_latency_ns
+            .record(self.now_ns().saturating_sub(t_origin_ns));
+        trace.record(
+            self.now_ns(),
+            TraceKind::EpochTransition,
+            u32::from(self.id),
+            NO_ROUND,
+            self.route_epoch,
+        );
+    }
+
+    /// Performs step `step` of this node's churn script. Runs even while
+    /// the node is dead — a restart has to.
+    fn churn_step(
+        &mut self,
+        step: usize,
+        events: &mpsc::Sender<LiveEvent>,
+        trace: &mut TraceBuffer,
+    ) {
+        let ev = self.churn[step];
+        trace.record(
+            self.now_ns(),
+            TraceKind::ChurnEvent,
+            u32::from(self.id),
+            NO_ROUND,
+            step as u64,
+        );
+        match ev.action {
+            ChurnAction::LinkDown(peer) => {
+                self.originate_ls(TopoUpdate::LinkDown(self.id, peer), events, trace);
+            }
+            ChurnAction::LinkUp(peer) => {
+                self.originate_ls(TopoUpdate::LinkUp(self.id, peer), events, trace);
+            }
+            ChurnAction::Leave => {
+                self.originate_ls(TopoUpdate::RouterDown(self.id), events, trace);
+                self.alive = false;
+            }
+            ChurnAction::Join => {
+                self.alive = true;
+                self.originate_ls(
+                    TopoUpdate::RouterUp {
+                        router: self.id,
+                        incarnation: self.incarnation,
+                    },
+                    events,
+                    trace,
+                );
+            }
+            ChurnAction::Crash => {
+                self.alive = false;
+            }
+            ChurnAction::Restart => {
+                // The crash lost all volatile protocol state. The key
+                // authority bumps the incarnation — the shared KeyStore
+                // re-derives every pairwise key, fencing the previous
+                // incarnation's traffic — and the node returns with an
+                // empty link-state DB (neighbours resync it) and a fresh
+                // sequence space disjoint from its old one.
+                self.incarnation += 1;
+                self.keys
+                    .set_incarnation(u32::from(self.id), self.incarnation);
+                self.next_seq = u64::from(self.incarnation) << 48;
+                let mut reliable = ReliableLayer::new(self.cfg.reliable);
+                reliable.attach_counters(
+                    self.metrics.retransmits.clone(),
+                    self.metrics.retransmit_bytes.clone(),
+                );
+                self.reliable = reliable;
+                self.dyn_topo = DynamicTopology::new(self.dyn_topo.base().clone());
+                self.applied_keys.clear();
+                self.ls_db.clear();
+                self.convicted.clear();
+                self.probation = ProbationTracker::new(self.cfg.probation_rounds);
+                self.reported_down.clear();
+                self.peer_summaries.clear();
+                self.peer_verdicts.clear();
+                self.obs_buf.clear();
+                self.alive = true;
+                self.originate_ls(
+                    TopoUpdate::RouterUp {
+                        router: self.id,
+                        incarnation: self.incarnation,
+                    },
+                    events,
+                    trace,
+                );
+            }
+            ChurnAction::ReportDown(r) => {
+                if self.reported_down.insert(r) {
+                    self.originate_ls(TopoUpdate::RouterDown(r), events, trace);
+                }
+            }
+        }
     }
 }
 
@@ -1476,8 +2221,9 @@ mod tests {
                 router: ids[2],
                 rate: 0.3,
                 seed: 9,
+                active_from: 0,
             }],
-            monitor_pairs: vec![],
+            ..LiveSpec::default()
         };
         let cfg = LiveConfig {
             tau: Duration::from_millis(200),
@@ -1515,7 +2261,7 @@ mod tests {
         let spec = LiveSpec {
             flows: vec![FlowSpec::new(ids[0], ids[3], 800, Duration::from_millis(2))],
             droppers: vec![],
-            monitor_pairs: vec![],
+            ..LiveSpec::default()
         };
         let cfg = LiveConfig {
             tau: Duration::from_millis(200),
@@ -1550,8 +2296,9 @@ mod tests {
                 router: ids[2],
                 rate: 0.3,
                 seed: 5,
+                active_from: 0,
             }],
-            monitor_pairs: vec![],
+            ..LiveSpec::default()
         };
         let cfg = LiveConfig {
             tau: Duration::from_millis(200),
@@ -1583,7 +2330,7 @@ mod tests {
         let spec = LiveSpec {
             flows: vec![FlowSpec::new(ids[0], ids[3], 800, Duration::from_millis(2))],
             droppers: vec![],
-            monitor_pairs: vec![],
+            ..LiveSpec::default()
         };
         let base = LiveConfig {
             tau: Duration::from_millis(200),
@@ -1627,8 +2374,9 @@ mod tests {
                 router: ids[2],
                 rate: 0.3,
                 seed: 9,
+                active_from: 0,
             }],
-            monitor_pairs: vec![],
+            ..LiveSpec::default()
         };
         let cfg = LiveConfig {
             tau: Duration::from_millis(200),
@@ -1664,7 +2412,7 @@ mod tests {
         let spec = LiveSpec {
             flows: vec![FlowSpec::new(ids[0], ids[3], 800, Duration::from_millis(2))],
             droppers: vec![],
-            monitor_pairs: vec![],
+            ..LiveSpec::default()
         };
         let cfg = LiveConfig {
             tau: Duration::from_millis(200),
@@ -1686,5 +2434,188 @@ mod tests {
             outcome.stats.wire_bytes_sent,
             outcome.stats.data_bytes_sent
         );
+    }
+
+    /// The §2.4.3 response loop end to end: a ring carries one flow whose
+    /// shortest path transits a dropper that activates in round 1. The
+    /// segment ends convict it, flood the signed exclusion, every router
+    /// reroutes the flow the long way around the ring, and traffic
+    /// recovers — with zero false accusations through the transition.
+    #[test]
+    fn conviction_reroutes_around_the_dropper() {
+        let topo = builtin::ring(6);
+        let ids: Vec<RouterId> = topo.routers().collect();
+        // Lowest-id tie-break routes 0 -> 3 via 1, 2.
+        let spec = LiveSpec {
+            flows: vec![FlowSpec::new(
+                ids[0],
+                ids[3],
+                1000,
+                Duration::from_millis(2),
+            )],
+            droppers: vec![DropperSpec {
+                router: ids[2],
+                rate: 0.4,
+                seed: 3,
+                active_from: 1,
+            }],
+            ..LiveSpec::default()
+        };
+        let cfg = LiveConfig {
+            tau: Duration::from_millis(200),
+            exchange_budget: Duration::from_millis(100),
+            maturity_lag: Duration::from_millis(50),
+            rounds: 6,
+            ..LiveConfig::default()
+        };
+        let outcome = LiveDeployment::run(&topo, &spec, &cfg, LoopbackHub::group(&ids));
+
+        assert!(outcome.stats.data_dropped > 0, "the dropper never fired");
+        let faulty: BTreeSet<RouterId> = [ids[2]].into_iter().collect();
+        let check = SpecCheck::evaluate(&outcome.suspicions, &faulty);
+        assert!(
+            check.is_complete(),
+            "dropper escaped: {:?}",
+            outcome.suspicions
+        );
+        assert!(
+            check.is_accurate(cfg.k + 2),
+            "false positives through the transition: {:?}",
+            check.false_positives
+        );
+        // The exclusion flooded to everyone and every router reconverged.
+        assert!(
+            outcome.metrics.counter("net.ls_updates_applied") >= ids.len() as u64,
+            "exclusion did not reach every router"
+        );
+        assert!(
+            outcome.metrics.counter("net.epoch_transitions") >= ids.len() as u64,
+            "not every router opened a new route epoch"
+        );
+        // Traffic recovered on the avoidance route: the final round still
+        // delivers, and the convicted router sees no transit any more.
+        let last = outcome.round_metrics.last().expect("round snapshots");
+        let prev = &outcome.round_metrics[outcome.round_metrics.len() - 2];
+        assert!(
+            last.counter("net.data_delivered") > prev.counter("net.data_delivered"),
+            "no traffic delivered in the final round"
+        );
+        assert_eq!(
+            last.counter("net.data_dropped"),
+            prev.counter("net.data_dropped"),
+            "the convicted router still saw transit traffic in the final round"
+        );
+    }
+
+    /// Pure churn must never accuse anyone: an off-path link flaps down
+    /// and back up, then an off-path router gracefully leaves, while a
+    /// monitored flow keeps validating. Every applier lands inside the
+    /// deterministic amnesty window, so the verdict log stays empty.
+    #[test]
+    fn pure_churn_raises_no_suspicions() {
+        let topo = builtin::ring(6);
+        let ids: Vec<RouterId> = topo.routers().collect();
+        let spec = LiveSpec {
+            flows: vec![FlowSpec::new(ids[0], ids[3], 800, Duration::from_millis(2))],
+            churn: vec![
+                ChurnEvent {
+                    at: Duration::from_millis(150),
+                    actor: ids[4],
+                    action: ChurnAction::LinkDown(ids[5]),
+                },
+                ChurnEvent {
+                    at: Duration::from_millis(450),
+                    actor: ids[4],
+                    action: ChurnAction::LinkUp(ids[5]),
+                },
+                ChurnEvent {
+                    at: Duration::from_millis(700),
+                    actor: ids[5],
+                    action: ChurnAction::Leave,
+                },
+            ],
+            ..LiveSpec::default()
+        };
+        let cfg = LiveConfig {
+            tau: Duration::from_millis(200),
+            exchange_budget: Duration::from_millis(100),
+            maturity_lag: Duration::from_millis(50),
+            rounds: 6,
+            ..LiveConfig::default()
+        };
+        let outcome = LiveDeployment::run(&topo, &spec, &cfg, LoopbackHub::group(&ids));
+        assert!(
+            outcome.suspicions.is_empty(),
+            "pure churn accused someone: {:?}",
+            outcome.suspicions
+        );
+        assert!(outcome.stats.data_delivered > 0, "traffic stopped");
+        assert!(
+            outcome.metrics.counter("net.epoch_transitions") > 0,
+            "churn never triggered a reconvergence"
+        );
+    }
+
+    /// Crash-restart with probation: a router silently dies, a peer
+    /// reports it, and it returns with a bumped incarnation and an empty
+    /// link-state DB. Neighbours resync the DB, the returnee sits out
+    /// transit duty on probation, and is cleared after the configured
+    /// clean rounds — all without a single accusation.
+    #[test]
+    fn crash_restart_serves_probation_then_clears() {
+        let topo = builtin::ring(6);
+        let ids: Vec<RouterId> = topo.routers().collect();
+        let spec = LiveSpec {
+            flows: vec![FlowSpec::new(ids[0], ids[3], 800, Duration::from_millis(2))],
+            churn: vec![
+                ChurnEvent {
+                    at: Duration::from_millis(120),
+                    actor: ids[4],
+                    action: ChurnAction::Crash,
+                },
+                ChurnEvent {
+                    at: Duration::from_millis(320),
+                    actor: ids[3],
+                    action: ChurnAction::ReportDown(ids[4]),
+                },
+                ChurnEvent {
+                    at: Duration::from_millis(520),
+                    actor: ids[4],
+                    action: ChurnAction::Restart,
+                },
+            ],
+            ..LiveSpec::default()
+        };
+        let cfg = LiveConfig {
+            tau: Duration::from_millis(200),
+            exchange_budget: Duration::from_millis(100),
+            maturity_lag: Duration::from_millis(50),
+            rounds: 8,
+            ..LiveConfig::default()
+        };
+        let outcome = LiveDeployment::run(&topo, &spec, &cfg, LoopbackHub::group(&ids));
+        assert!(
+            outcome.suspicions.is_empty(),
+            "crash-restart accused someone: {:?}",
+            outcome.suspicions
+        );
+        assert_eq!(
+            outcome.metrics.counter("net.probation_admitted"),
+            1,
+            "the returnee did not admit itself to probation"
+        );
+        assert_eq!(
+            outcome.metrics.counter("net.probation_cleared"),
+            1,
+            "probation never cleared"
+        );
+        assert!(
+            outcome.events.iter().any(|e| matches!(
+                e,
+                LiveEvent::ProbationCleared { router, .. } if *router == ids[4]
+            )),
+            "no ProbationCleared event for the returnee"
+        );
+        assert!(outcome.stats.data_delivered > 0, "traffic stopped");
     }
 }

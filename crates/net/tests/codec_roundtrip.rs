@@ -92,7 +92,10 @@ fn sample_frames(ks: &KeyStore, seed: u64) -> Vec<Frame> {
             src: rid(0),
             dst: rid(1),
             seq: rng.gen::<u64>(),
-            msg: WireMessage::Data(random_packet(&mut rng)),
+            msg: WireMessage::Data {
+                packet: random_packet(&mut rng),
+                epoch: rng.gen::<u64>(),
+            },
         },
         Frame {
             src: rid(2),
@@ -166,7 +169,7 @@ fn truncation_at_every_length_errors_never_panics() {
 fn bit_flips_never_panic_and_never_forge_control_frames() {
     let ks = keys();
     for frame in sample_frames(&ks, 11) {
-        let is_control = !matches!(frame.msg, WireMessage::Data(_));
+        let is_control = !matches!(frame.msg, WireMessage::Data { .. });
         let bytes = encode_frame(&frame, &ks).expect("encodable");
         for pos in 0..bytes.len() {
             for bit in 0..8 {

@@ -80,6 +80,10 @@ trace_kinds! {
     TimerFired => "timer_fired",
     Retransmit => "retransmit",
     DeliveryExhausted => "delivery_exhausted",
+    LinkStateApplied => "link_state_applied",
+    EpochTransition => "epoch_transition",
+    ChurnEvent => "churn_event",
+    ProbationCleared => "probation_cleared",
 }
 
 const KINDS: usize = TraceKind::ALL.len();

@@ -23,6 +23,55 @@ use crate::segments::PathSegment;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
+/// Why an avoidance route could not be produced.
+///
+/// The distinction matters to the response layer: a [`Disconnected`]
+/// destination was unreachable before any exclusion was applied (a
+/// partitioned or down router — nothing the response can do), while
+/// [`AllPathsExcluded`] means connectivity exists but every route would
+/// complete a suspected segment — the §2.4.3 "uniformly malicious router
+/// ends up completely isolated" outcome, which a caller may want to
+/// surface rather than silently treat as a dead destination.
+///
+/// [`Disconnected`]: AvoidanceError::Disconnected
+/// [`AllPathsExcluded`]: AvoidanceError::AllPathsExcluded
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AvoidanceError {
+    /// `dst` is unreachable from `src` in the underlying graph, exclusions
+    /// aside.
+    Disconnected {
+        /// Requested source.
+        src: RouterId,
+        /// Unreachable destination.
+        dst: RouterId,
+    },
+    /// `dst` is reachable, but every path completes an excluded segment.
+    AllPathsExcluded {
+        /// Requested source.
+        src: RouterId,
+        /// Destination isolated by the exclusions.
+        dst: RouterId,
+    },
+}
+
+impl std::fmt::Display for AvoidanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AvoidanceError::Disconnected { src, dst } => {
+                write!(f, "{dst} is disconnected from {src} in the topology")
+            }
+            AvoidanceError::AllPathsExcluded { src, dst } => {
+                write!(
+                    f,
+                    "every path from {src} to {dst} traverses an excluded segment"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for AvoidanceError {}
+
 /// Aho–Corasick automaton over router sequences, specialized to *rejecting*
 /// walks that contain any pattern as a contiguous subsequence.
 #[derive(Debug, Clone)]
@@ -221,6 +270,43 @@ impl<'a> AvoidingRoutes<'a> {
         None
     }
 
+    /// Like [`path`](Self::path), but a failure is typed: the caller
+    /// learns whether the destination was unreachable to begin with
+    /// ([`AvoidanceError::Disconnected`]) or only became so under the
+    /// current exclusions ([`AvoidanceError::AllPathsExcluded`]).
+    pub fn route(&self, src: RouterId, dst: RouterId) -> Result<Path, AvoidanceError> {
+        if let Some(p) = self.path(src, dst) {
+            return Ok(p);
+        }
+        if self.reachable_ignoring_exclusions(src, dst) {
+            Err(AvoidanceError::AllPathsExcluded { src, dst })
+        } else {
+            Err(AvoidanceError::Disconnected { src, dst })
+        }
+    }
+
+    /// Directed reachability in the raw graph, exclusions ignored.
+    fn reachable_ignoring_exclusions(&self, src: RouterId, dst: RouterId) -> bool {
+        if src == dst {
+            return true;
+        }
+        let mut seen = vec![false; self.topo.router_count()];
+        let mut stack = vec![src];
+        seen[src.index()] = true;
+        while let Some(u) = stack.pop() {
+            for &(v, _) in self.topo.neighbors(u) {
+                if v == dst {
+                    return true;
+                }
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        false
+    }
+
     /// Whether a router has become completely unreachable as a traffic
     /// *transit or endpoint* for the given source — the "uniformly
     /// malicious router ends up completely isolated" outcome of §2.4.3.
@@ -345,5 +431,89 @@ mod tests {
         let (t, rs) = line_with_bypass();
         let av = AvoidingRoutes::new(&t, vec![PathSegment::new(vec![rs[0], rs[1]])]);
         assert!(av.path(rs[0], rs[0]).unwrap().is_trivial());
+    }
+
+    #[test]
+    fn route_ok_matches_path() {
+        let (t, rs) = line_with_bypass();
+        let seg = PathSegment::new(vec![rs[1], rs[2]]);
+        let av = AvoidingRoutes::new(&t, vec![seg]);
+        let p = av.route(rs[0], rs[3]).unwrap();
+        assert_eq!(Some(p), av.path(rs[0], rs[3]));
+    }
+
+    #[test]
+    fn multiple_overlapping_exclusions_yield_typed_error() {
+        // Three exclusions that overlap pairwise on r1, r2 and r4: every
+        // forward route from r0 to r3 is cut, but the graph itself remains
+        // connected — so the typed error must say *excluded*, not
+        // *disconnected*.
+        let (t, rs) = line_with_bypass();
+        let av = AvoidingRoutes::new(
+            &t,
+            vec![
+                PathSegment::new(vec![rs[0], rs[1], rs[2]]),
+                PathSegment::new(vec![rs[1], rs[2], rs[3]]),
+                PathSegment::new(vec![rs[0], rs[4]]),
+            ],
+        );
+        assert_eq!(
+            av.route(rs[0], rs[3]),
+            Err(AvoidanceError::AllPathsExcluded {
+                src: rs[0],
+                dst: rs[3],
+            })
+        );
+        // Partially overlapping routes not covered by any full pattern
+        // still work: r1 -> r3 avoids ⟨r1, r2, r3⟩ by detouring is
+        // impossible on the line, so it is excluded too…
+        assert_eq!(
+            av.route(rs[1], rs[3]),
+            Err(AvoidanceError::AllPathsExcluded {
+                src: rs[1],
+                dst: rs[3],
+            })
+        );
+        // …while r2 -> r3 (a strict suffix of an excluded pattern, not a
+        // match) is unaffected.
+        assert_eq!(av.route(rs[2], rs[3]).unwrap().routers(), &[rs[2], rs[3]]);
+    }
+
+    #[test]
+    fn disconnected_destination_yields_typed_error_not_panic() {
+        let mut t = Topology::new();
+        let a = t.add_router("a");
+        let b = t.add_router("b");
+        let island = t.add_router("island");
+        t.add_duplex_link(a, b, LinkParams::default());
+        let av = AvoidingRoutes::new(&t, vec![PathSegment::new(vec![a, b])]);
+        assert_eq!(
+            av.route(a, island),
+            Err(AvoidanceError::Disconnected {
+                src: a,
+                dst: island
+            })
+        );
+        // Reachable but fully excluded on the same instance still reports
+        // the exclusion variant.
+        assert_eq!(
+            av.route(a, b),
+            Err(AvoidanceError::AllPathsExcluded { src: a, dst: b })
+        );
+    }
+
+    #[test]
+    fn avoidance_error_displays_both_variants() {
+        let (_, rs) = line_with_bypass();
+        let e1 = AvoidanceError::Disconnected {
+            src: rs[0],
+            dst: rs[3],
+        };
+        let e2 = AvoidanceError::AllPathsExcluded {
+            src: rs[0],
+            dst: rs[3],
+        };
+        assert!(e1.to_string().contains("disconnected"));
+        assert!(e2.to_string().contains("excluded"));
     }
 }

@@ -36,11 +36,13 @@
 pub mod avoidance;
 pub mod builtin;
 pub mod disjoint;
+pub mod dynamic;
 pub mod graph;
 pub mod routing;
 pub mod segments;
 
-pub use avoidance::AvoidingRoutes;
+pub use avoidance::{AvoidanceError, AvoidingRoutes};
+pub use dynamic::DynamicTopology;
 pub use graph::{Link, LinkParams, RouterId, Topology};
 pub use routing::{Path, Routes};
 pub use segments::{

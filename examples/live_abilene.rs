@@ -51,10 +51,16 @@ fn main() {
             router: kansascity,
             rate: 0.20,
             seed: 1,
+            active_from: 0,
         }],
-        monitor_pairs: vec![],
+        ..LiveSpec::default()
     };
-    let cfg = LiveConfig::default(); // k = 1, τ = 300ms, 3 rounds
+    // k = 1, τ = 300ms, 3 rounds; detection only — the conviction→reroute
+    // response loop is exercised by `fatih-bench --bin churnbench`.
+    let cfg = LiveConfig {
+        response: false,
+        ..LiveConfig::default()
+    };
 
     println!(
         "\nbinding {} UDP sockets on 127.0.0.1, one router thread each...",

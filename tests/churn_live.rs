@@ -1,0 +1,138 @@
+//! Live conviction-response and topology-churn scenarios over real UDP.
+//!
+//! The in-crate runtime tests cover the response loop on loopback hubs;
+//! these two runs exercise it over real sockets, and combine it with the
+//! chaos transport's scheduled flap windows — a *physical* outage paired
+//! with its routing announcement, the way a real flap presents.
+
+use fatih::net::runtime::{
+    ChurnAction, ChurnEvent, DropperSpec, FlowSpec, LiveConfig, LiveDeployment, LiveSpec,
+};
+use fatih::net::{ChaosTransport, FlapWindow, Transport, UdpNet};
+use fatih::protocols::spec::SpecCheck;
+use fatih::topology::{builtin, RouterId};
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+fn cfg(rounds: u64) -> LiveConfig {
+    LiveConfig {
+        tau: Duration::from_millis(200),
+        exchange_budget: Duration::from_millis(120),
+        maturity_lag: Duration::from_millis(50),
+        rounds,
+        ..LiveConfig::default()
+    }
+}
+
+/// A ring carries one flow past a dropper that activates in round 1. The
+/// ends convict it, the exclusion floods, and every router reroutes the
+/// flow the long way around — after which the dropper sees no transit
+/// traffic at all, and nobody else is ever accused.
+#[test]
+fn conviction_rerouting_recovers_over_udp() {
+    let topo = builtin::ring(8);
+    let ids: Vec<RouterId> = topo.routers().collect();
+    // Lowest-id tie-break routes 0 -> 4 via 1, 2, 3.
+    let spec = LiveSpec {
+        flows: vec![FlowSpec::new(
+            ids[0],
+            ids[4],
+            1000,
+            Duration::from_millis(2),
+        )],
+        droppers: vec![DropperSpec {
+            router: ids[2],
+            rate: 0.4,
+            seed: 11,
+            active_from: 1,
+        }],
+        ..LiveSpec::default()
+    };
+    let transports = UdpNet::bind_group(&ids).expect("bind loopback sockets");
+    let outcome = LiveDeployment::run(&topo, &spec, &cfg(7), transports);
+
+    assert!(outcome.stats.data_dropped > 0, "the dropper never fired");
+    let faulty: BTreeSet<RouterId> = [ids[2]].into_iter().collect();
+    let check = SpecCheck::evaluate(&outcome.suspicions, &faulty);
+    assert!(
+        check.is_complete(),
+        "dropper escaped: {:?}",
+        outcome.suspicions
+    );
+    assert!(
+        check.is_accurate(cfg(7).k + 2),
+        "false positives through the transition: {:?}",
+        check.false_positives
+    );
+    assert!(
+        outcome.metrics.counter("net.epoch_transitions") >= ids.len() as u64,
+        "not every router reconverged"
+    );
+    // Post-reroute, the dropper is off the path: total drops freeze.
+    let m = &outcome.round_metrics;
+    assert_eq!(
+        m[m.len() - 1].counter("net.data_dropped"),
+        m[m.len() - 2].counter("net.data_dropped"),
+        "the convicted router still saw transit traffic at the end"
+    );
+    // And traffic kept flowing on the avoidance route.
+    assert!(
+        m[m.len() - 2].counter("net.data_delivered") > m[m.len() - 3].counter("net.data_delivered"),
+        "delivery did not recover after the reroute"
+    );
+}
+
+/// A physical link outage with its routing announcement: the chaos shim
+/// swallows data frames on the flapped link over a scheduled window while
+/// the churn script announces LinkDown/LinkUp at the window's edges.
+/// Traffic reroutes away before validation resumes, so the outage never
+/// frames the (honest) routers on the flapped link: zero suspicions.
+#[test]
+fn announced_flap_window_never_accuses() {
+    let topo = builtin::ring(6);
+    let ids: Vec<RouterId> = topo.routers().collect();
+    // Lowest-id tie-break routes 0 -> 3 via 1, 2: flap the 1-2 link.
+    let ms = Duration::from_millis;
+    let spec = LiveSpec {
+        flows: vec![FlowSpec::new(ids[0], ids[3], 800, Duration::from_millis(2))],
+        churn: vec![
+            ChurnEvent {
+                at: ms(400),
+                actor: ids[1],
+                action: ChurnAction::LinkDown(ids[2]),
+            },
+            ChurnEvent {
+                at: ms(1000),
+                actor: ids[1],
+                action: ChurnAction::LinkUp(ids[2]),
+            },
+        ],
+        ..LiveSpec::default()
+    };
+    let epoch = Instant::now();
+    let transports: Vec<_> = UdpNet::bind_group(&ids)
+        .expect("bind loopback sockets")
+        .into_iter()
+        .map(|t| {
+            let local = t.local();
+            let mut chaos = ChaosTransport::control(t, 0.0, 0.0, 7);
+            if local == ids[1] {
+                chaos = chaos.with_flaps(vec![FlapWindow::link(ids[2], ms(400), ms(1000))]);
+            }
+            chaos.set_flap_epoch(epoch);
+            chaos
+        })
+        .collect();
+    let outcome = LiveDeployment::run(&topo, &spec, &cfg(7), transports);
+
+    assert!(
+        outcome.suspicions.is_empty(),
+        "an announced flap framed an honest router: {:?}",
+        outcome.suspicions
+    );
+    assert!(outcome.stats.data_delivered > 0, "traffic stopped");
+    assert!(
+        outcome.metrics.counter("net.epoch_transitions") >= ids.len() as u64,
+        "the flap announcements never triggered a reconvergence"
+    );
+}

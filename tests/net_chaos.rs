@@ -39,14 +39,18 @@ fn udp_chaos_seeds_keep_verdicts() {
                 router: ids[3],
                 rate: 0.3,
                 seed,
+                active_from: 0,
             }],
-            monitor_pairs: vec![],
+            ..LiveSpec::default()
         };
         let cfg = LiveConfig {
             tau: Duration::from_millis(200),
             exchange_budget: Duration::from_millis(120),
             maturity_lag: Duration::from_millis(50),
             rounds: 2,
+            // Verdict parity with the simulator: leave the response loop
+            // off so convictions accumulate instead of rerouting.
+            response: false,
             ..LiveConfig::default()
         };
         let transports: Vec<_> = UdpNet::bind_group(&ids)

@@ -34,14 +34,18 @@ fn chaos_run() -> fatih::net::runtime::LiveOutcome {
             router: dropper,
             rate: 0.3,
             seed: 42,
+            active_from: 0,
         }],
-        monitor_pairs: vec![],
+        ..LiveSpec::default()
     };
     let cfg = LiveConfig {
         tau: Duration::from_millis(200),
         exchange_budget: Duration::from_millis(120),
         maturity_lag: Duration::from_millis(50),
         rounds: 2,
+        // Keep the run steady-state: no conviction-driven rerouting, so
+        // the counter/trace parity below covers the full accusation flow.
+        response: false,
         ..LiveConfig::default()
     };
     let transports: Vec<_> = UdpNet::bind_group(&ids)
