@@ -1,0 +1,72 @@
+//! Review probe: does a crash-restarted router's route epoch stay in
+//! lockstep with the rest of the fabric?
+
+use fatih::net::runtime::{
+    ChurnAction, ChurnEvent, FlowSpec, LiveConfig, LiveDeployment, LiveSpec,
+};
+use fatih::net::transport::LoopbackHub;
+use fatih::topology::{builtin, RouterId};
+use std::time::Duration;
+
+#[test]
+fn restarted_router_stays_in_epoch_lockstep() {
+    let topo = builtin::ring(6);
+    let ids: Vec<RouterId> = topo.routers().collect();
+    let spec = LiveSpec {
+        flows: vec![
+            FlowSpec::new(ids[0], ids[3], 800, Duration::from_millis(2)),
+            // The crash-restart router itself sources a monitored flow.
+            FlowSpec::new(ids[4], ids[1], 800, Duration::from_millis(2)),
+        ],
+        churn: vec![
+            ChurnEvent {
+                at: Duration::from_millis(120),
+                actor: ids[4],
+                action: ChurnAction::Crash,
+            },
+            ChurnEvent {
+                at: Duration::from_millis(320),
+                actor: ids[3],
+                action: ChurnAction::ReportDown(ids[4]),
+            },
+            ChurnEvent {
+                at: Duration::from_millis(520),
+                actor: ids[4],
+                action: ChurnAction::Restart,
+            },
+        ],
+        ..LiveSpec::default()
+    };
+    let cfg = LiveConfig {
+        tau: Duration::from_millis(200),
+        exchange_budget: Duration::from_millis(100),
+        maturity_lag: Duration::from_millis(50),
+        rounds: 10,
+        ..LiveConfig::default()
+    };
+    let outcome = LiveDeployment::run(&topo, &spec, &cfg, LoopbackHub::group(&ids));
+
+    // Untapped drains should stop once reconvergence settles. If the
+    // restarted router's epoch never realigns, stale-epoch drains keep
+    // accumulating through the last (long-settled) rounds.
+    let m = &outcome.round_metrics;
+    let n = m.len();
+    let tail_untapped =
+        m[n - 1].counter("net.untapped_drained") - m[n - 3].counter("net.untapped_drained");
+    println!(
+        "untapped per round (cumulative): {:?}",
+        m.iter()
+            .map(|s| s.counter("net.untapped_drained"))
+            .collect::<Vec<_>>()
+    );
+    println!("suspicions: {:?}", outcome.suspicions);
+    assert_eq!(
+        tail_untapped, 0,
+        "stale-epoch drains continued through the final rounds: epochs diverged"
+    );
+    assert!(
+        outcome.suspicions.is_empty(),
+        "crash-restart framed honest routers: {:?}",
+        outcome.suspicions
+    );
+}
